@@ -1,0 +1,127 @@
+"""Ablation benchmarks for the design choices argued in prose.
+
+1. Placement (§4.2): similarity vs random — covering filters above
+   stage 1 and forwarded event copies.
+2. Wildcard routing (§4.4): higher-stage attachment vs naive stage-1 —
+   max stage-1 event load.
+3. Hierarchy depth (§3.2): per-node RLC vs number of stages.
+"""
+
+from repro.experiments import ablations
+from repro.experiments.common import ScenarioConfig
+
+BASE = ScenarioConfig(
+    stage_sizes=(50, 10, 1),
+    n_subscribers=400,
+    n_events=400,
+    n_years=12,
+    n_conferences=30,
+    n_authors=200,
+    n_records=800,
+    sibling_rate=0.06,
+)
+
+
+def test_placement_ablation(benchmark, once, report):
+    ablation = once(benchmark, ablations.run_placement_ablation, BASE)
+    similarity_filters, random_filters = ablation.upper_stage_filters()
+    similarity_forwarded, random_forwarded = ablation.forwarded_messages()
+
+    report()
+    report("=== Ablation §4.2: similarity vs random placement ===")
+    report(f"covering filters above stage 1: {similarity_filters} vs {random_filters}")
+    report(f"forwarded event copies:         {similarity_forwarded} vs {random_forwarded}")
+
+    assert similarity_filters <= random_filters
+    assert similarity_forwarded <= random_forwarded
+
+
+def test_wildcard_ablation(benchmark, once, report):
+    ablation = once(
+        benchmark, ablations.run_wildcard_ablation, BASE, wildcard_rate=0.3
+    )
+    routed, naive = ablation.max_stage1_load()
+
+    report()
+    report("=== Ablation §4.4: wildcard routing vs naive stage-1 attach ===")
+    report(f"max events at a stage-1 node: {routed} (routed) vs {naive} (naive)")
+
+    assert routed <= naive
+
+
+def test_depth_ablation(benchmark, once, report):
+    configs = ((1,), (10, 1), (50, 10, 1), (100, 50, 10, 1))
+    points = once(benchmark, ablations.run_depth_ablation, BASE, configs)
+
+    report()
+    report("=== Ablation §3.2: hierarchy depth vs per-node load ===")
+    report(ablations.render_depth(points))
+
+    assert points[-1].max_node_rlc < points[0].max_node_rlc
+    assert points[-1].messages > points[0].messages
+
+
+def _run_bounded_cluster_scenario(compact):
+    """Example-5-shaped workload: clusters of filters differing only in a
+    numeric bound, with bounds kept through stage 2 so covering merges
+    (the g1 collapse) have something to widen."""
+    import random
+
+    from repro.core.engine import MultiStageEventSystem
+    from repro.events.base import PropertyEvent
+    from repro.workloads.subscriptions import SubscriptionGenerator
+
+    generator = SubscriptionGenerator(
+        [("class", 1), ("category", 12)], numeric_attribute="price"
+    )
+    system = MultiStageEventSystem(stage_sizes=(10, 3, 1), seed=5, compact=compact)
+    system.advertise(
+        "Deal", schema=("class", "category", "price"),
+        stage_prefixes=[3, 3, 3, 1],
+    )
+    rng = random.Random(9)
+    for index, filter_ in enumerate(
+        generator.clustered_population(rng, cluster_count=15, cluster_size=8)
+    ):
+        subscriber = system.create_subscriber(f"s{index}")
+        system.subscribe(subscriber, filter_, event_class="Deal")
+        system.drain()
+    publisher = system.create_publisher()
+    event_rng = random.Random(10)
+    for _ in range(300):
+        publisher.publish(PropertyEvent({
+            "class": "class-0",
+            "category": f"category-{event_rng.randrange(12)}",
+            "price": round(event_rng.uniform(10.0, 1000.0), 2),
+        }))
+    system.drain()
+    filters_upper = sum(
+        len(node._match_engine())
+        for stage in (1, 2)
+        for node in system.hierarchy.nodes(stage)
+    )
+    delivered = sum(s.counters.events_delivered for s in system.subscribers)
+    return filters_upper, delivered
+
+
+def test_compaction_ablation(benchmark, once, report):
+    def run_both():
+        return (
+            _run_bounded_cluster_scenario(compact=False),
+            _run_bounded_cluster_scenario(compact=True),
+        )
+
+    (plain_filters, plain_delivered), (compacted_filters, compacted_delivered) = once(
+        benchmark, run_both
+    )
+
+    report()
+    report("=== Ablation §4: covering-merge table compaction (g1 collapse) ===")
+    report(
+        f"stage-1+2 effective filters: {plain_filters} (plain) vs "
+        f"{compacted_filters} (compacted)"
+    )
+    report(f"deliveries: {plain_delivered} vs {compacted_delivered} (must match)")
+
+    assert compacted_filters < plain_filters
+    assert plain_delivered == compacted_delivered

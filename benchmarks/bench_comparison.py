@@ -1,0 +1,70 @@
+"""Benchmark: multi-stage vs the §2.1 architectures on one workload.
+
+Regenerates the quantitative comparisons the paper makes in prose:
+
+- centralized server RLC = 1 (§5.1's normalization);
+- broadcast/topic-based flood the edges with the full event stream;
+- multi-stage keeps every broker's RLC well below 1 *and* delivers the
+  identical event multiset (end-to-end soundness).
+"""
+
+from repro.experiments import comparison
+from repro.experiments.common import ScenarioConfig
+
+SCALE = ScenarioConfig(
+    stage_sizes=(100, 10, 1),
+    n_subscribers=500,
+    n_events=500,
+    placement="random",
+    n_years=30,
+    n_conferences=100,
+    n_authors=500,
+    n_records=3000,
+    author_exponent=1.1,
+    record_exponent=0.9,
+    sibling_rate=0.06,
+)
+
+
+def test_architecture_comparison(benchmark, once, report):
+    results = once(benchmark, comparison.run_comparison, SCALE)
+
+    report()
+    report("=== §2.1 architectures on the identical workload ===")
+    report(comparison.render(results))
+
+    reference = results["centralized"].deliveries
+    for name, result in results.items():
+        assert result.deliveries == reference, f"{name} delivered differently"
+
+    assert abs(results["centralized"].max_broker_rlc - 1.0) < 1e-9
+    assert results["multistage"].max_broker_rlc < 0.5
+    assert results["broadcast"].edge_avg_received == SCALE.n_events
+    assert results["multistage"].edge_avg_received < SCALE.n_events / 5
+    assert results["multistage"].edge_avg_mr > results["broadcast"].edge_avg_mr
+
+
+def test_multiclass_comparison(benchmark, once, report):
+    """Two event classes: topic-based recovers class selectivity only;
+    multi-stage recovers full content selectivity (§3.4's degeneration
+    claim, quantified)."""
+    from repro.experiments.multiclass import MulticlassConfig, render as render_mc
+    from repro.experiments.multiclass import run_multiclass
+
+    config = MulticlassConfig(
+        stage_sizes=(20, 5, 1), n_subscribers=300, n_events=600
+    )
+    results = once(benchmark, run_multiclass, config)
+
+    report()
+    report("=== Multi-class workload: Stock + Auction (§3.4) ===")
+    report(render_mc(results))
+
+    reference = results["multistage"].deliveries
+    for name, result in results.items():
+        assert result.deliveries == reference, name
+    assert (
+        results["multistage"].edge_avg_received
+        < results["topicbased"].edge_avg_received
+        < results["broadcast"].edge_avg_received
+    )

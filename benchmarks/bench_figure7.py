@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 7 (matching rate per node).
+
+Prints the three MR series (levels 0-2) and the subscriber average, and
+asserts the paper's qualitative claims: pre-filtering pushes level-0 and
+level-1 matching rates toward 1, and the subscriber average lands in the
+paper's high-MR regime (reported: 0.87).
+"""
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, once, report):
+    result = once(benchmark, figure7.run_bibliographic, figure7.FIGURE7_SCALE)
+
+    report()
+    report("=== Paper Figure 7: matching rate of the nodes ===")
+    report(figure7.render(result))
+
+    average = result.subscriber_average_mr()
+    assert 0.7 <= average <= 1.0, f"subscriber MR {average} out of the paper's regime"
+    level1 = result.mr_values(1)
+    assert sum(level1) / len(level1) > 0.7
+    for stage in (0, 1, 2):
+        for value in result.mr_values(stage):
+            assert 0.0 <= value <= 1.0

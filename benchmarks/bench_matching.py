@@ -1,0 +1,81 @@
+"""Micro-benchmarks: filter matching engines (§4.6).
+
+The paper presents the naive Figure-6 table "for clarity" and defers
+efficient indexing to related work; this bench quantifies the gap
+between that table and the counting index on identical populations, at
+the per-node filter counts the macro scenarios produce and beyond.
+"""
+
+import random
+
+import pytest
+
+from repro.filters.index import CountingIndex
+from repro.filters.table import FilterTable
+from repro.workloads.subscriptions import SubscriptionGenerator
+
+GENERATOR = SubscriptionGenerator(
+    [("class", 5), ("category", 40), ("vendor", 200)],
+    numeric_attribute="price",
+)
+
+
+def build_population(count, seed=7):
+    rng = random.Random(seed)
+    return GENERATOR.dissimilar_population(rng, count)
+
+
+def build_events(count, seed=11):
+    rng = random.Random(seed)
+    events = []
+    for _ in range(count):
+        events.append(
+            {
+                "class": f"class-{rng.randrange(5)}",
+                "category": f"category-{rng.randrange(40)}",
+                "vendor": f"vendor-{rng.randrange(200)}",
+                "price": round(rng.uniform(10.0, 1000.0), 2),
+            }
+        )
+    return events
+
+
+@pytest.mark.parametrize("engine_name", ["table", "index"])
+@pytest.mark.parametrize("population_size", [100, 1000, 5000])
+def test_match_throughput(benchmark, engine_name, population_size):
+    engine = FilterTable() if engine_name == "table" else CountingIndex()
+    for position, filter_ in enumerate(build_population(population_size)):
+        engine.insert(filter_, position)
+    events = build_events(200)
+
+    def match_all():
+        total = 0
+        for event in events:
+            total += len(engine.match(event))
+        return total
+
+    matched = benchmark(match_all)
+    assert matched >= 0
+
+
+def test_engines_agree_at_scale():
+    table, index = FilterTable(), CountingIndex()
+    for position, filter_ in enumerate(build_population(2000)):
+        table.insert(filter_, position)
+        index.insert(filter_, position)
+    for event in build_events(100):
+        assert table.destinations(event) == index.destinations(event)
+
+
+@pytest.mark.parametrize("engine_name", ["table", "index"])
+def test_insert_throughput(benchmark, engine_name):
+    population = build_population(1000)
+
+    def insert_all():
+        engine = FilterTable() if engine_name == "table" else CountingIndex()
+        for position, filter_ in enumerate(population):
+            engine.insert(filter_, position)
+        return engine
+
+    engine = benchmark(insert_all)
+    assert len(engine) == len(set(population))

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the §5.3 RLC table (the paper's only table).
+
+Prints the reproduced table next to the paper's reported values and
+asserts the qualitative shape the paper claims:
+
+- every broker node's RLC is far below the centralized server's 1;
+- per-node RLC rises from the user level toward the middle stages and
+  drops again at the root;
+- the global total lands around 1 (work is delegated, not multiplied).
+"""
+
+from repro.experiments import rlc_table
+
+
+def test_rlc_table(benchmark, once, report):
+    result = once(benchmark, rlc_table.run_bibliographic, rlc_table.PAPER_SCALE)
+
+    report()
+    report("=== Paper §5.3: RLC table (multi-stage vs centralized = 1) ===")
+    report(rlc_table.render(result))
+
+    # Shape assertions (see EXPERIMENTS.md for measured-vs-paper numbers).
+    for stage in (1, 2, 3):
+        for rlc in result.rlc_values(stage):
+            assert rlc < 1.0, "no broker may reach the centralized load"
+    assert result.rlc_node_average(0) < result.rlc_node_average(1)
+    assert result.rlc_node_average(1) < result.rlc_node_average(2)
+    assert result.rlc_node_average(3) < result.rlc_node_average(2)
+    assert 0.1 < result.rlc_global_total() < 1.5

@@ -1,0 +1,51 @@
+"""Benchmark: per-node load vs subscriber count (§5.3 scalability claim).
+
+"The addition of more subscribers does not overload the existing nodes":
+peak broker Load Complexity must grow sub-linearly in the subscription
+count, while the centralized server's LC grows linearly by definition.
+The root's LC should barely move at all — its filter table collapses to
+the most-general filters regardless of how many subscribers exist.
+"""
+
+from repro.experiments import scalability
+from repro.experiments.common import ScenarioConfig
+
+BASE = ScenarioConfig(
+    stage_sizes=(50, 10, 1),
+    n_events=400,
+    placement="random",
+    n_years=30,
+    n_conferences=100,
+    n_authors=500,
+    n_records=3000,
+    author_exponent=1.1,
+    record_exponent=0.9,
+    sibling_rate=0.06,
+)
+
+COUNTS = (125, 250, 500, 1000)
+
+
+def test_scalability_sweep(benchmark, once, report):
+    points = once(benchmark, scalability.run_scalability, BASE, COUNTS)
+
+    report()
+    report("=== §5.3 claim: per-node load vs number of subscribers ===")
+    report(scalability.render(points))
+
+    subscriber_growth = COUNTS[-1] / COUNTS[0]
+    broker_growth = scalability.growth_factor(points)
+    centralized_growth = points[-1].centralized_lc / points[0].centralized_lc
+    report(
+        f"subscribers x{subscriber_growth:.0f}: broker LC x{broker_growth:.1f}, "
+        f"centralized LC x{centralized_growth:.0f}"
+    )
+
+    assert broker_growth < subscriber_growth / 2, "broker load must be sub-linear"
+    assert centralized_growth >= subscriber_growth * 0.99
+    # The root's table collapses to most-general filters: near-flat LC.
+    top = max(points[0].max_lc_by_stage)
+    assert (
+        points[-1].max_lc_by_stage[top]
+        <= points[0].max_lc_by_stage[top] * 2
+    )

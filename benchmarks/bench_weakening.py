@@ -1,0 +1,58 @@
+"""Micro-benchmarks: covering checks and filter weakening (§3.3, §4.1).
+
+The subscription path evaluates covering (Definition 2) at every node on
+the way down and weakening at every insertion; these two operations set
+the control-plane cost of the whole architecture.
+"""
+
+import random
+
+from repro.core.stages import AttributeStageAssociation
+from repro.core.weakening import merge_covering, weaken_filter, weakening_chain
+from repro.workloads.subscriptions import SubscriptionGenerator
+
+GENERATOR = SubscriptionGenerator(
+    [("class", 5), ("category", 30), ("vendor", 100)],
+    numeric_attribute="price",
+)
+
+ASSOCIATION = AttributeStageAssociation.uniform(GENERATOR.attributes, stages=4)
+
+
+def population(count, seed=3):
+    return GENERATOR.dissimilar_population(random.Random(seed), count)
+
+
+def test_covering_check_throughput(benchmark):
+    filters = population(300)
+    weak = [weaken_filter(f, ASSOCIATION, 2) for f in filters]
+
+    def check_all():
+        covered = 0
+        for weakened, original in zip(weak, filters):
+            if weakened.covers(original):
+                covered += 1
+        return covered
+
+    covered = benchmark(check_all)
+    assert covered == len(filters)  # weakening always covers
+
+
+def test_weakening_chain_throughput(benchmark):
+    filters = population(300)
+
+    def weaken_all():
+        chains = [weakening_chain(f, ASSOCIATION) for f in filters]
+        return len(chains)
+
+    assert benchmark(weaken_all) == 300
+
+
+def test_covering_merge_throughput(benchmark):
+    clustered = GENERATOR.clustered_population(random.Random(5), 40, 25)
+
+    def merge():
+        return merge_covering(clustered)
+
+    merged = benchmark(merge)
+    assert len(merged) <= 40

@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (or
+an ablation of a design choice DESIGN.md calls out).  The benchmarks
+print the regenerated rows/series — the artifact of the reproduction —
+and time the underlying run via pytest-benchmark.
+
+Scale note: the macro benchmarks run the paper's full §5.2 configuration
+(100/10/1 nodes, 1000 subscriptions, 1000 events); a run takes on the
+order of a second, so pedantic single-round timing is used.
+"""
+
+import os
+import sys
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single measured round (macro scenarios)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once():
+    return run_once
+
+
+@pytest.fixture()
+def report(request):
+    """Emit reproduction output past pytest's capture, and archive it.
+
+    The regenerated tables/series are the *artifact* of a benchmark run,
+    so they must reach the terminal (and any tee'd log) even without
+    ``-s``; a copy lands in ``benchmarks/results/<test>.txt``.
+    """
+    lines = []
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def emit(text: str = "") -> None:
+        lines.append(str(text))
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                sys.stdout.write(str(text) + "\n")
+                sys.stdout.flush()
+        else:
+            sys.stdout.write(str(text) + "\n")
+
+    yield emit
+    if lines:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        safe_name = request.node.name.replace("/", "_").replace("[", "-").rstrip("]")
+        path = os.path.join(RESULTS_DIR, f"{safe_name}.txt")
+        with open(path, "w") as f:
+            f.write("\n".join(lines) + "\n")

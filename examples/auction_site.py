@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Multi-class auction site: Example 5/6, wildcards, and polymorphism.
+
+Shows three things the simpler examples don't:
+
+1. **two event classes** (Stock and Auction) coexisting in one overlay,
+   with Example 6's ``G_Auction`` attribute-stage association;
+2. **wildcard subscriptions** (§4.4): a subscriber interested in *all*
+   vehicle auctions regardless of capacity/price attaches higher in the
+   hierarchy (watch its home node's stage);
+3. **type-based subscriptions** (§2.1 "event safety"): subscribing to a
+   base class delivers events of subtypes advertised *later*, without
+   the subscriber doing anything — the paper's polymorphic-events claim.
+
+Run:  python examples/auction_site.py
+"""
+
+import random
+
+from repro import MultiStageEventSystem
+from repro.workloads.auctions import (
+    AUCTION_SCHEMA,
+    Auction,
+    AuctionWorkload,
+    EXAMPLE6_PREFIXES,
+)
+from repro.workloads.stocks import STOCK_SCHEMA, Stock
+
+
+class CharityAuction(Auction):
+    """A subtype added later by the publisher — subscribers to Auction
+    receive these without re-subscribing."""
+
+    def __init__(self, product, kind, capacity, price, cause):
+        super().__init__(product, kind, capacity, price)
+        self._cause = cause
+
+    def get_cause(self) -> str:
+        return self._cause
+
+
+def main() -> None:
+    system = MultiStageEventSystem(stage_sizes=(6, 3, 1), seed=11)
+    system.register_type(Stock)
+    system.register_type(Auction)
+
+    # Two classes advertised with their own schemas / stage associations.
+    system.advertise("Stock", schema=STOCK_SCHEMA)
+    system.advertise(
+        "Auction", schema=AUCTION_SCHEMA, stage_prefixes=EXAMPLE6_PREFIXES
+    )
+
+    publisher = system.create_publisher("market")
+    car_hunter = system.create_subscriber("car-hunter")
+    fleet_buyer = system.create_subscriber("fleet-buyer")
+    everything = system.create_subscriber("auction-archive")
+
+    log = []
+
+    def logger(name):
+        return lambda event, meta, sub: log.append((name, meta.get("kind"), meta.get("price")))
+
+    # Example 5's f4: small cheap cars only.
+    system.subscribe(
+        car_hunter,
+        'class = "Auction" and product = "Vehicle" and kind = "Car" '
+        "and capacity < 2000 and price < 10000.0",
+        handler=logger("car-hunter"),
+    )
+    # Wildcard subscription: all vehicles, any kind/capacity/price.
+    # 'kind' and everything less general are unspecified -> wildcards.
+    system.subscribe(
+        fleet_buyer,
+        'class = "Auction" and product = "Vehicle"',
+        handler=logger("fleet-buyer"),
+    )
+    # Type-based subscription: every Auction, including future subtypes.
+    system.subscribe(everything, event_class=Auction, handler=logger("archive"))
+    system.drain()
+
+    for name, subscriber in (("car-hunter", car_hunter), ("fleet-buyer", fleet_buyer)):
+        sub = subscriber.subscriptions()[0]
+        home = subscriber.home_of(sub.subscription_id)
+        print(f"{name} attached at {home.name} (stage {home.stage})")
+
+    workload = AuctionWorkload(random.Random(5))
+    for listing in workload.listings(60):
+        publisher.publish(listing)
+    publisher.publish(Auction("Vehicle", "Car", 1500, 8_000.0))  # f4 match
+    system.drain()
+
+    # The publisher now *extends the type hierarchy*; the archive
+    # subscriber picks up the new subtype automatically.
+    system.register_type(CharityAuction)
+    system.advertise(
+        "CharityAuction",
+        schema=AUCTION_SCHEMA,
+        stage_prefixes=EXAMPLE6_PREFIXES,
+    )
+    system.drain()
+    publisher.publish(CharityAuction("Furniture", "Chair", 4, 120.0, "library fund"))
+    system.drain()
+
+    by_name = {}
+    for name, kind, price in log:
+        by_name.setdefault(name, []).append((kind, price))
+    for name in ("car-hunter", "fleet-buyer", "archive"):
+        deliveries = by_name.get(name, [])
+        print(f"{name}: {len(deliveries)} deliveries")
+    charity = [entry for entry in by_name.get("archive", []) if entry[0] == "Chair"]
+    print(f"archive received the CharityAuction (new subtype): {bool(charity)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of Eugster, Felber, Guerraoui & Handurukande,
+"Event Systems: How to Have Your Cake and Eat It Too" (DEBS/ICDCS 2002).
+
+A content-based publish/subscribe library with:
+
+- **event safety** — events are encapsulated application objects;
+  brokers see only reflected meta-data (:mod:`repro.events`);
+- **expressiveness** — conjunctive filters over any public accessor,
+  plus residual closures at the edge (:mod:`repro.filters`);
+- **filtering scalability** — the paper's multi-stage filtering overlay:
+  covering/weakening relations, the ``Gc`` attribute-stage association,
+  the Figure-5 placement algorithm and TTL soft state
+  (:mod:`repro.core`, :mod:`repro.overlay`).
+
+Quickstart::
+
+    from repro import MultiStageEventSystem
+
+    system = MultiStageEventSystem(stage_sizes=(10, 1))
+    system.advertise("Stock", schema=("class", "symbol", "price"))
+    pub = system.create_publisher()
+    sub = system.create_subscriber()
+    system.subscribe(sub, 'class = "Stock" and price < 10.0',
+                     handler=lambda event, meta, s: print(meta))
+    system.drain()
+
+See ``examples/`` and DESIGN.md for the full tour.
+"""
+
+from repro.core.advertisement import Advertisement, AdvertisementRegistry
+from repro.core.engine import MultiStageEventSystem
+from repro.core.stages import AttributeStageAssociation, rank_by_generality
+from repro.core.subscription import Subscription
+from repro.core.weakening import merge_covering, weaken_filter, weakening_chain
+from repro.events.base import CLASS_ATTRIBUTE, PropertyEvent
+from repro.events.closures import FilterClosure
+from repro.events.hierarchy import TypeRegistry
+from repro.events.serialization import Envelope, marshal, unmarshal
+from repro.events.typed import TypedEvent, reflect_attributes, to_property_event
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.disjunction import Disjunction
+from repro.filters.filter import Filter, event_covers
+from repro.filters.index import CountingIndex
+from repro.filters.parser import parse_filter, render_filter
+from repro.filters.standard import standardize
+from repro.filters.table import FilterTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Advertisement",
+    "AdvertisementRegistry",
+    "AttributeConstraint",
+    "AttributeStageAssociation",
+    "CLASS_ATTRIBUTE",
+    "CountingIndex",
+    "Disjunction",
+    "Envelope",
+    "Filter",
+    "FilterClosure",
+    "FilterTable",
+    "MultiStageEventSystem",
+    "PropertyEvent",
+    "Subscription",
+    "TypeRegistry",
+    "TypedEvent",
+    "event_covers",
+    "marshal",
+    "merge_covering",
+    "parse_filter",
+    "rank_by_generality",
+    "reflect_attributes",
+    "render_filter",
+    "standardize",
+    "to_property_event",
+    "unmarshal",
+    "weaken_filter",
+    "weakening_chain",
+]

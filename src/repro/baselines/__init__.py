@@ -1,0 +1,19 @@
+"""Baseline architectures of Section 2.1.
+
+- :mod:`~repro.baselines.centralized` — one server filters everything
+  (Elvin-style); its RLC is 1 by the metric's definition;
+- :mod:`~repro.baselines.broadcast` — group-communication style: every
+  event floods to every subscriber, which filters locally;
+- :mod:`~repro.baselines.topicbased` — one topic per event class (the
+  degenerate content-based addressing of filter ``g3``).
+
+Each baseline exposes the same minimal facade (``advertise`` /
+``create_publisher`` / ``create_subscriber`` / ``subscribe`` / ``drain``)
+so the comparison experiments can swap architectures freely.
+"""
+
+from repro.baselines.broadcast import BroadcastSystem
+from repro.baselines.centralized import CentralizedSystem
+from repro.baselines.topicbased import TopicBasedSystem
+
+__all__ = ["BroadcastSystem", "CentralizedSystem", "TopicBasedSystem"]

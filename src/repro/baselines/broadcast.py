@@ -1,0 +1,74 @@
+"""The broadcast architecture (§2.1, second bullet).
+
+Group-communication style: the fabric delivers every published event to
+every subscriber, and each subscriber "filter[s] out events that do not
+match its local subscriptions at runtime".  Fully distributed — but each
+subscriber's received-event count grows with the *total* publication
+rate, which is why the paper says it "does not scale well when the
+number of publishers and the message frequency increase".
+"""
+
+from typing import Any, Callable, Optional
+
+from repro.baselines.common import (
+    BaselineSystem,
+    EdgeSubscriber,
+    FilterLike,
+    Handler,
+)
+from repro.core.subscription import Subscription
+from repro.metrics.counters import NodeCounters
+from repro.overlay.messages import Publish
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+
+
+class BroadcastFabric(Process):
+    """Models the group-communication layer: no filtering, pure fan-out."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str = "broadcast-group"):
+        super().__init__(sim, name)
+        self.network = network
+        self.members = []
+        self.counters = NodeCounters()
+
+    def join(self, member: EdgeSubscriber) -> None:
+        if member not in self.members:
+            self.members.append(member)
+
+    def receive(self, message: Any, sender: Process) -> None:
+        if not isinstance(message, Publish):
+            raise TypeError(f"{self.name}: unexpected message {message!r}")
+        # The fabric holds no filters: LC contribution is zero, the cost
+        # shows up as per-subscriber load instead.
+        self.counters.on_event(
+            matched=bool(self.members),
+            forwarded_to=len(self.members),
+            evaluations=0,
+        )
+        for member in self.members:
+            self.network.send(self, member, message)
+
+
+class BroadcastSystem(BaselineSystem):
+    """Facade: flood everything, filter at every edge."""
+
+    def __init__(self, seed: int = 0, link_latency: float = 0.001):
+        super().__init__(seed=seed, link_latency=link_latency)
+        self.fabric = BroadcastFabric(self.sim, self.network)
+
+    def _entry_point(self) -> Process:
+        return self.fabric
+
+    def subscribe(
+        self,
+        subscriber: EdgeSubscriber,
+        filter: FilterLike = None,
+        event_class: str = "",
+        handler: Optional[Handler] = None,
+        residual: Optional[Callable[[Any], bool]] = None,
+    ) -> Subscription:
+        subscription = self._make_subscription(filter, event_class, residual)
+        subscriber.add_subscription(subscription, handler)
+        self.fabric.join(subscriber)
+        return subscription

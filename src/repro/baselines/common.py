@@ -1,0 +1,161 @@
+"""Shared machinery for the baseline architectures.
+
+Every baseline reuses the simulation kernel, the envelope/event model and
+the exact-filtering subscriber edge; only the routing fabric between the
+publisher and the subscribers differs.
+"""
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.advertisement import Advertisement, AdvertisementRegistry
+from repro.core.subscription import Subscription
+from repro.events.closures import FilterClosure
+from repro.events.serialization import Envelope, marshal, unmarshal
+from repro.filters.filter import Filter
+from repro.filters.parser import parse_filter
+from repro.metrics.counters import NodeCounters
+from repro.overlay.messages import Publish
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+
+Handler = Callable[[Any, Any, Subscription], None]
+FilterLike = Union[Filter, str, None]
+
+
+class EdgeSubscriber(Process):
+    """A subscriber that performs exact (stage-0) filtering locally."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str):
+        super().__init__(sim, name)
+        self.network = network
+        self.counters = NodeCounters()
+        self.delivery_latencies: List[float] = []
+        self._subscriptions: List[Subscription] = []
+        self._handlers: Dict[int, Optional[Handler]] = {}
+
+    def add_subscription(
+        self, subscription: Subscription, handler: Optional[Handler] = None
+    ) -> None:
+        self._subscriptions.append(subscription)
+        self._handlers[subscription.subscription_id] = handler
+        self.counters.set_filters_held(len(self._subscriptions))
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions)
+
+    def receive(self, message: Any, sender: Process) -> None:
+        if not isinstance(message, Publish):
+            raise TypeError(f"{self.name}: unexpected message {message!r}")
+        self._on_publish(message.envelope)
+
+    def _on_publish(self, envelope: Envelope) -> None:
+        matched = [
+            s for s in self._subscriptions if s.filter.matches(envelope.metadata)
+        ]
+        self.counters.on_event(
+            matched=bool(matched),
+            forwarded_to=0,
+            evaluations=len(self._subscriptions),
+        )
+        if not matched:
+            return
+        if envelope.published_at is not None:
+            self.delivery_latencies.append(self.sim.now - envelope.published_at)
+        event = unmarshal(envelope)
+        for subscription in matched:
+            closure = subscription.closure
+            if closure is not None and closure.residual is not None:
+                if not closure.residual(event):
+                    continue
+            self.counters.events_delivered += 1
+            handler = self._handlers.get(subscription.subscription_id)
+            if handler is not None:
+                handler(event, envelope.metadata, subscription)
+
+
+class BaselinePublisher(Process):
+    """A publisher pinned to the architecture's single entry point."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str, target: Process):
+        super().__init__(sim, name)
+        self.network = network
+        self.target = target
+        self.events_published = 0
+
+    def publish(self, event: Any, event_class: Optional[str] = None) -> None:
+        envelope = marshal(
+            event,
+            class_name=event_class,
+            published_at=self.sim.now,
+            event_id=(self.name, self.events_published),
+        )
+        self.events_published += 1
+        self.network.send(self, self.target, Publish(envelope))
+
+    def receive(self, message: Any, sender: Process) -> None:
+        raise TypeError(f"publisher {self.name} received unexpected {message!r}")
+
+
+class BaselineSystem:
+    """Base facade: simulator, network, advertisements, participants."""
+
+    def __init__(self, seed: int = 0, link_latency: float = 0.001):
+        self.sim = Simulator()
+        self.network = Network(self.sim, default_latency=link_latency)
+        self.advertisements = AdvertisementRegistry()
+        self.publishers: List[BaselinePublisher] = []
+        self.subscribers: List[EdgeSubscriber] = []
+        self._names = 0
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._names += 1
+        return f"{prefix}-{self._names}"
+
+    def advertise(self, advertisement: Advertisement) -> Advertisement:
+        self.advertisements.add(advertisement)
+        return advertisement
+
+    def _entry_point(self) -> Process:
+        raise NotImplementedError
+
+    def create_publisher(self, name: Optional[str] = None) -> BaselinePublisher:
+        publisher = BaselinePublisher(
+            self.sim, self.network, name or self._fresh_name("publisher"),
+            self._entry_point(),
+        )
+        self.publishers.append(publisher)
+        return publisher
+
+    def create_subscriber(self, name: Optional[str] = None) -> EdgeSubscriber:
+        subscriber = EdgeSubscriber(
+            self.sim, self.network, name or self._fresh_name("subscriber")
+        )
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def _make_subscription(
+        self,
+        filter_: FilterLike,
+        event_class: str,
+        residual: Optional[Callable[[Any], bool]],
+    ) -> Subscription:
+        if filter_ is None:
+            filter_ = Filter.top()
+        elif isinstance(filter_, str):
+            filter_ = parse_filter(filter_)
+        advertisement = self.advertisements.get(event_class)
+        if advertisement is not None:
+            filter_ = advertisement.standardize(filter_)
+        closure = (
+            FilterClosure(filter_, residual=residual) if residual is not None else None
+        )
+        return Subscription(filter_, event_class, closure)
+
+    def drain(self, max_events: Optional[int] = None) -> int:
+        return self.sim.run(max_events=max_events)
+
+    def total_events_published(self) -> int:
+        return sum(p.events_published for p in self.publishers)
+
+    def total_subscriptions(self) -> int:
+        return sum(len(s.subscriptions()) for s in self.subscribers)

@@ -1,0 +1,81 @@
+"""Topic-based publish/subscribe (the degenerate case, §3.4).
+
+One topic per event class: exactly the paper's ``g3 = (class, "Stock",
+=)`` observation that "topic-based addressing is a degenerated form of
+content-based addressing".  Events are fanned out to every member of
+their class's topic; members then filter locally on the remaining
+content, so selectivity beyond the class costs edge work.
+"""
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines.common import (
+    BaselineSystem,
+    EdgeSubscriber,
+    FilterLike,
+    Handler,
+)
+from repro.core.subscription import Subscription
+from repro.metrics.counters import NodeCounters
+from repro.overlay.messages import Publish
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+
+
+class TopicHub(Process):
+    """Routes each event to the members of its class's topic."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str = "topic-hub"):
+        super().__init__(sim, name)
+        self.network = network
+        self._topics: Dict[str, List[EdgeSubscriber]] = {}
+        self.counters = NodeCounters()
+
+    def join(self, topic: str, member: EdgeSubscriber) -> None:
+        members = self._topics.setdefault(topic, [])
+        if member not in members:
+            members.append(member)
+
+    def topics(self) -> List[str]:
+        return list(self._topics)
+
+    def receive(self, message: Any, sender: Process) -> None:
+        if not isinstance(message, Publish):
+            raise TypeError(f"{self.name}: unexpected message {message!r}")
+        topic = message.envelope.event_class
+        members = self._topics.get(topic, [])
+        # Topic lookup is a single hash probe: count one evaluation, like
+        # matching the one-attribute filter g3.
+        self.counters.on_event(
+            matched=bool(members),
+            forwarded_to=len(members),
+            evaluations=1,
+        )
+        for member in members:
+            self.network.send(self, member, message)
+
+
+class TopicBasedSystem(BaselineSystem):
+    """Facade: one topic per event class, local content filtering."""
+
+    def __init__(self, seed: int = 0, link_latency: float = 0.001):
+        super().__init__(seed=seed, link_latency=link_latency)
+        self.hub = TopicHub(self.sim, self.network)
+
+    def _entry_point(self) -> Process:
+        return self.hub
+
+    def subscribe(
+        self,
+        subscriber: EdgeSubscriber,
+        filter: FilterLike = None,
+        event_class: str = "",
+        handler: Optional[Handler] = None,
+        residual: Optional[Callable[[Any], bool]] = None,
+    ) -> Subscription:
+        if not event_class:
+            raise ValueError("topic-based subscriptions need an event class (topic)")
+        subscription = self._make_subscription(filter, event_class, residual)
+        subscriber.add_subscription(subscription, handler)
+        self.hub.join(event_class, subscriber)
+        return subscription

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: multi-stage filtering.
+
+- :mod:`~repro.core.stages` — attribute generality ordering and the
+  attribute-stage association ``Gc`` (Section 4.1, Example 6);
+- :mod:`~repro.core.weakening` — filter weakening to a stage, covering
+  merges, and the soundness checks behind Propositions 1 and 2;
+- :mod:`~repro.core.advertisement` — advertisements that carry the event
+  schema and ``Gc`` to every node;
+- :mod:`~repro.core.subscription` — subscription records and the
+  TTL/lease soft-state machinery of Section 4.3;
+- :mod:`~repro.core.engine` — :class:`MultiStageEventSystem`, the public
+  facade gluing the overlay, event model, and filter language together.
+"""
+
+from repro.core.advertisement import Advertisement, AdvertisementRegistry
+from repro.core.engine import MultiStageEventSystem
+from repro.core.stages import AttributeStageAssociation, rank_by_generality
+from repro.core.subscription import LeaseTable, Subscription
+from repro.core.weakening import (
+    merge_covering,
+    weaken_filter,
+    weakening_chain,
+)
+
+__all__ = [
+    "Advertisement",
+    "AdvertisementRegistry",
+    "AttributeStageAssociation",
+    "LeaseTable",
+    "MultiStageEventSystem",
+    "Subscription",
+    "merge_covering",
+    "rank_by_generality",
+    "weaken_filter",
+    "weakening_chain",
+]

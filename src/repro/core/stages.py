@@ -1,0 +1,159 @@
+"""Attribute generality and the attribute-stage association ``Gc``.
+
+Section 4.1: for each event class ``c``, the publisher classifies the
+class's attributes from *most general* (divides the event space into few,
+large sub-categories — small value domain) to *least general* (many small
+sub-categories), and associates with every stage ``i`` the attribute set
+``A_i`` used by weakened filters at that stage.  Higher stages use fewer,
+more general attributes; stage 0 (the subscribers) uses them all.
+
+Example 6 of the paper::
+
+    G_Auction = {s0, s1, s2, s3}
+    s0 = <Stage-0: 1, 2, 3, 4, 5>     # all five attributes
+    s1 = <Stage-1: 1, 2, 3, 4>
+    s2 = <Stage-2: 1, 2, 3>
+    s3 = <Stage-3: 1>
+
+is expressed here as::
+
+    AttributeStageAssociation.from_prefixes(
+        ["class", "Product", "Kind", "Capacity", "price"], [5, 4, 3, 1])
+"""
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def rank_by_generality(domain_sizes: Mapping[str, int]) -> List[str]:
+    """Order attributes most-general-first from value-domain sizes.
+
+    The most general attribute has the *smallest* domain ("a small set of
+    large sub-categories").  Ties break alphabetically for determinism.
+
+    >>> rank_by_generality({"title": 10000, "year": 30, "author": 2000})
+    ['year', 'author', 'title']
+    """
+    return sorted(domain_sizes, key=lambda attr: (domain_sizes[attr], attr))
+
+
+class AttributeStageAssociation:
+    """The ``Gc`` of Section 4.1: which attributes each stage filters on.
+
+    ``schema`` is the full, generality-ordered attribute list (``A_0``).
+    ``stage_attributes[i]`` is ``A_i``; sets must shrink (weakly) as the
+    stage rises, and each must be a prefix of the schema — the paper
+    weakens by *removing the least general* attributes, which is exactly
+    prefix truncation in generality order.
+    """
+
+    def __init__(self, schema: Sequence[str], stage_attributes: Sequence[Sequence[str]]):
+        self.schema: Tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise ValueError(f"duplicate attributes in schema {schema!r}")
+        if not stage_attributes:
+            raise ValueError("at least one stage (stage 0) is required")
+        stages: List[Tuple[str, ...]] = [tuple(attrs) for attrs in stage_attributes]
+        if stages[0] != self.schema:
+            raise ValueError(
+                f"stage 0 must use the full schema; got {stages[0]!r} != {self.schema!r}"
+            )
+        previous: Tuple[str, ...] = self.schema
+        for stage, attrs in enumerate(stages):
+            if tuple(self.schema[: len(attrs)]) != attrs:
+                raise ValueError(
+                    f"stage {stage} attributes {attrs!r} are not a generality-order "
+                    f"prefix of the schema {self.schema!r}"
+                )
+            if len(attrs) > len(previous):
+                raise ValueError(
+                    f"stage {stage} uses more attributes than stage {stage - 1}"
+                )
+            previous = attrs
+        self._stages: Tuple[Tuple[str, ...], ...] = tuple(stages)
+
+    @classmethod
+    def from_prefixes(
+        cls, schema: Sequence[str], prefix_lengths: Sequence[int]
+    ) -> "AttributeStageAssociation":
+        """Build from per-stage attribute counts, Example-6 style.
+
+        ``prefix_lengths[i]`` is how many leading (most general) schema
+        attributes stage ``i`` uses; ``prefix_lengths[0]`` must equal
+        ``len(schema)``.
+        """
+        for stage, length in enumerate(prefix_lengths):
+            if not 0 <= length <= len(schema):
+                raise ValueError(
+                    f"stage {stage} prefix length {length} out of range for "
+                    f"{len(schema)} attributes"
+                )
+        return cls(schema, [tuple(schema[:length]) for length in prefix_lengths])
+
+    @classmethod
+    def uniform(cls, schema: Sequence[str], stages: int) -> "AttributeStageAssociation":
+        """Drop one least-general attribute per stage (the §5.2 layout).
+
+        With 4 attributes and ``stages=4``: stage 0 uses 4, stage 1 uses
+        3, stage 2 uses 2, stage 3 uses 1 — the simulation configuration.
+        """
+        if stages < 1:
+            raise ValueError("need at least one stage")
+        lengths = [max(1, len(schema) - i) for i in range(stages)]
+        lengths[0] = len(schema)
+        return cls.from_prefixes(schema, lengths)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages including stage 0 (``n + 1`` in the paper)."""
+        return len(self._stages)
+
+    @property
+    def top_stage(self) -> int:
+        """Index of the highest (root) stage, ``n``."""
+        return len(self._stages) - 1
+
+    def attributes_for_stage(self, stage: int) -> Tuple[str, ...]:
+        """``A_stage``: attributes used by weakened filters at ``stage``.
+
+        Stages beyond the association's top (used when a hierarchy is
+        deeper than the advertised ``Gc``) degrade to the top stage's set.
+        """
+        if stage < 0:
+            raise ValueError(f"stage must be non-negative, got {stage}")
+        if stage >= len(self._stages):
+            return self._stages[-1]
+        return self._stages[stage]
+
+    def stages(self) -> Iterable[Tuple[int, Tuple[str, ...]]]:
+        """Iterate ``(stage, A_stage)`` pairs, stage 0 first."""
+        return enumerate(self._stages)
+
+    def top_stage_using(self, attribute: str) -> int:
+        """Highest stage whose ``A_i`` still contains ``attribute``.
+
+        This is the ``j`` of HANDLE-WILDCARD-SUBS (§4.5): a subscription
+        with a wildcard on ``attribute`` attaches at stage ``j + 1``,
+        above every node that would have discriminated on it.  Returns
+        ``-1`` when no stage uses the attribute.
+        """
+        top = -1
+        for stage, attrs in enumerate(self._stages):
+            if attribute in attrs:
+                top = stage
+        return top
+
+    def as_dict(self) -> Dict[int, Tuple[str, ...]]:
+        """Plain-dict view ``{stage: A_stage}`` (for reports and tests)."""
+        return dict(self.stages())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeStageAssociation):
+            return NotImplemented
+        return self.schema == other.schema and self._stages == other._stages
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self._stages))
+
+    def __repr__(self) -> str:
+        lengths = [len(attrs) for attrs in self._stages]
+        return f"AttributeStageAssociation(schema={list(self.schema)}, prefixes={lengths})"

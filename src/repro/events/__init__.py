@@ -1,0 +1,39 @@
+"""Event model ``LE`` — the event-safety side of the paper.
+
+Events exist at two levels, mirroring Section 3.4:
+
+- **high level**: application-defined Python classes following the paper's
+  access-method convention (``get_*`` accessors / properties).  These are
+  what publishers publish and subscribers receive — encapsulated objects,
+  never inspected by brokers (:mod:`~repro.events.typed`).
+- **low level**: :class:`~repro.events.base.PropertyEvent`, the name-value
+  meta-data representation automatically *reflected* from an event object.
+  This covering representation is the only thing the overlay ever matches
+  against (Proposition 2: the weakened event covers the original for every
+  weakened filter).
+
+:mod:`~repro.events.hierarchy` provides the runtime type registry used for
+type-based (polymorphic) subscriptions; :mod:`~repro.events.serialization`
+the opaque envelope that carries the original object end-to-end; and
+:mod:`~repro.events.closures` the filter-closure pattern (indexable
+conjunctive part + residual stateful predicate, the ``BuyFilter`` example).
+"""
+
+from repro.events.base import CLASS_ATTRIBUTE, PropertyEvent
+from repro.events.closures import FilterClosure
+from repro.events.hierarchy import TypeRegistry
+from repro.events.serialization import Envelope, marshal, unmarshal
+from repro.events.typed import TypedEvent, reflect_attributes, to_property_event
+
+__all__ = [
+    "CLASS_ATTRIBUTE",
+    "Envelope",
+    "FilterClosure",
+    "PropertyEvent",
+    "TypeRegistry",
+    "TypedEvent",
+    "marshal",
+    "reflect_attributes",
+    "to_property_event",
+    "unmarshal",
+]

@@ -1,0 +1,78 @@
+"""Filter closures: arbitrary subscription code, split for routing.
+
+Section 3.4's ``BuyFilter`` shows a subscription that no conjunctive
+filter can express (it compares each price with the *previous* matching
+price — it is stateful).  The paper's resolution: derive a weaker
+conjunctive filter (``f1 = (class,Stock,=)(symbol,Foo,=)(price,10,<)``)
+for use in the overlay and run the full closure only at the subscriber.
+
+:class:`FilterClosure` packages exactly that split:
+
+- ``indexable`` — a :class:`~repro.filters.filter.Filter` that *covers*
+  the closure (every event the closure can accept matches it); this is
+  what gets weakened and installed in broker tables;
+- ``residual`` — the arbitrary (possibly stateful) predicate, evaluated
+  on the unmarshaled typed event at delivery time only.
+"""
+
+from typing import Any, Callable, Optional
+
+from repro.filters.filter import Filter
+
+
+class FilterClosure:
+    """A subscriber-side filter: conjunctive cover + residual predicate.
+
+    >>> from repro.filters import parse_filter
+    >>> last = {"price": None}
+    >>> def dropping(stock):
+    ...     previous, last["price"] = last["price"], stock.get_price()
+    ...     return previous is None or stock.get_price() <= previous * 0.95
+    >>> closure = FilterClosure(
+    ...     parse_filter('class = "Stock" and symbol = "Foo" and price < 10'),
+    ...     residual=dropping,
+    ... )
+
+    The overlay sees only ``closure.indexable``; ``closure.matches(event)``
+    (meta-data check plus residual) runs at the subscriber runtime.
+    """
+
+    def __init__(
+        self,
+        indexable: Filter,
+        residual: Optional[Callable[[Any], bool]] = None,
+        name: Optional[str] = None,
+    ):
+        if indexable.matches_nothing and residual is not None:
+            raise ValueError("a residual under fF can never run")
+        self.indexable = indexable
+        self.residual = residual
+        self.name = name
+
+    @property
+    def is_pure(self) -> bool:
+        """True when the closure is fully captured by its conjunctive part."""
+        return self.residual is None
+
+    def matches_metadata(self, metadata: Any) -> bool:
+        """The indexable (routing) part only — what brokers evaluate."""
+        return self.indexable.matches(metadata)
+
+    def matches(self, event: Any, metadata: Any = None) -> bool:
+        """Full end-to-end check: indexable part, then residual.
+
+        ``metadata`` defaults to the event itself (property events are
+        their own meta-data); pass the envelope meta-data when matching a
+        typed object.  The residual is only invoked when the indexable
+        part matched, preserving any statefulness semantics of the
+        closure ("previous *matching* event").
+        """
+        if not self.indexable.matches(metadata if metadata is not None else event):
+            return False
+        if self.residual is None:
+            return True
+        return bool(self.residual(event))
+
+    def __repr__(self) -> str:
+        label = self.name or ("pure" if self.is_pure else "residual")
+        return f"FilterClosure({label}: {self.indexable})"

@@ -1,0 +1,102 @@
+"""Runtime type registry: the polymorphic half of event safety.
+
+The paper lets subscribers *"register their interest to some event type
+(including all its subtypes)"* and lets publishers *"extend the hierarchy
+and create new event (sub)types without requiring subscribers to update
+their subscriptions"*.  In the flat property representation, type
+membership is the single attribute ``(class, <name>, =)``; polymorphism
+is realised by the registry, which knows which registered names conform
+to which, so the engine can expand a type subscription over all current
+conformers and extend it automatically when a new subtype is advertised.
+"""
+
+from typing import Dict, Iterable, List, Optional, Type
+
+
+class TypeRegistry:
+    """Bidirectional map between event classes and their registered names.
+
+    Subtype relations come from the Python MRO restricted to registered
+    classes, so the application hierarchy *is* the event-type hierarchy.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Type] = {}
+        self._by_class: Dict[Type, str] = {}
+
+    def register(self, cls: Type, name: Optional[str] = None) -> str:
+        """Register an event class; returns its name.
+
+        The default name is the class's ``__name__``.  Re-registering the
+        same class under the same name is a no-op; conflicting
+        registrations raise ``ValueError``.
+        """
+        name = name or cls.__name__
+        existing = self._by_name.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"type name {name!r} already bound to {existing!r}")
+        existing_name = self._by_class.get(cls)
+        if existing_name is not None and existing_name != name:
+            raise ValueError(
+                f"class {cls!r} already registered as {existing_name!r}"
+            )
+        self._by_name[name] = cls
+        self._by_class[cls] = name
+        return name
+
+    def name_of(self, cls: Type) -> str:
+        """Registered name of ``cls``; raises ``KeyError`` if unregistered."""
+        try:
+            return self._by_class[cls]
+        except KeyError:
+            raise KeyError(f"event class {cls!r} is not registered") from None
+
+    def class_of(self, name: str) -> Type:
+        """Registered class for ``name``; raises ``KeyError`` if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"event type {name!r} is not registered") from None
+
+    def is_registered(self, cls: Type) -> bool:
+        return cls in self._by_class
+
+    def names(self) -> List[str]:
+        """All registered type names, in registration order."""
+        return list(self._by_name)
+
+    def conforms(self, name: str, ancestor: str) -> bool:
+        """True when type ``name`` is ``ancestor`` or a subtype of it."""
+        return issubclass(self.class_of(name), self.class_of(ancestor))
+
+    def conformers(self, ancestor: str) -> List[str]:
+        """Registered names conforming to ``ancestor`` (itself included)."""
+        ancestor_cls = self.class_of(ancestor)
+        return [
+            name for name, cls in self._by_name.items() if issubclass(cls, ancestor_cls)
+        ]
+
+    def ancestors(self, name: str) -> List[str]:
+        """Registered names that ``name`` conforms to (itself included)."""
+        cls = self.class_of(name)
+        return [
+            other for other, other_cls in self._by_name.items()
+            if issubclass(cls, other_cls)
+        ]
+
+    def lineage(self, cls: Type) -> List[str]:
+        """Registered names along the MRO of ``cls`` (nearest first)."""
+        return [self._by_class[c] for c in cls.__mro__ if c in self._by_class]
+
+    def register_all(self, classes: Iterable[Type]) -> List[str]:
+        """Register several classes; returns their names."""
+        return [self.register(cls) for cls in classes]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"TypeRegistry({sorted(self._by_name)})"

@@ -1,0 +1,91 @@
+"""Encapsulation-preserving event envelopes.
+
+The broker overlay must never deserialize or execute event objects (that
+is the scalability half of the event-safety tradeoff, Section 2.2).  An
+:class:`Envelope` therefore pairs
+
+- an **opaque payload**: the pickled original event object, which only
+  the subscriber runtime ever opens, with
+- the **meta-data**: the reflected :class:`PropertyEvent` used for all
+  intermediate filtering.
+
+Brokers route the envelope by its meta-data and forward the payload
+untouched; :func:`unmarshal` runs only at the edge, delivering the
+original typed object to matching subscribers ("end-to-end" event
+safety, Section 3.4).
+"""
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.events.base import PropertyEvent
+from repro.events.typed import to_property_event
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A routable event: filtering meta-data plus opaque payload.
+
+    ``published_at`` (simulated time at the publishing boundary, when
+    known) rides along so the delivery-latency metrics can be computed
+    at the subscriber without any extra protocol machinery, and
+    ``event_id`` (publisher name, sequence number) gives every published
+    event a stable identity — the subscriber runtime uses it to
+    de-duplicate deliveries of disjunctive subscriptions whose branches
+    arrive over different paths.
+    """
+
+    metadata: PropertyEvent
+    payload: bytes = field(repr=False)
+    published_at: Optional[float] = None
+    event_id: Optional[tuple] = None
+
+    @property
+    def event_class(self) -> Optional[str]:
+        return self.metadata.event_class
+
+    def weakened(self, attributes) -> "Envelope":
+        """Envelope with meta-data restricted to ``attributes``.
+
+        The payload travels unchanged: weakening only ever touches the
+        covering representation, never the encapsulated object.
+        """
+        return Envelope(
+            self.metadata.restricted_to(attributes),
+            self.payload,
+            self.published_at,
+            self.event_id,
+        )
+
+    def __len__(self) -> int:
+        """Approximate wire size in bytes (payload + crude metadata cost)."""
+        return len(self.payload) + 16 * len(self.metadata)
+
+
+def marshal(
+    event: Any,
+    class_name: Optional[str] = None,
+    published_at: Optional[float] = None,
+    event_id: Optional[tuple] = None,
+) -> Envelope:
+    """Publisher-side transformation: object -> envelope.
+
+    Reflection extracts the meta-data (Proposition 2's covering event);
+    pickling captures the full object for end-to-end delivery.
+    """
+    return Envelope(
+        metadata=to_property_event(event, class_name=class_name),
+        payload=pickle.dumps(event),
+        published_at=published_at,
+        event_id=event_id,
+    )
+
+
+def unmarshal(envelope: Envelope) -> Any:
+    """Subscriber-side: recover the original typed event object.
+
+    Must only be called by the subscriber runtime; broker code has no
+    business importing this function.
+    """
+    return pickle.loads(envelope.payload)

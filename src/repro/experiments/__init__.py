@@ -1,0 +1,19 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+- :mod:`~repro.experiments.common` — scenario configuration and the
+  bibliographic simulation runner (§5.2 setup);
+- :mod:`~repro.experiments.rlc_table` — the §5.3 RLC table;
+- :mod:`~repro.experiments.figure7` — Figure 7 (matching rate per node);
+- :mod:`~repro.experiments.comparison` — multi-stage vs centralized vs
+  broadcast vs topic-based (§2.1 / §5.1 claims);
+- :mod:`~repro.experiments.ablations` — placement, wildcard routing,
+  hierarchy-depth and compaction ablations (§3.2, §4.2, §4.4);
+- :mod:`~repro.experiments.scalability` — per-node load vs subscriber
+  count (the §5.3 delegation claim);
+- :mod:`~repro.experiments.multiclass` — Stock+Auction mixed workload
+  (quantifying §3.4's topic-based degeneration).
+"""
+
+from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "run_bibliographic"]

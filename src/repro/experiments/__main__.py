@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments [--quick] [rlc] [figure7] [comparison]
+                                [ablations] [scalability] [multiclass]
+
+With no experiment names, everything runs.  ``--quick`` swaps the
+paper-scale configurations for CI-sized ones (seconds instead of tens of
+seconds).
+"""
+
+import sys
+
+from repro.experiments import ablations, comparison, figure7, rlc_table, scalability
+from repro.experiments.multiclass import MulticlassConfig
+from repro.experiments.multiclass import run as run_multiclass
+from repro.experiments.common import ScenarioConfig
+
+QUICK = ScenarioConfig(stage_sizes=(20, 5, 1), n_subscribers=200, n_events=200)
+
+
+def main(argv) -> int:
+    args = [a for a in argv if not a.startswith("-")]
+    quick = "--quick" in argv
+    all_experiments = {
+        "rlc", "figure7", "comparison", "ablations", "scalability", "multiclass",
+    }
+    wanted = set(args) or all_experiments
+    unknown = wanted - all_experiments
+    if unknown:
+        print(f"unknown experiments: {sorted(unknown)}", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    if "rlc" in wanted:
+        print("=" * 72)
+        print("Paper §5.3: RLC table")
+        print("=" * 72)
+        rlc_table.run(QUICK if quick else None)
+        print()
+    if "figure7" in wanted:
+        print("=" * 72)
+        print("Paper Figure 7: matching rate per node")
+        print("=" * 72)
+        figure7.run(QUICK if quick else None)
+        print()
+    if "comparison" in wanted:
+        print("=" * 72)
+        print("Architecture comparison (§2.1)")
+        print("=" * 72)
+        comparison.run(QUICK if quick else None)
+        print()
+    if "ablations" in wanted:
+        print("=" * 72)
+        print("Ablations (§3.2, §4.2, §4.4)")
+        print("=" * 72)
+        ablations.run(QUICK if quick else None)
+        print()
+    if "scalability" in wanted:
+        print("=" * 72)
+        print("Scalability sweep (§5.3 claim)")
+        print("=" * 72)
+        scalability.run(QUICK if quick else None)
+        print()
+    if "multiclass" in wanted:
+        print("=" * 72)
+        print("Multi-class comparison (§3.4 degeneration)")
+        print("=" * 72)
+        run_multiclass(
+            MulticlassConfig(stage_sizes=(10, 3, 1), n_subscribers=100,
+                             n_events=200)
+            if quick else None
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,222 @@
+"""Ablations of the design choices the paper argues for in prose.
+
+1. **Placement** (§4.2): similarity placement (the Figure-5 search)
+   versus joining a random stage-1 node.  The paper argues similarity
+   placement leaves *fewer covering filters* at upper stages and
+   forwards each event along *fewer paths*; we measure both.
+2. **Wildcard routing** (§4.4): attaching wildcard subscriptions at
+   higher stages versus naively at stage 1.  The paper argues naive
+   attachment overloads stage-1 nodes with the full class traffic; we
+   measure the maximum stage-1 event load.
+3. **Hierarchy depth** (§3.2): pre-filtering exists to bound per-node
+   load; sweeping the number of stages shows the max per-node RLC
+   falling as stages are added, at the price of more hops/messages.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic
+from repro.metrics.report import render_table
+
+
+@dataclass
+class PlacementAblation:
+    similarity: ScenarioResult
+    random: ScenarioResult
+
+    def upper_stage_filters(self) -> Tuple[int, int]:
+        """Total filters above stage 1 (similarity, random)."""
+
+        def total(result: ScenarioResult) -> int:
+            return sum(
+                count
+                for stage, count in result.filters_per_stage().items()
+                if stage >= 2
+            )
+
+        return total(self.similarity), total(self.random)
+
+    def forwarded_messages(self) -> Tuple[int, int]:
+        """Broker-forwarded event copies (similarity, random)."""
+
+        def total(result: ScenarioResult) -> int:
+            return sum(
+                counters.events_forwarded
+                for stage in result.stages()
+                if stage >= 1
+                for _, counters in result.counters_by_stage[stage]
+            )
+
+        return total(self.similarity), total(self.random)
+
+
+def run_placement_ablation(
+    config: Optional[ScenarioConfig] = None,
+) -> PlacementAblation:
+    """Same workload, similarity vs random placement."""
+    base = config or ScenarioConfig()
+    similarity = run_bibliographic(
+        ScenarioConfig(**{**base.__dict__, "placement": "similarity"})
+    )
+    random_placement = run_bibliographic(
+        ScenarioConfig(**{**base.__dict__, "placement": "random"})
+    )
+    return PlacementAblation(similarity, random_placement)
+
+
+@dataclass
+class WildcardAblation:
+    routed: ScenarioResult  # HANDLE-WILDCARD-SUBS active
+    naive: ScenarioResult  # wildcard subs treated like any other
+
+    def max_stage1_load(self) -> Tuple[int, int]:
+        """Max events received by a stage-1 node (routed, naive).
+
+        The §4.4 overload metric; at small scales it is sensitive to
+        placement noise — prefer :meth:`total_stage1_load` there.
+        """
+        return (
+            max(self.routed.stage1_event_loads(), default=0),
+            max(self.naive.stage1_event_loads(), default=0),
+        )
+
+    def total_stage1_load(self) -> Tuple[int, int]:
+        """Total events through stage 1 (routed, naive).
+
+        Monotone in the wildcard traffic: routing wildcard subscriptions
+        to higher stages removes their whole class traffic from stage 1.
+        """
+        return (
+            sum(self.routed.stage1_event_loads()),
+            sum(self.naive.stage1_event_loads()),
+        )
+
+
+def run_wildcard_ablation(
+    config: Optional[ScenarioConfig] = None,
+    wildcard_rate: float = 0.3,
+) -> WildcardAblation:
+    """Wildcard-heavy workload, §4.4 routing on vs off."""
+    base = config or ScenarioConfig()
+    overrides = {**base.__dict__, "wildcard_rate": wildcard_rate}
+    routed = run_bibliographic(
+        ScenarioConfig(**{**overrides, "wildcard_routing": True})
+    )
+    naive = run_bibliographic(
+        ScenarioConfig(**{**overrides, "wildcard_routing": False})
+    )
+    return WildcardAblation(routed, naive)
+
+
+@dataclass
+class CompactionAblation:
+    plain: ScenarioResult
+    compacted: ScenarioResult
+
+    def stage1_filters(self) -> Tuple[int, int]:
+        """Total filters held by stage-1 nodes (plain, compacted)."""
+        return (
+            self.plain.filters_per_stage().get(1, 0),
+            self.compacted.filters_per_stage().get(1, 0),
+        )
+
+    def subscriber_mr(self) -> Tuple[float, float]:
+        """Subscriber MR (plain, compacted): merging weakens stage-1
+        filters, so compacted MR can only drop — the §3 tradeoff."""
+        return (
+            self.plain.subscriber_average_mr(),
+            self.compacted.subscriber_average_mr(),
+        )
+
+
+def run_compaction_ablation(
+    config: Optional[ScenarioConfig] = None,
+) -> CompactionAblation:
+    """Covering-merge table compaction (§4's g1-collapse) on vs off.
+
+    Best shown on a similarity-heavy workload where many subscriptions
+    share their rigid constraints and differ only in bounds.
+    """
+    base = config or ScenarioConfig()
+    plain = run_bibliographic(ScenarioConfig(**{**base.__dict__, "compact": False}))
+    compacted = run_bibliographic(
+        ScenarioConfig(**{**base.__dict__, "compact": True})
+    )
+    return CompactionAblation(plain, compacted)
+
+
+@dataclass
+class DepthPoint:
+    stage_sizes: Tuple[int, ...]
+    max_node_rlc: float
+    global_rlc: float
+    messages: int
+
+
+def run_depth_ablation(
+    config: Optional[ScenarioConfig] = None,
+    depth_configs: Sequence[Tuple[int, ...]] = ((1,), (10, 1), (40, 10, 1)),
+) -> List[DepthPoint]:
+    """Sweep hierarchy depth; deeper trees bound per-node RLC tighter."""
+    base = config or ScenarioConfig()
+    points: List[DepthPoint] = []
+    for stage_sizes in depth_configs:
+        result = run_bibliographic(
+            ScenarioConfig(**{**base.__dict__, "stage_sizes": tuple(stage_sizes)})
+        )
+        broker_rlcs = [
+            rlc
+            for stage in result.stages()
+            if stage >= 1
+            for rlc in result.rlc_values(stage)
+        ]
+        points.append(
+            DepthPoint(
+                stage_sizes=tuple(stage_sizes),
+                max_node_rlc=max(broker_rlcs),
+                global_rlc=result.rlc_global_total(),
+                messages=result.system.network.stats.total_messages,
+            )
+        )
+    return points
+
+
+def render_depth(points: List[DepthPoint]) -> str:
+    return render_table(
+        ["Stages", "Max node RLC", "Global RLC", "Messages"],
+        [
+            ["/".join(map(str, p.stage_sizes)), p.max_node_rlc, p.global_rlc, p.messages]
+            for p in points
+        ],
+    )
+
+
+def run(config: Optional[ScenarioConfig] = None) -> None:
+    """Run all three ablations and print their summaries."""
+    placement = run_placement_ablation(config)
+    sim_filters, rnd_filters = placement.upper_stage_filters()
+    sim_fwd, rnd_fwd = placement.forwarded_messages()
+    print("Placement ablation (similarity vs random):")
+    print(f"  upper-stage filters: {sim_filters} vs {rnd_filters}")
+    print(f"  forwarded event copies: {sim_fwd} vs {rnd_fwd}")
+
+    wildcard = run_wildcard_ablation(config)
+    routed_load, naive_load = wildcard.max_stage1_load()
+    print("Wildcard ablation (routed vs naive stage-1 attach):")
+    print(f"  max stage-1 event load: {routed_load} vs {naive_load}")
+
+    compaction = run_compaction_ablation(config)
+    plain_filters, compacted_filters = compaction.stage1_filters()
+    plain_mr, compacted_mr = compaction.subscriber_mr()
+    print("Compaction ablation (plain vs covering-merged tables):")
+    print(f"  stage-1 filters: {plain_filters} vs {compacted_filters}")
+    print(f"  subscriber MR:   {plain_mr:.3f} vs {compacted_mr:.3f}")
+
+    points = run_depth_ablation(config)
+    print("Depth ablation:")
+    print(render_depth(points))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run()

@@ -1,0 +1,250 @@
+"""Architecture comparison: multi-stage vs the §2.1 alternatives.
+
+The paper's quantitative claims, regenerated here on one identical
+workload (same subscriptions, same event stream, same seed):
+
+- a **centralized** server has RLC exactly 1 (it receives every event
+  and holds every subscription) — §5.1;
+- **broadcast** pushes the full event stream to every edge: subscriber
+  received-event counts equal the publication count and edge MR is the
+  raw workload selectivity — §2.1's "does not scale";
+- **topic-based** only discriminates on the class, so for the
+  single-class bibliographic workload it behaves like broadcast — the
+  degenerate ``g3`` of §3.4;
+- **multi-stage** keeps every broker's RLC orders of magnitude below 1
+  while delivering *exactly the same events* to subscribers.
+
+All four systems must produce identical delivery multisets — asserted by
+the integration tests — which is the end-to-end soundness of
+Propositions 1 and 2 in action.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.broadcast import BroadcastSystem
+from repro.baselines.centralized import CentralizedSystem
+from repro.baselines.topicbased import TopicBasedSystem
+from repro.experiments.common import ScenarioConfig
+from repro.core.engine import MultiStageEventSystem
+from repro.metrics.latency import LatencySummary, combined
+from repro.metrics.load import relative_load_complexity
+from repro.metrics.matching import average_matching_rate
+from repro.metrics.report import render_table
+from repro.sim.rng import RngRegistry
+from repro.workloads.bibliographic import BIB_EVENT_CLASS, BibliographicWorkload
+
+ARCHITECTURES = ("multistage", "centralized", "broadcast", "topicbased")
+
+
+@dataclass
+class ArchitectureResult:
+    """Measurements of one architecture on the shared workload."""
+
+    architecture: str
+    #: Maximum RLC over broker-side filtering locations (server, hub, or
+    #: overlay nodes); the paper's scalability claim is about this number.
+    max_broker_rlc: float
+    #: Sum of broker-side RLCs (global work; ~1 for centralized).
+    total_broker_rlc: float
+    #: Average events received per subscriber.
+    edge_avg_received: float
+    #: Average subscriber matching rate.
+    edge_avg_mr: float
+    #: Total messages carried by the network (control + data).
+    total_messages: int
+    #: Publish-to-delivery latency over all subscribers.
+    latency: LatencySummary
+    #: Multiset of (subscriber, title) deliveries — must agree across
+    #: architectures.
+    deliveries: Counter
+
+
+def _shared_workload(config: ScenarioConfig):
+    rngs = RngRegistry(config.seed)
+    workload = BibliographicWorkload(
+        rngs.stream("workload/records"),
+        n_years=config.n_years,
+        n_conferences=config.n_conferences,
+        n_authors=config.n_authors,
+        n_records=config.n_records,
+        author_exponent=config.author_exponent,
+        record_exponent=config.record_exponent,
+        sibling_rate=config.sibling_rate,
+    )
+    subscription_rng = rngs.stream("workload/subscriptions")
+    filters = [
+        workload.sample_subscription(
+            subscription_rng,
+            wildcard_rate=config.wildcard_rate,
+            wildcard_attribute=config.wildcard_attribute,
+        )
+        for _ in range(config.n_subscribers)
+    ]
+    event_rng = rngs.stream("workload/events")
+    records = [workload.sample_record(event_rng) for _ in range(config.n_events)]
+    return workload, filters, records
+
+
+def _delivery_handler(deliveries: Counter, name: str) -> Callable:
+    def handler(event, metadata, subscription, _deliveries=deliveries, _name=name):
+        _deliveries[(_name, metadata["title"])] += 1
+
+    return handler
+
+
+def _run_multistage(config: ScenarioConfig, workload, filters, records) -> ArchitectureResult:
+    system = MultiStageEventSystem(
+        stage_sizes=config.stage_sizes,
+        seed=config.seed,
+        engine=config.engine,
+        ttl=config.ttl,
+        wildcard_routing=config.wildcard_routing,
+    )
+    stages = system.hierarchy.top_stage + 1
+    system.advertise(
+        BIB_EVENT_CLASS, schema=workload.schema,
+        association=workload.association(stages),
+    )
+    system.drain()
+    deliveries: Counter = Counter()
+    for index, filter_ in enumerate(filters):
+        subscriber = system.create_subscriber(f"sub-{index}")
+        system.subscribe(
+            subscriber, filter_, event_class=BIB_EVENT_CLASS,
+            handler=_delivery_handler(deliveries, subscriber.name),
+        )
+        system.drain()
+    publisher = system.create_publisher("bib-feed")
+    for record in records:
+        publisher.publish(record)
+    system.drain()
+
+    total_events = publisher.events_published
+    total_subs = system.total_subscriptions()
+    broker_rlcs = [
+        relative_load_complexity(node.counters, total_events, total_subs)
+        for node in system.hierarchy.nodes()
+    ]
+    edge_counters = [s.counters for s in system.subscribers]
+    latency = combined(s.delivery_latencies for s in system.subscribers)
+    return ArchitectureResult(
+        architecture="multistage",
+        max_broker_rlc=max(broker_rlcs),
+        total_broker_rlc=sum(broker_rlcs),
+        edge_avg_received=sum(c.events_received for c in edge_counters)
+        / max(1, len(edge_counters)),
+        edge_avg_mr=average_matching_rate(edge_counters),
+        total_messages=system.network.stats.total_messages,
+        latency=latency,
+        deliveries=deliveries,
+    )
+
+
+def _run_baseline(
+    architecture: str, config: ScenarioConfig, workload, filters, records
+) -> ArchitectureResult:
+    if architecture == "centralized":
+        system = CentralizedSystem(seed=config.seed, engine=config.engine)
+        broker_counters = [system.server.counters]
+    elif architecture == "broadcast":
+        system = BroadcastSystem(seed=config.seed)
+        broker_counters = [system.fabric.counters]
+    elif architecture == "topicbased":
+        system = TopicBasedSystem(seed=config.seed)
+        broker_counters = [system.hub.counters]
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+
+    system.advertise(workload.advertisement(len(config.stage_sizes) + 1))
+    deliveries: Counter = Counter()
+    for index, filter_ in enumerate(filters):
+        subscriber = system.create_subscriber(f"sub-{index}")
+        system.subscribe(
+            subscriber, filter_, event_class=BIB_EVENT_CLASS,
+            handler=_delivery_handler(deliveries, subscriber.name),
+        )
+    publisher = system.create_publisher("bib-feed")
+    for record in records:
+        publisher.publish(record)
+    system.drain()
+
+    total_events = system.total_events_published()
+    total_subs = system.total_subscriptions()
+    broker_rlcs = [
+        relative_load_complexity(c, total_events, total_subs)
+        for c in broker_counters
+    ]
+    edge_counters = [s.counters for s in system.subscribers]
+    latency = combined(s.delivery_latencies for s in system.subscribers)
+    return ArchitectureResult(
+        architecture=architecture,
+        max_broker_rlc=max(broker_rlcs),
+        total_broker_rlc=sum(broker_rlcs),
+        edge_avg_received=sum(c.events_received for c in edge_counters)
+        / max(1, len(edge_counters)),
+        edge_avg_mr=average_matching_rate(edge_counters),
+        total_messages=system.network.stats.total_messages,
+        latency=latency,
+        deliveries=deliveries,
+    )
+
+
+def run_comparison(
+    config: Optional[ScenarioConfig] = None,
+    architectures: Tuple[str, ...] = ARCHITECTURES,
+) -> Dict[str, ArchitectureResult]:
+    """Run every requested architecture on the identical workload."""
+    config = config or ScenarioConfig()
+    workload, filters, records = _shared_workload(config)
+    results: Dict[str, ArchitectureResult] = {}
+    for architecture in architectures:
+        if architecture == "multistage":
+            results[architecture] = _run_multistage(config, workload, filters, records)
+        else:
+            results[architecture] = _run_baseline(
+                architecture, config, workload, filters, records
+            )
+    return results
+
+
+def render(results: Dict[str, ArchitectureResult]) -> str:
+    rows: List[List] = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.max_broker_rlc,
+                result.total_broker_rlc,
+                result.edge_avg_received,
+                result.edge_avg_mr,
+                result.total_messages,
+                result.latency.mean,
+            ]
+        )
+    return render_table(
+        [
+            "Architecture",
+            "Max broker RLC",
+            "Sum broker RLC",
+            "Events/subscriber",
+            "Edge MR",
+            "Messages",
+            "Mean latency",
+        ],
+        rows,
+    )
+
+
+def run(config: Optional[ScenarioConfig] = None) -> Dict[str, ArchitectureResult]:
+    results = run_comparison(config)
+    print(render(results))
+    baseline = results.get("centralized")
+    if baseline is not None:
+        print(f"\ncentralized server RLC = {baseline.max_broker_rlc:.4g} (defined as 1)")
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run()

@@ -1,0 +1,69 @@
+"""Figure 7: matching rate per node.
+
+The paper plots MR for 150 level-0 processes, 100 level-1 nodes and 10
+level-2 nodes, and reports an *average matching rate of 0.87* for the
+subscribers.  The reproduced shape: stage-0 and stage-1 MR concentrate
+near 1 (pre-filtering means lower nodes rarely see irrelevant events),
+with more spread at stage 1 than stage 2, and the subscriber average
+lands in the same high-MR regime as the paper's 0.87.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic
+from repro.metrics.report import render_series
+
+#: The paper's reported subscriber (level-0) average MR.
+PAPER_SUBSCRIBER_MR = 0.87
+
+#: Figure 7 plots these stages.
+FIGURE7_STAGES = (0, 1, 2)
+
+#: Scenario scale matching the figure (150 subscribers shown; the node
+#: counts are the paper's hierarchy).  Workload constants are calibrated
+#: like rlc_table.PAPER_SCALE (see EXPERIMENTS.md).
+FIGURE7_SCALE = ScenarioConfig(
+    stage_sizes=(100, 10, 1),
+    n_subscribers=150,
+    n_events=1000,
+    placement="random",
+    n_years=30,
+    n_conferences=100,
+    n_authors=500,
+    n_records=3000,
+    author_exponent=1.1,
+    record_exponent=0.9,
+    sibling_rate=0.06,
+)
+
+
+def mr_series(result: ScenarioResult) -> Dict[int, List[float]]:
+    """Per-stage MR series over nodes that received at least one event."""
+    return {
+        stage: result.mr_values(stage)
+        for stage in FIGURE7_STAGES
+        if stage in result.counters_by_stage
+    }
+
+
+def render(result: ScenarioResult) -> str:
+    series: List[Tuple[str, List[float]]] = [
+        (f"MR of Level {stage} nodes", values)
+        for stage, values in sorted(mr_series(result).items())
+    ]
+    body = render_series("Figure 7: Matching rate of the nodes", series)
+    return (
+        body
+        + f"\n  subscriber average MR = {result.subscriber_average_mr():.4f}"
+        + f" (paper: {PAPER_SUBSCRIBER_MR})"
+    )
+
+
+def run(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
+    result = run_bibliographic(config or FIGURE7_SCALE)
+    print(render(result))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run()

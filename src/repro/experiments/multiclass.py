@@ -1,0 +1,179 @@
+"""Multi-class comparison: where topic-based addressing stops degenerating.
+
+On a single-class workload, one topic per class means *every* event goes
+to *every* subscriber — topic-based is indistinguishable from broadcast
+(the §3.4 degeneration).  With several event classes the class topic
+regains some selectivity: this experiment runs a mixed Stock + Auction
+workload through the multi-stage overlay, topic-based, and broadcast
+fabrics and measures how much of the paper's content selectivity each
+recovers.  Expected ordering of events-per-subscriber::
+
+    multistage  <  topicbased  <  broadcast
+
+with identical deliveries everywhere (the soundness invariant).
+"""
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.broadcast import BroadcastSystem
+from repro.baselines.topicbased import TopicBasedSystem
+from repro.core.engine import MultiStageEventSystem
+from repro.metrics.matching import average_matching_rate
+from repro.metrics.report import render_table
+from repro.sim.rng import RngRegistry
+from repro.workloads.auctions import AUCTION_EVENT_CLASS, AuctionWorkload
+from repro.workloads.stocks import STOCK_EVENT_CLASS, StockWorkload
+
+
+@dataclass
+class MulticlassConfig:
+    stage_sizes: Tuple[int, ...] = (20, 5, 1)
+    n_subscribers: int = 200
+    n_events: int = 400
+    #: Fraction of events (and subscriptions) that are stock quotes.
+    stock_fraction: float = 0.6
+    seed: int = 0
+
+
+@dataclass
+class MulticlassResult:
+    architecture: str
+    edge_avg_received: float
+    edge_avg_mr: float
+    total_messages: int
+    deliveries: Counter
+
+
+def _shared_workload(config: MulticlassConfig):
+    rngs = RngRegistry(config.seed)
+    stocks = StockWorkload(rngs.stream("stocks"), n_symbols=40)
+    auctions = AuctionWorkload(rngs.stream("auctions"))
+    split_rng = rngs.stream("split")
+
+    subscriptions: List[Tuple[str, object]] = []
+    sub_rng = rngs.stream("subs")
+    for _ in range(config.n_subscribers):
+        if split_rng.random() < config.stock_fraction:
+            subscriptions.append(
+                (STOCK_EVENT_CLASS, stocks.sample_subscription(sub_rng))
+            )
+        else:
+            subscriptions.append(
+                (AUCTION_EVENT_CLASS, auctions.sample_subscription(sub_rng))
+            )
+
+    events: List[Tuple[str, object]] = []
+    for _ in range(config.n_events):
+        if split_rng.random() < config.stock_fraction:
+            events.append((STOCK_EVENT_CLASS, stocks.next_quote()))
+        else:
+            events.append((AUCTION_EVENT_CLASS, auctions.next_listing()))
+    return stocks, auctions, subscriptions, events
+
+
+def _event_key(metadata) -> tuple:
+    return tuple(sorted(metadata.items()))
+
+
+def _collector(deliveries: Counter, name: str) -> Callable:
+    def handler(event, metadata, subscription):
+        deliveries[(name, _event_key(metadata))] += 1
+
+    return handler
+
+
+def _measure(system, deliveries, architecture) -> MulticlassResult:
+    edge_counters = [s.counters for s in system.subscribers]
+    return MulticlassResult(
+        architecture=architecture,
+        edge_avg_received=sum(c.events_received for c in edge_counters)
+        / max(1, len(edge_counters)),
+        edge_avg_mr=average_matching_rate(edge_counters),
+        total_messages=system.network.stats.total_messages,
+        deliveries=deliveries,
+    )
+
+
+def _run_multistage(config, stocks, auctions, subscriptions, events):
+    system = MultiStageEventSystem(stage_sizes=config.stage_sizes, seed=config.seed)
+    system.advertise(STOCK_EVENT_CLASS, schema=stocks.schema,
+                     stage_prefixes=[3, 3, 2, 1][: len(config.stage_sizes) + 1])
+    system.advertise(AUCTION_EVENT_CLASS, schema=auctions.schema,
+                     stage_prefixes=[5, 4, 3, 1][: len(config.stage_sizes) + 1])
+    system.drain()
+    deliveries: Counter = Counter()
+    for index, (event_class, filter_) in enumerate(subscriptions):
+        subscriber = system.create_subscriber(f"sub-{index}")
+        system.subscribe(
+            subscriber, filter_, event_class=event_class,
+            handler=_collector(deliveries, subscriber.name),
+        )
+        system.drain()
+    publisher = system.create_publisher()
+    for event_class, event in events:
+        publisher.publish(event, event_class=event_class)
+    system.drain()
+    return _measure(system, deliveries, "multistage")
+
+
+def _run_baseline(architecture, config, stocks, auctions, subscriptions, events):
+    if architecture == "topicbased":
+        system = TopicBasedSystem(seed=config.seed)
+    elif architecture == "broadcast":
+        system = BroadcastSystem(seed=config.seed)
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    stages = len(config.stage_sizes) + 1
+    system.advertise(stocks.advertisement(stages))
+    system.advertise(auctions.advertisement())
+    deliveries: Counter = Counter()
+    for index, (event_class, filter_) in enumerate(subscriptions):
+        subscriber = system.create_subscriber(f"sub-{index}")
+        system.subscribe(
+            subscriber, filter_, event_class=event_class,
+            handler=_collector(deliveries, subscriber.name),
+        )
+    publisher = system.create_publisher()
+    for event_class, event in events:
+        publisher.publish(event, event_class=event_class)
+    system.drain()
+    return _measure(system, deliveries, architecture)
+
+
+def run_multiclass(
+    config: Optional[MulticlassConfig] = None,
+) -> Dict[str, MulticlassResult]:
+    config = config or MulticlassConfig()
+    stocks, auctions, subscriptions, events = _shared_workload(config)
+    results = {
+        "multistage": _run_multistage(config, stocks, auctions, subscriptions, events)
+    }
+    for architecture in ("topicbased", "broadcast"):
+        stocks2, auctions2, subscriptions2, events2 = _shared_workload(config)
+        results[architecture] = _run_baseline(
+            architecture, config, stocks2, auctions2, subscriptions2, events2
+        )
+    return results
+
+
+def render(results: Dict[str, MulticlassResult]) -> str:
+    rows = [
+        [r.architecture, r.edge_avg_received, r.edge_avg_mr, r.total_messages]
+        for r in results.values()
+    ]
+    return render_table(
+        ["Architecture", "Events/subscriber", "Edge MR", "Messages"], rows
+    )
+
+
+def run(config: Optional[MulticlassConfig] = None) -> Dict[str, MulticlassResult]:
+    results = run_multiclass(config)
+    print(render(results))
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run()

@@ -1,0 +1,95 @@
+"""The RLC table of Section 5.3.
+
+The paper reports, for a 1/10/100-node hierarchy running the
+bibliographic workload::
+
+    Stage  Node avg. of RLC   Total node avg. of RLC
+    0      2e-7               2e-4
+    1      2e-4               2e-1
+    2      0.1                1
+    3      0.02               0.02
+
+with the global total "around 1", against a centralized server whose RLC
+is exactly 1.  This module regenerates those rows from a scenario run.
+Absolute values depend on unpublished workload constants; the reproduced
+*shape* is: every node's RLC is orders of magnitude below 1, per-stage
+node averages rise toward the middle of the tree and drop again at the
+root, and the global total stays at or below the centralized total of 1.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic
+from repro.metrics.report import render_table
+
+#: The paper's reported values, keyed by stage (node average, stage total).
+PAPER_RLC_TABLE: Dict[int, Tuple[float, float]] = {
+    0: (2e-7, 2e-4),
+    1: (2e-4, 2e-1),
+    2: (0.1, 1.0),
+    3: (0.02, 0.02),
+}
+
+#: Configuration mirroring the paper's §5.2 simulation scale.  The
+#: workload constants are calibrated (see EXPERIMENTS.md): the paper's
+#: own table is consistent with *random* subscriber placement (its
+#: stage-2 nodes receive nearly every event), so the headline
+#: reproduction uses it; the §4.2 similarity placement — measured in the
+#: placement ablation — only improves on these numbers.
+PAPER_SCALE = ScenarioConfig(
+    stage_sizes=(100, 10, 1),
+    n_subscribers=1000,
+    n_events=1000,
+    placement="random",
+    n_years=30,
+    n_conferences=100,
+    n_authors=500,
+    n_records=3000,
+    author_exponent=1.1,
+    record_exponent=0.9,
+    sibling_rate=0.06,
+)
+
+
+def rlc_rows(result: ScenarioResult) -> List[Tuple[int, float, float]]:
+    """``(stage, node average RLC, stage total RLC)`` rows, stage 0 first."""
+    return [
+        (stage, result.rlc_node_average(stage), result.rlc_stage_total(stage))
+        for stage in result.stages()
+    ]
+
+
+def render(result: ScenarioResult) -> str:
+    """The table, with the paper's reference values alongside."""
+    rows = []
+    for stage, node_avg, total in rlc_rows(result):
+        paper_avg, paper_total = PAPER_RLC_TABLE.get(stage, ("-", "-"))
+        rows.append([stage, node_avg, paper_avg, total, paper_total])
+    rows.append(
+        ["all", "", "", result.rlc_global_total(), sum(v[1] for v in PAPER_RLC_TABLE.values())]
+    )
+    return render_table(
+        [
+            "Stage",
+            "Node avg. RLC",
+            "(paper)",
+            "Total node avg. RLC",
+            "(paper)",
+        ],
+        rows,
+    )
+
+
+def run(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
+    """Run the scenario and print the §5.3 table."""
+    result = run_bibliographic(config or PAPER_SCALE)
+    print(render(result))
+    print(
+        f"\ncentralized reference RLC = 1; "
+        f"global multi-stage total = {result.rlc_global_total():.4g}"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    run()

@@ -1,0 +1,70 @@
+"""Subscription language ``LF`` (Definitions 1-3 of the paper).
+
+Filters are conjunctions of attribute constraints, the fragment the
+paper's overlay nodes evaluate and weaken.  This package provides:
+
+- :mod:`~repro.filters.operators` — the constraint operators (=, !=, <,
+  <=, >, >=, exists, prefix, contains, and the ``ALL`` wildcard) together
+  with a sound *implication* relation between constraints, the building
+  block of filter covering (Definition 2);
+- :mod:`~repro.filters.constraints` — :class:`AttributeConstraint`;
+- :mod:`~repro.filters.filter` — conjunctive :class:`Filter` with
+  ``matches`` (Definition 1), ``covers`` (Definition 2) and the
+  filter-relative event-covering check (Definition 3);
+- :mod:`~repro.filters.standard` — the "standard subscription filter
+  format" of Section 4.4 (wildcard completion, generality ordering);
+- :mod:`~repro.filters.parser` — a small textual filter language;
+- :mod:`~repro.filters.table` — the paper's naive Figure-6 filter table;
+- :mod:`~repro.filters.index` — a counting-based matching index.
+
+Covering here is *sound but not complete*: ``f.covers(g)`` returning True
+guarantees every event matching ``g`` matches ``f`` (what Proposition 1
+needs); False may simply mean "could not prove it".
+"""
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.disjunction import Disjunction
+from repro.filters.filter import Filter, event_covers
+from repro.filters.index import CountingIndex
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+    Operator,
+    operator_by_symbol,
+)
+from repro.filters.parser import FilterParseError, parse_filter, render_filter
+from repro.filters.standard import standardize
+from repro.filters.table import FilterTable
+
+__all__ = [
+    "ALL",
+    "AttributeConstraint",
+    "CONTAINS",
+    "CountingIndex",
+    "Disjunction",
+    "EQ",
+    "EXISTS",
+    "Filter",
+    "FilterParseError",
+    "FilterTable",
+    "GE",
+    "GT",
+    "LE",
+    "LT",
+    "NE",
+    "Operator",
+    "PREFIX",
+    "event_covers",
+    "operator_by_symbol",
+    "parse_filter",
+    "render_filter",
+    "standardize",
+]

@@ -1,0 +1,93 @@
+"""Disjunctive filters: the OR level of Figure 2's expressiveness ladder.
+
+The overlay itself only weakens and indexes *conjunctive* filters, so a
+:class:`Disjunction` never travels through broker tables — the engine
+splits it into one routed subscription per branch and the subscriber
+runtime de-duplicates deliveries (see ``Subscription.group``).  The
+class still implements matching and a sound covering relation so it can
+be used directly for local (stage-0 / baseline) evaluation.
+"""
+
+from typing import Any, Iterable, List, Tuple, Union
+
+from repro.filters.filter import Filter
+
+FilterOrDisjunction = Union[Filter, "Disjunction"]
+
+
+class Disjunction:
+    """An immutable OR of conjunctive filters.
+
+    >>> from repro.filters.parser import parse_filter
+    >>> d = parse_filter('symbol = "Foo" or symbol = "Bar"')
+    >>> d.matches({"symbol": "Bar"})
+    True
+    >>> len(d.branches)
+    2
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Iterable[Filter]):
+        flattened: List[Filter] = []
+        for branch in branches:
+            if isinstance(branch, Disjunction):
+                flattened.extend(branch.branches)
+            else:
+                flattened.append(branch)
+        if not flattened:
+            raise ValueError("a disjunction needs at least one branch")
+        object.__setattr__(self, "branches", tuple(flattened))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Disjunction is immutable")
+
+    def matches(self, event: Any) -> bool:
+        """True when any branch matches (Definition 1, lifted over OR)."""
+        return any(branch.matches(event) for branch in self.branches)
+
+    __call__ = matches
+
+    def covers(self, other: FilterOrDisjunction) -> bool:
+        """Sound covering: every event ``other`` accepts, some branch accepts.
+
+        Proved branch-wise: each of ``other``'s branches must be covered
+        by one of ours.  (Sound but incomplete: a disjunction can cover a
+        filter jointly without any single branch covering it.)
+        """
+        if isinstance(other, Disjunction):
+            return all(self.covers(branch) for branch in other.branches)
+        return any(branch.covers(other) for branch in self.branches)
+
+    @property
+    def matches_nothing(self) -> bool:
+        return all(branch.matches_nothing for branch in self.branches)
+
+    def simplified(self) -> FilterOrDisjunction:
+        """Drop fF branches; collapse to a plain Filter when one remains."""
+        live = [b for b in self.branches if not b.matches_nothing]
+        if not live:
+            return Filter.bottom()
+        if len(live) == 1:
+            return live[0]
+        return Disjunction(live)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Disjunction):
+            return NotImplemented
+        return self.branches == other.branches
+
+    def __hash__(self) -> int:
+        return hash(self.branches)
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __iter__(self):
+        return iter(self.branches)
+
+    def __str__(self) -> str:
+        return " OR ".join(f"[{branch}]" for branch in self.branches)
+
+    def __repr__(self) -> str:
+        return f"Disjunction<{self}>"

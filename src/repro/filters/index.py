@@ -1,0 +1,297 @@
+"""Counting-based filter matching index.
+
+The paper defers "efficient indexing and matching techniques" to related
+work (Section 4.6); this module supplies one so the library is usable at
+the subscription counts the paper targets (millions).  It implements the
+classic *counting algorithm* for conjunctive subscriptions:
+
+1. every constraint of every filter is registered in a per-attribute
+   sub-index (hash map for equality, sorted operand arrays for ordering
+   operators, linear lists for the rest);
+2. matching an event walks only the event's own attributes, collecting
+   satisfied constraints and incrementing a per-filter counter;
+3. a filter matches iff its counter reaches the number of (non-trivial)
+   constraints it registered.
+
+The semantics are identical to :class:`repro.filters.table.FilterTable`
+(which the test suite uses as an oracle); only the complexity differs:
+matching is proportional to the number of *satisfied* constraints rather
+than the number of filters.
+"""
+
+import bisect
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL, EQ, EXISTS, GE, GT, LE, LT, values_comparable
+
+
+class _SortedOperands:
+    """Parallel sorted arrays of (operand, handle) for one ordering operator."""
+
+    __slots__ = ("operands", "handles")
+
+    def __init__(self) -> None:
+        self.operands: List[Any] = []
+        self.handles: List[int] = []
+
+    def insert(self, operand: Any, handle: int) -> bool:
+        """Insert keeping sort order; False when the operand family differs
+        from what the array already holds (caller falls back to linear)."""
+        if self.operands and not values_comparable(self.operands[0], operand):
+            return False
+        position = bisect.bisect_right(self.operands, operand)
+        self.operands.insert(position, operand)
+        self.handles.insert(position, handle)
+        return True
+
+    def remove(self, operand: Any, handle: int) -> bool:
+        left = bisect.bisect_left(self.operands, operand)
+        right = bisect.bisect_right(self.operands, operand)
+        for position in range(left, right):
+            if self.handles[position] == handle:
+                del self.operands[position]
+                del self.handles[position]
+                return True
+        return False
+
+    def satisfied_lt(self, value: Any) -> List[int]:
+        """Handles of ``attr < operand`` constraints satisfied by ``value``."""
+        return self.handles[bisect.bisect_right(self.operands, value):]
+
+    def satisfied_le(self, value: Any) -> List[int]:
+        return self.handles[bisect.bisect_left(self.operands, value):]
+
+    def satisfied_gt(self, value: Any) -> List[int]:
+        return self.handles[: bisect.bisect_left(self.operands, value)]
+
+    def satisfied_ge(self, value: Any) -> List[int]:
+        return self.handles[: bisect.bisect_right(self.operands, value)]
+
+    def comparable_with(self, value: Any) -> bool:
+        return not self.operands or values_comparable(self.operands[0], value)
+
+
+class _AttributeIndex:
+    """All constraints registered on one attribute."""
+
+    __slots__ = ("eq", "lt", "le", "gt", "ge", "exists", "linear")
+
+    def __init__(self) -> None:
+        self.eq: Dict[Any, List[int]] = {}
+        self.lt = _SortedOperands()
+        self.le = _SortedOperands()
+        self.gt = _SortedOperands()
+        self.ge = _SortedOperands()
+        self.exists: List[int] = []
+        #: Fallback for NE/PREFIX/CONTAINS and family-mismatched operands.
+        self.linear: List[Tuple[AttributeConstraint, int]] = []
+
+    def insert(self, constraint: AttributeConstraint, handle: int) -> None:
+        op = constraint.operator
+        if op is EQ and _hashable(constraint.operand):
+            self.eq.setdefault(_eq_key(constraint.operand), []).append(handle)
+            return
+        if op is EXISTS:
+            self.exists.append(handle)
+            return
+        sorted_for = {LT: self.lt, LE: self.le, GT: self.gt, GE: self.ge}.get(op)
+        if sorted_for is not None and not isinstance(constraint.operand, bool):
+            if sorted_for.insert(constraint.operand, handle):
+                return
+        self.linear.append((constraint, handle))
+
+    def remove(self, constraint: AttributeConstraint, handle: int) -> None:
+        op = constraint.operator
+        if op is EQ and _hashable(constraint.operand):
+            handles = self.eq.get(_eq_key(constraint.operand))
+            if handles and handle in handles:
+                handles.remove(handle)
+                if not handles:
+                    del self.eq[_eq_key(constraint.operand)]
+                return
+        if op is EXISTS and handle in self.exists:
+            self.exists.remove(handle)
+            return
+        sorted_for = {LT: self.lt, LE: self.le, GT: self.gt, GE: self.ge}.get(op)
+        if (
+            sorted_for is not None
+            and not isinstance(constraint.operand, bool)
+            and sorted_for.comparable_with(constraint.operand)
+            and sorted_for.remove(constraint.operand, handle)
+        ):
+            return
+        for position, (existing, existing_handle) in enumerate(self.linear):
+            if existing == constraint and existing_handle == handle:
+                del self.linear[position]
+                return
+
+    def satisfied_by(self, value: Any, counts: Dict[int, int]) -> None:
+        """Increment ``counts`` for every constraint satisfied by ``value``."""
+        for handle in self.exists:
+            counts[handle] = counts.get(handle, 0) + 1
+        if _hashable(value):
+            for handle in self.eq.get(_eq_key(value), ()):  # equality probe
+                counts[handle] = counts.get(handle, 0) + 1
+        if not isinstance(value, bool):
+            for structure, probe in (
+                (self.lt, _SortedOperands.satisfied_lt),
+                (self.le, _SortedOperands.satisfied_le),
+                (self.gt, _SortedOperands.satisfied_gt),
+                (self.ge, _SortedOperands.satisfied_ge),
+            ):
+                if structure.operands and structure.comparable_with(value):
+                    for handle in probe(structure, value):
+                        counts[handle] = counts.get(handle, 0) + 1
+        for constraint, handle in self.linear:
+            if constraint.matches_value(value, present=True):
+                counts[handle] = counts.get(handle, 0) + 1
+
+    def is_empty(self) -> bool:
+        return not (
+            self.eq
+            or self.exists
+            or self.linear
+            or self.lt.operands
+            or self.le.operands
+            or self.gt.operands
+            or self.ge.operands
+        )
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def _eq_key(value: Any) -> Any:
+    """Key that separates bools from numbers (1 != True for matching)."""
+    return (type(value) is bool, value)
+
+
+class CountingIndex:
+    """Drop-in alternative to :class:`~repro.filters.table.FilterTable`.
+
+    Exposes the same ``insert`` / ``remove`` / ``match`` / ``destinations``
+    surface so broker nodes can use either engine.
+    """
+
+    def __init__(self) -> None:
+        self._attributes: Dict[str, _AttributeIndex] = {}
+        self._filters: Dict[Filter, int] = {}
+        self._by_handle: Dict[int, Filter] = {}
+        self._ids: Dict[int, List[Hashable]] = {}
+        self._required: Dict[int, int] = {}
+        #: Filters with zero countable constraints (fT / all-wildcard).
+        self._always: Set[int] = set()
+        self._next_handle = 0
+        self.evaluations = 0
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __contains__(self, filter_: Filter) -> bool:
+        return filter_ in self._filters
+
+    def filters(self):
+        return iter(self._filters)
+
+    def entries(self):
+        for filter_, handle in self._filters.items():
+            yield filter_, tuple(self._ids[handle])
+
+    def destinations_for(self, filter_: Filter) -> Tuple[Hashable, ...]:
+        handle = self._filters.get(filter_)
+        if handle is None:
+            return ()
+        return tuple(self._ids[handle])
+
+    def insert(self, filter_: Filter, destination: Hashable) -> None:
+        if filter_.matches_nothing:
+            raise ValueError("cannot index fF (matches nothing)")
+        handle = self._filters.get(filter_)
+        if handle is None:
+            handle = self._next_handle
+            self._next_handle += 1
+            self._filters[filter_] = handle
+            self._by_handle[handle] = filter_
+            self._ids[handle] = []
+            countable = [c for c in filter_.constraints if c.operator is not ALL]
+            self._required[handle] = len(countable)
+            if not countable:
+                self._always.add(handle)
+            for constraint in countable:
+                index = self._attributes.get(constraint.attribute)
+                if index is None:
+                    index = self._attributes[constraint.attribute] = _AttributeIndex()
+                index.insert(constraint, handle)
+        ids = self._ids[handle]
+        if destination not in ids:
+            ids.append(destination)
+
+    def remove(self, filter_: Filter, destination: Hashable) -> bool:
+        handle = self._filters.get(filter_)
+        if handle is None:
+            return False
+        ids = self._ids[handle]
+        if destination not in ids:
+            return False
+        ids.remove(destination)
+        if not ids:
+            self._unregister(filter_, handle)
+        return True
+
+    def remove_destination(self, destination: Hashable) -> int:
+        removed = 0
+        for filter_ in list(self._filters):
+            if self.remove(filter_, destination):
+                removed += 1
+        return removed
+
+    def _unregister(self, filter_: Filter, handle: int) -> None:
+        for constraint in filter_.constraints:
+            if constraint.operator is ALL:
+                continue
+            index = self._attributes.get(constraint.attribute)
+            if index is not None:
+                index.remove(constraint, handle)
+                if index.is_empty():
+                    del self._attributes[constraint.attribute]
+        self._always.discard(handle)
+        del self._filters[filter_]
+        del self._by_handle[handle]
+        del self._ids[handle]
+        del self._required[handle]
+
+    def match(self, event: Any) -> List[Tuple[Filter, Tuple[Hashable, ...]]]:
+        """Matching entries, ordered by filter insertion (handle) order."""
+        properties = getattr(event, "properties", event)
+        counts: Dict[int, int] = {}
+        for attribute, value in properties.items():
+            index = self._attributes.get(attribute)
+            if index is not None:
+                index.satisfied_by(value, counts)
+        self.evaluations += len(self._filters)
+        matched = [
+            handle
+            for handle, count in counts.items()
+            if count == self._required[handle]
+        ]
+        matched.extend(self._always)
+        matched.sort()
+        return [
+            (self._by_handle[handle], tuple(self._ids[handle])) for handle in matched
+        ]
+
+    def destinations(self, event: Any) -> Set[Hashable]:
+        result: Set[Hashable] = set()
+        for _, ids in self.match(event):
+            result.update(ids)
+        return result
+
+    def __repr__(self) -> str:
+        return f"CountingIndex({len(self)} filters, {len(self._attributes)} attributes)"

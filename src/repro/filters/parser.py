@@ -1,0 +1,194 @@
+"""A small textual language for conjunctive filters.
+
+Grammar (case-insensitive keywords; ``and`` binds tighter than ``or``,
+no parentheses)::
+
+    filter  := 'true' | 'false' | branch ('or' branch)*
+    branch  := clause ('and' clause)*
+    clause  := attr op value | attr 'exists' | attr '=' '*'
+    op      := '=' | '==' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+             | 'prefix' | 'contains'
+    value   := "string" | 'string' | number | true | false | bareword
+
+Examples::
+
+    parse_filter('class = "Stock" and symbol = "Foo" and price < 10')
+    parse_filter('title exists and year >= 2000')
+    parse_filter('symbol = *')          # wildcard (ALL) constraint
+    parse_filter('symbol = "A" or symbol = "B"')   # -> Disjunction
+    parse_filter('true')                # fT
+    parse_filter('false')               # fF
+
+This is a developer convenience on top of the programmatic API (the paper
+expresses filters in host-language syntax); it intentionally supports only
+the conjunctive fragment the overlay can weaken.
+"""
+
+import re
+from typing import Any, List, Tuple, Union
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.disjunction import Disjunction
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL, EXISTS, operator_by_symbol
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+      | (?P<number>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+      | (?P<op><=|>=|==|!=|<>|=|<|>)
+      | (?P<star>\*)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_.-]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class FilterParseError(ValueError):
+    """Raised on malformed filter text."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise FilterParseError(f"unexpected character at {pos}: {text[pos:]!r}")
+        kind = match.lastgroup
+        tokens.append((kind, match.group(kind)))
+        pos = match.end()
+    return tokens
+
+
+def _unquote(raw: str) -> str:
+    body = raw[1:-1]
+    return re.sub(r"\\(.)", r"\1", body)
+
+
+def _parse_value(kind: str, raw: str) -> Any:
+    if kind == "string":
+        return _unquote(raw)
+    if kind == "number":
+        if re.fullmatch(r"-?\d+", raw):
+            return int(raw)
+        return float(raw)
+    if kind == "word":
+        lowered = raw.lower()
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        return raw
+    raise FilterParseError(f"expected a value, got {raw!r}")
+
+
+def parse_filter(text: str) -> Union[Filter, Disjunction]:
+    """Parse filter text.
+
+    Returns a :class:`~repro.filters.filter.Filter` for purely
+    conjunctive text, or a :class:`~repro.filters.disjunction.Disjunction`
+    when top-level ``or`` appears.
+    """
+    stripped = text.strip().lower()
+    if stripped == "true":
+        return Filter.top()
+    if stripped == "false":
+        return Filter.bottom()
+
+    tokens = _tokenize(text)
+    if not tokens:
+        raise FilterParseError("empty filter text")
+
+    branches: List[Filter] = []
+    constraints: List[AttributeConstraint] = []
+    i = 0
+    while i < len(tokens):
+        kind, raw = tokens[i]
+        if kind != "word":
+            raise FilterParseError(f"expected attribute name, got {raw!r}")
+        attribute = raw
+        i += 1
+        if i >= len(tokens):
+            raise FilterParseError(f"dangling attribute {attribute!r}")
+        kind, raw = tokens[i]
+        if kind == "word" and raw.lower() == "exists":
+            constraints.append(AttributeConstraint(attribute, EXISTS))
+            i += 1
+        elif kind == "op" or (kind == "word" and raw.lower() in ("prefix", "contains")):
+            symbol = raw.lower() if kind == "word" else raw
+            operator = operator_by_symbol(symbol)
+            i += 1
+            if i >= len(tokens):
+                raise FilterParseError(f"missing value after {attribute} {symbol}")
+            vkind, vraw = tokens[i]
+            i += 1
+            if vkind == "star":
+                if operator is not operator_by_symbol("="):
+                    raise FilterParseError("wildcard '*' only allowed with '='")
+                constraints.append(AttributeConstraint(attribute, ALL))
+            else:
+                constraints.append(
+                    AttributeConstraint(attribute, operator, _parse_value(vkind, vraw))
+                )
+        else:
+            raise FilterParseError(f"expected operator after {attribute!r}, got {raw!r}")
+
+        if i < len(tokens):
+            kind, raw = tokens[i]
+            if kind == "word" and raw.lower() == "and":
+                i += 1
+                if i >= len(tokens):
+                    raise FilterParseError("dangling 'and'")
+            elif kind == "word" and raw.lower() == "or":
+                branches.append(Filter(constraints))
+                constraints = []
+                i += 1
+                if i >= len(tokens):
+                    raise FilterParseError("dangling 'or'")
+            else:
+                raise FilterParseError(f"expected 'and' or 'or', got {raw!r}")
+    branches.append(Filter(constraints))
+    if len(branches) == 1:
+        return branches[0]
+    return Disjunction(branches)
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def render_filter(filter_: Union[Filter, Disjunction]) -> str:
+    """Render a filter back to parseable text (inverse of ``parse_filter``).
+
+    Round-trip property: ``parse_filter(render_filter(f)) == f`` for any
+    filter whose operands are strings, numbers, or booleans (the types
+    the text language can express).
+    """
+    if isinstance(filter_, Disjunction):
+        return " or ".join(render_filter(branch) for branch in filter_.branches)
+    if filter_.matches_nothing:
+        return "false"
+    if not filter_.constraints:
+        return "true"
+    clauses = []
+    for constraint in filter_.constraints:
+        if constraint.operator is ALL:
+            clauses.append(f"{constraint.attribute} = *")
+        elif constraint.operator is EXISTS:
+            clauses.append(f"{constraint.attribute} exists")
+        else:
+            clauses.append(
+                f"{constraint.attribute} {constraint.operator.symbol} "
+                f"{_render_value(constraint.operand)}"
+            )
+    return " and ".join(clauses)

@@ -1,0 +1,30 @@
+"""Evaluation metrics of Section 5.1: LC, RLC, and MR.
+
+- :mod:`~repro.metrics.counters` — per-process counters maintained by
+  broker nodes and subscriber runtimes during a run;
+- :mod:`~repro.metrics.load` — Load Complexity and Relative Load
+  Complexity;
+- :mod:`~repro.metrics.matching` — Matching Rate;
+- :mod:`~repro.metrics.latency` — publish-to-delivery latency summaries;
+- :mod:`~repro.metrics.report` — plain-text table/series renderers used
+  by the experiment harness to print the paper's rows.
+"""
+
+from repro.metrics.counters import NodeCounters
+from repro.metrics.latency import LatencySummary, combined, percentile, summarize
+from repro.metrics.load import load_complexity, relative_load_complexity
+from repro.metrics.matching import matching_rate
+from repro.metrics.report import render_series, render_table
+
+__all__ = [
+    "LatencySummary",
+    "NodeCounters",
+    "combined",
+    "load_complexity",
+    "matching_rate",
+    "percentile",
+    "relative_load_complexity",
+    "render_series",
+    "render_table",
+    "summarize",
+]

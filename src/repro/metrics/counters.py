@@ -1,0 +1,59 @@
+"""Per-process counters feeding the LC/RLC/MR metrics.
+
+Every filtering location (broker node or subscriber runtime) owns a
+:class:`NodeCounters` and updates it as events flow: the paper's
+simulation likewise counts, "at each node, the number of filters, the
+number of received events and the number of matched events" (§5.3).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NodeCounters:
+    """Counters for one filtering location."""
+
+    #: Events received for filtering ("# of event received" in LC).
+    events_received: int = 0
+    #: Events that matched at least one local filter.
+    events_matched: int = 0
+    #: Copies forwarded downstream (fan-out; one event may count many times).
+    events_forwarded: int = 0
+    #: Events delivered to the application (subscriber runtimes only).
+    events_delivered: int = 0
+    #: Individual filter evaluations performed.
+    filter_evaluations: int = 0
+    #: Current number of filters held ("# of filter" in LC); a gauge the
+    #: owner refreshes whenever its table changes.
+    filters_held: int = 0
+    #: Peak of ``filters_held`` over the run.
+    max_filters_held: int = 0
+    #: Control-plane messages processed (subscriptions, renewals, ...).
+    control_messages: int = 0
+
+    def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
+        """Record one filtered event."""
+        self.events_received += 1
+        if matched:
+            self.events_matched += 1
+        self.events_forwarded += forwarded_to
+        self.filter_evaluations += evaluations
+
+    def set_filters_held(self, count: int) -> None:
+        self.filters_held = count
+        if count > self.max_filters_held:
+            self.max_filters_held = count
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy for reports."""
+        return {
+            "events_received": self.events_received,
+            "events_matched": self.events_matched,
+            "events_forwarded": self.events_forwarded,
+            "events_delivered": self.events_delivered,
+            "filter_evaluations": self.filter_evaluations,
+            "filters_held": self.filters_held,
+            "max_filters_held": self.max_filters_held,
+            "control_messages": self.control_messages,
+        }

@@ -1,0 +1,62 @@
+"""Delivery-latency statistics.
+
+Envelopes carry their publishing time, and subscriber runtimes record
+``now - published_at`` for every event their exact filters accept.  The
+comparison experiments use these to show the hop cost of pre-filtering:
+a multi-stage path crosses one link per stage, the centralized path
+crosses two links, broadcast one.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} p50={self.p50:.4g} "
+            f"p99={self.p99:.4g} max={self.maximum:.4g}"
+        )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an (unsorted) non-empty sample."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(values: Iterable[float]) -> LatencySummary:
+    """Summary of a latency sample; zeros when the sample is empty."""
+    sample: List[float] = list(values)
+    if not sample:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        count=len(sample),
+        mean=sum(sample) / len(sample),
+        p50=percentile(sample, 0.50),
+        p99=percentile(sample, 0.99),
+        maximum=max(sample),
+    )
+
+
+def combined(samples: Iterable[Iterable[float]]) -> LatencySummary:
+    """Summary over the concatenation of several samples."""
+    merged: List[float] = []
+    for sample in samples:
+        merged.extend(sample)
+    return summarize(merged)

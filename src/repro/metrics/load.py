@@ -1,0 +1,55 @@
+"""Load Complexity and Relative Load Complexity (Section 5.1).
+
+For a filtering node over some time unit::
+
+    LC  = (# of events received) x (# of filters)
+    RLC = LC / ((total # of events) x (total # of subscriptions))
+
+A centralized server — which receives every event and holds every
+subscription — has ``RLC = 1`` by construction; multi-stage filtering
+aims at per-node RLC orders of magnitude below 1 while the *global sum*
+of RLCs stays around 1 (work is delegated, not multiplied).
+"""
+
+from typing import Iterable
+
+from repro.metrics.counters import NodeCounters
+
+
+def load_complexity(counters: NodeCounters, filters_held: int = None) -> float:
+    """LC of one node: events received times filters held.
+
+    ``filters_held`` overrides the counter gauge when the caller samples
+    the table size itself (e.g. at end of run).
+    """
+    held = counters.filters_held if filters_held is None else filters_held
+    return float(counters.events_received) * float(held)
+
+
+def relative_load_complexity(
+    counters: NodeCounters,
+    total_events: int,
+    total_subscriptions: int,
+    filters_held: int = None,
+) -> float:
+    """RLC of one node w.r.t. system totals.
+
+    Raises ``ValueError`` on zero totals — an experiment that published
+    no events or registered no subscriptions has no meaningful RLC.
+    """
+    if total_events <= 0 or total_subscriptions <= 0:
+        raise ValueError(
+            f"totals must be positive (events={total_events}, "
+            f"subscriptions={total_subscriptions})"
+        )
+    return load_complexity(counters, filters_held) / (
+        float(total_events) * float(total_subscriptions)
+    )
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (per-stage averages)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

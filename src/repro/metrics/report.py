@@ -1,0 +1,76 @@
+"""Plain-text renderers for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; a
+couple of small formatters keep that output consistent everywhere.
+"""
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+
+def format_number(value: Any) -> str:
+    """Compact scientific-ish formatting matching the paper's table style."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 0.01 or magnitude == 0:
+        return f"{value:.4g}"
+    return f"{value:.2e}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table."""
+    formatted_rows: List[List[str]] = [
+        [format_number(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in formatted_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    title: str, series: Sequence[Tuple[str, Sequence[float]]], width: int = 60
+) -> str:
+    """Render named series as compact ASCII sparklines plus summary stats.
+
+    A stand-in for the paper's scatter plots (e.g. Figure 7) on a text
+    terminal: each series shows min/mean/max and a downsampled bar strip.
+    """
+    blocks = " .:-=+*#%@"
+    out = [title]
+    for name, values in series:
+        values = list(values)
+        if not values:
+            out.append(f"  {name}: (empty)")
+            continue
+        lo, hi = min(values), max(values)
+        mean = sum(values) / len(values)
+        if len(values) > width:
+            stride = len(values) / width
+            sampled = [values[int(i * stride)] for i in range(width)]
+        else:
+            sampled = values
+        span = (hi - lo) or 1.0
+        strip = "".join(
+            blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))]
+            for v in sampled
+        )
+        out.append(
+            f"  {name}: n={len(values)} min={format_number(lo)} "
+            f"mean={format_number(mean)} max={format_number(hi)}"
+        )
+        out.append(f"    [{strip}]")
+    return "\n".join(out)

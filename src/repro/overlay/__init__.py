@@ -1,0 +1,44 @@
+"""The broker overlay of Section 4: an arbitrarily-deep hierarchy.
+
+- :mod:`~repro.overlay.messages` — the protocol vocabulary (publish,
+  subscription routing, filter insertion, renewals, advertisements);
+- :mod:`~repro.overlay.node` — :class:`BrokerNode`, implementing the
+  node side of Figure 5(b) and the forwarding loop of Figure 6;
+- :mod:`~repro.overlay.subscriber` — the subscriber runtime: the join
+  protocol of Figure 5(a) and perfect stage-0 filtering;
+- :mod:`~repro.overlay.publisher` — the publisher runtime: advertising
+  and event transformation at the publishing boundary;
+- :mod:`~repro.overlay.hierarchy` — topology construction (the paper's
+  1 / 10 / 100-node configuration and variants).
+"""
+
+from repro.overlay.hierarchy import Hierarchy, build_hierarchy
+from repro.overlay.messages import (
+    AcceptedAt,
+    Advertise,
+    JoinAt,
+    Publish,
+    Renewal,
+    ReqInsert,
+    SubscriptionRequest,
+    Unsubscribe,
+)
+from repro.overlay.node import BrokerNode
+from repro.overlay.publisher import PublisherRuntime
+from repro.overlay.subscriber import SubscriberRuntime
+
+__all__ = [
+    "AcceptedAt",
+    "Advertise",
+    "BrokerNode",
+    "Hierarchy",
+    "JoinAt",
+    "Publish",
+    "PublisherRuntime",
+    "Renewal",
+    "ReqInsert",
+    "SubscriberRuntime",
+    "SubscriptionRequest",
+    "Unsubscribe",
+    "build_hierarchy",
+]

@@ -1,0 +1,111 @@
+"""Protocol messages exchanged over the overlay.
+
+Processes address each other directly by reference (the simulator's
+equivalent of a node id); names match the paper's vocabulary:
+``Subscription(fsub)``, ``join-At``, ``accepted-At``, ``req-Insert``,
+renewal messages, advertisements, and event publication.
+"""
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.advertisement import Advertisement
+from repro.events.serialization import Envelope
+from repro.filters.filter import Filter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Process
+
+
+@dataclass(frozen=True)
+class Advertise:
+    """Advertisement dissemination: flooded from the root to all nodes."""
+
+    advertisement: Advertisement
+
+
+@dataclass(frozen=True)
+class SubscriptionRequest:
+    """``Subscription(fsub)`` of Figure 5: a subscriber looking for a home.
+
+    ``filter`` is already in standard subscription format (Section 4.4);
+    ``subscription_id`` lets the subscriber correlate the eventual
+    ``accepted-At`` with the right pending subscription.
+    """
+
+    filter: Filter
+    event_class: str
+    subscriber: "Process"
+    subscription_id: int
+
+
+@dataclass(frozen=True)
+class JoinAt:
+    """``join-At(id)``: retry the subscription request at ``node``."""
+
+    node: "Process"
+    subscription_id: int
+
+
+@dataclass(frozen=True)
+class AcceptedAt:
+    """``accepted-At(node)``: the subscription now lives at ``node``."""
+
+    node: "Process"
+    subscription_id: int
+    #: The weakened filter the node stored (returned for observability).
+    stored_filter: Filter
+
+
+@dataclass(frozen=True)
+class ReqInsert:
+    """``req-Insert(fc, idc)``: child asks parent to route ``fc`` to it."""
+
+    filter: Filter
+    event_class: str
+    child: "Process"
+
+
+@dataclass(frozen=True)
+class Renewal:
+    """Lease renewal (§4.3): refresh the sender's filters at the receiver.
+
+    ``items`` lists ``(filter, event_class)`` pairs — the weakened filters
+    the sender previously submitted.  Renewal is *refresh-or-restore*: a
+    pair missing from the receiver's table (purged after a partition, say)
+    is re-inserted, which is what lets the soft-state scheme self-heal.
+    """
+
+    items: tuple  # Tuple[Tuple[Filter, str], ...]
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    """Optional explicit unsubscription (§4.3 allows combining with TTL)."""
+
+    filter: Filter
+    subscriber: "Process"
+
+
+@dataclass(frozen=True)
+class Disconnect:
+    """A subscriber going offline gracefully (§2.1 durable subscriptions).
+
+    With ``durable=True`` the node buffers matching events for replay on
+    reconnection; otherwise it simply stops forwarding to the subscriber
+    (its filters stay installed until their leases lapse).
+    """
+
+    durable: bool = True
+
+
+@dataclass(frozen=True)
+class Reconnect:
+    """A disconnected subscriber returning: flush any buffered events."""
+
+
+@dataclass(frozen=True)
+class Publish:
+    """An event on its way down the hierarchy (or into a subscriber)."""
+
+    envelope: Envelope

@@ -1,0 +1,457 @@
+"""Broker nodes: Figure 5(b) routing and Figure 6 forwarding.
+
+A :class:`BrokerNode` sits at some stage ``s >= 1`` of the hierarchy.  It
+keeps a filter table of ``<weakened filter, destination ids>`` entries
+(destinations are child brokers, or subscribers for stage-1 and
+wildcard-hosting nodes), an advertisement registry, and lease soft state.
+
+Behaviour implemented here, with the paper's names:
+
+- subscription routing (``Subscription(fsub)`` handling): redirect toward
+  the strongest stored covering filter, handle wildcard subscriptions,
+  or descend to a random child; insert at stage 1;
+- ``INSERT-SUBSCRIBER`` / ``req-Insert``: store weakened filters and
+  propagate further-weakened forms toward the root;
+- ``HANDLE-WILDCARD-SUBS``: attach wildcard subscriptions at the stage
+  just above the topmost stage using the wildcarded attribute;
+- the TTL tasks (renew own filters at the parent, purge silent ones);
+- event filtering and forwarding (Figure 6).
+"""
+
+import random
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.core.advertisement import AdvertisementRegistry
+from repro.core.subscription import DEFAULT_EXPIRY_FACTOR, LeaseTable
+from repro.core.weakening import merge_covering, weaken_filter
+from repro.filters.filter import Filter
+from repro.filters.index import CountingIndex
+from repro.filters.standard import most_general_wildcard, wildcard_attributes
+from repro.filters.table import FilterTable
+from repro.metrics.counters import NodeCounters
+from repro.overlay.messages import (
+    AcceptedAt,
+    Advertise,
+    Disconnect,
+    JoinAt,
+    Publish,
+    Reconnect,
+    Renewal,
+    ReqInsert,
+    SubscriptionRequest,
+    Unsubscribe,
+)
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+from repro.sim.trace import TraceRecorder
+
+MatchEngine = Union[FilterTable, CountingIndex]
+
+#: Renew halfway through the TTL ("before the expiry of each TTL").
+RENEW_FRACTION = 0.5
+
+
+class BrokerNode(Process):
+    """One intermediate node of the multi-stage hierarchy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        stage: int,
+        ttl: float = 60.0,
+        engine_factory: Callable[[], MatchEngine] = CountingIndex,
+        rng: Optional[random.Random] = None,
+        trace: Optional[TraceRecorder] = None,
+        expiry_factor: float = DEFAULT_EXPIRY_FACTOR,
+        wildcard_routing: bool = True,
+        compact: bool = False,
+        offline_buffer_limit: int = 1000,
+    ):
+        super().__init__(sim, name)
+        if stage < 1:
+            raise ValueError(f"broker stages start at 1, got {stage}")
+        self.network = network
+        self.stage = stage
+        self.ttl = ttl
+        self.parent: Optional["BrokerNode"] = None
+        self.broker_children: List["BrokerNode"] = []
+        self.table: MatchEngine = engine_factory()
+        self.leases = LeaseTable(ttl, expiry_factor)
+        self.advertisements = AdvertisementRegistry()
+        self.counters = NodeCounters()
+        self.rng = rng or random.Random(0)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: Whether HANDLE-WILDCARD-SUBS is active (ablation toggle, §4.4).
+        self.wildcard_routing = wildcard_routing
+        #: Whether the matching table is compacted with covering merges
+        #: (the g1-covers-f1,f2 collapse of §4; ablation toggle).
+        self.compact = compact
+        self.offline_buffer_limit = offline_buffer_limit
+        self._engine_factory = engine_factory
+        self._filter_class: Dict[Filter, str] = {}
+        self._maintenance_handles: Dict[str, Any] = {}
+        # Durable-subscription state (§2.1): offline destinations and the
+        # events buffered for the durable ones, keyed by destination id.
+        self._offline: Dict[int, Tuple[Process, bool]] = {}
+        self._buffers: Dict[int, Deque[Publish]] = {}
+        # Compacted match engine, rebuilt lazily after table changes.
+        self._compacted: Optional[MatchEngine] = None
+        self._compacted_dirty = True
+
+    # ------------------------------------------------------------------
+    # Topology wiring (done by hierarchy builder / engine)
+    # ------------------------------------------------------------------
+
+    def attach_child(self, child: "BrokerNode") -> None:
+        """Register a child broker (one stage below) and link it."""
+        if child.stage != self.stage - 1:
+            raise ValueError(
+                f"{child.name} (stage {child.stage}) cannot be a child of "
+                f"{self.name} (stage {self.stage})"
+            )
+        child.parent = self
+        self.broker_children.append(child)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, message: Any, sender: Process) -> None:
+        if isinstance(message, Publish):
+            self._on_publish(message)
+            return
+        self.counters.control_messages += 1
+        if isinstance(message, SubscriptionRequest):
+            self._on_subscription_request(message)
+        elif isinstance(message, ReqInsert):
+            self._on_req_insert(message)
+        elif isinstance(message, Renewal):
+            self._on_renewal(message, sender)
+        elif isinstance(message, Advertise):
+            self._on_advertise(message)
+        elif isinstance(message, Unsubscribe):
+            self._on_unsubscribe(message)
+        elif isinstance(message, Disconnect):
+            self._on_disconnect(message, sender)
+        elif isinstance(message, Reconnect):
+            self._on_reconnect(sender)
+        else:
+            raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    # ------------------------------------------------------------------
+    # Advertisements
+    # ------------------------------------------------------------------
+
+    def _on_advertise(self, message: Advertise) -> None:
+        changed = self.advertisements.add(message.advertisement)
+        self.trace.record(
+            self.sim.now, "advertise", self.name,
+            event_class=message.advertisement.event_class, changed=changed,
+        )
+        if changed:
+            for child in self.broker_children:
+                self.network.send(self, child, message)
+
+    def _association_for(self, event_class: str):
+        return self.advertisements.require(event_class).association
+
+    # ------------------------------------------------------------------
+    # Subscription routing (Figure 5b)
+    # ------------------------------------------------------------------
+
+    def _on_subscription_request(self, request: SubscriptionRequest) -> None:
+        if self.stage == 1:
+            self._insert_subscriber(request)
+            return
+
+        redirect = self._strongest_covering_child(request.filter)
+        if redirect is not None:
+            self.trace.record(
+                self.sim.now, "route-covering", self.name, target=redirect.name
+            )
+            self.network.send(
+                self, request.subscriber, JoinAt(redirect, request.subscription_id)
+            )
+            return
+
+        if self.wildcard_routing and self._has_schema_wildcards(request):
+            self._handle_wildcard_subscription(request)
+            return
+
+        self._redirect_to_random_child(request)
+
+    def _strongest_covering_child(self, fsub: Filter) -> Optional["BrokerNode"]:
+        """The broker child associated with the strongest stored filter
+        covering ``fsub`` (None when no such entry exists)."""
+        best_filter: Optional[Filter] = None
+        best_child: Optional[BrokerNode] = None
+        for stored, ids in self.table.entries():
+            if not stored.covers(fsub):
+                continue
+            child = next(
+                (d for d in ids if isinstance(d, BrokerNode)), None
+            )
+            if child is None:
+                continue
+            if best_filter is None or (
+                best_filter.covers(stored) and not stored.covers(best_filter)
+            ):
+                best_filter = stored
+                best_child = child
+        return best_child
+
+    def _has_schema_wildcards(self, request: SubscriptionRequest) -> bool:
+        advertisement = self.advertisements.get(request.event_class)
+        if advertisement is None:
+            return False
+        schema = set(advertisement.schema)
+        return any(
+            attribute in schema for attribute in wildcard_attributes(request.filter)
+        )
+
+    def _handle_wildcard_subscription(self, request: SubscriptionRequest) -> None:
+        """HANDLE-WILDCARD-SUBS (§4.5).
+
+        The most general wildcarded attribute determines the target stage
+        ``j + 1``; deeper wildcards (on the most general attribute itself)
+        can push the target above the root, in which case the subscription
+        clamps to the root — the subscriber effectively wants everything
+        the root sees for that class.
+        """
+        advertisement = self.advertisements.require(request.event_class)
+        attribute = most_general_wildcard(request.filter, advertisement.schema)
+        top_used = advertisement.association.top_stage_using(attribute)
+        target_stage = top_used + 1
+        if self.stage == target_stage or (self.is_root and target_stage > self.stage):
+            self.trace.record(
+                self.sim.now, "wildcard-attach", self.name,
+                attribute=attribute, target_stage=target_stage,
+            )
+            self._insert_subscriber(request)
+        else:
+            self._redirect_to_random_child(request)
+
+    def _redirect_to_random_child(self, request: SubscriptionRequest) -> None:
+        if not self.broker_children:
+            # Malformed topology (an inner node without children): host the
+            # subscriber rather than bounce the request forever.
+            self._insert_subscriber(request)
+            return
+        child = self.rng.choice(self.broker_children)
+        self.network.send(
+            self, request.subscriber, JoinAt(child, request.subscription_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Filter insertion (INSERT-SUBSCRIBER / req-Insert)
+    # ------------------------------------------------------------------
+
+    def _insert_subscriber(self, request: SubscriptionRequest) -> None:
+        association = self._association_for(request.event_class)
+        stored = weaken_filter(request.filter, association, self.stage)
+        self._store(stored, request.subscriber, request.event_class)
+        self.network.send(
+            self,
+            request.subscriber,
+            AcceptedAt(self, request.subscription_id, stored),
+        )
+        self.trace.record(
+            self.sim.now, "subscriber-insert", self.name,
+            subscriber=request.subscriber.name, filter=str(stored),
+        )
+        self._propagate_up(request.filter, request.event_class)
+
+    def _on_req_insert(self, message: ReqInsert) -> None:
+        was_known = message.filter in self.table
+        self._store(message.filter, message.child, message.event_class)
+        if not was_known:
+            self._propagate_up(message.filter, message.event_class)
+
+    def _store(self, filter_: Filter, destination: Process, event_class: str) -> None:
+        self.table.insert(filter_, destination)
+        self.leases.touch(filter_, destination, self.sim.now)
+        self._filter_class[filter_] = event_class
+        self._table_changed()
+
+    def _propagate_up(self, filter_: Filter, event_class: str) -> None:
+        """Send the next-stage weakening of ``filter_`` to the parent."""
+        if self.parent is None:
+            return
+        association = self._association_for(event_class)
+        weakened = weaken_filter(filter_, association, self.stage + 1)
+        self.network.send(self, self.parent, ReqInsert(weakened, event_class, self))
+
+    def _on_renewal(self, message: Renewal, sender: Process) -> None:
+        """Refresh-or-restore each renewed pair (see :class:`Renewal`)."""
+        for filter_, event_class in message.items:
+            was_known = filter_ in self.table
+            self._store(filter_, sender, event_class)
+            if not was_known:
+                self._propagate_up(filter_, event_class)
+
+    def _on_unsubscribe(self, message: Unsubscribe) -> None:
+        """Explicit unsubscription: ``message.filter`` is the *stored*
+        (stage-weakened) filter the subscriber learned from accepted-At."""
+        if self.table.remove(message.filter, message.subscriber):
+            self.leases.forget(message.filter, message.subscriber)
+            self._table_changed()
+
+    # ------------------------------------------------------------------
+    # TTL maintenance (§4.3)
+    # ------------------------------------------------------------------
+
+    def start_maintenance(self) -> None:
+        """Begin the periodic renewal and purge tasks."""
+        self.stop_maintenance()
+        renew_interval = self.ttl * RENEW_FRACTION
+        self._maintenance_handles["renew"] = self.sim.schedule(
+            renew_interval, self._renew_task, renew_interval
+        )
+        self._maintenance_handles["purge"] = self.sim.schedule(
+            self.ttl, self._purge_task, self.ttl
+        )
+
+    def stop_maintenance(self) -> None:
+        for handle in self._maintenance_handles.values():
+            handle.cancel()
+        self._maintenance_handles.clear()
+
+    def _renew_task(self, interval: float) -> None:
+        """EXTEND THE VALIDITY OF FILTERS: renew own filters at the parent."""
+        if self.parent is not None:
+            items = {}
+            for filter_ in self.table.filters():
+                event_class = self._filter_class.get(filter_)
+                if event_class is None:
+                    continue
+                association = self._association_for(event_class)
+                weakened = weaken_filter(filter_, association, self.stage + 1)
+                items[(weakened, event_class)] = None
+            if items:
+                self.network.send(self, self.parent, Renewal(tuple(items)))
+        self._maintenance_handles["renew"] = self.sim.schedule(
+            interval, self._renew_task, interval
+        )
+
+    def _purge_task(self, interval: float) -> None:
+        """REMOVE INVALID FILTERS: drop pairs silent for 3xTTL."""
+        for filter_, destination in self.leases.expired(self.sim.now):
+            self.table.remove(filter_, destination)
+            self.leases.forget(filter_, destination)
+            self.trace.record(
+                self.sim.now, "lease-expired", self.name,
+                destination=getattr(destination, "name", destination),
+            )
+        for stale in [f for f in self._filter_class if f not in self.table]:
+            del self._filter_class[stale]
+        # Offline/buffer state for destinations that no longer hold any
+        # lease here is garbage (the durable window closed with the lease).
+        live_ids = {id(destination) for _, destination in self.leases.pairs()}
+        for destination_id in list(self._offline):
+            if destination_id not in live_ids:
+                del self._offline[destination_id]
+                self._buffers.pop(destination_id, None)
+        self._table_changed()
+        self._maintenance_handles["purge"] = self.sim.schedule(
+            interval, self._purge_task, interval
+        )
+
+    # ------------------------------------------------------------------
+    # Durable subscriptions (§2.1)
+    # ------------------------------------------------------------------
+
+    def _on_disconnect(self, message: Disconnect, sender: Process) -> None:
+        self._offline[id(sender)] = (sender, message.durable)
+        if message.durable:
+            self._buffers.setdefault(
+                id(sender), deque(maxlen=self.offline_buffer_limit)
+            )
+        self.trace.record(
+            self.sim.now, "disconnect", self.name,
+            subscriber=sender.name, durable=message.durable,
+        )
+
+    def _on_reconnect(self, sender: Process) -> None:
+        self._offline.pop(id(sender), None)
+        buffered = self._buffers.pop(id(sender), ())
+        for publish in buffered:
+            self.network.send(self, sender, publish)
+        self.trace.record(
+            self.sim.now, "reconnect", self.name,
+            subscriber=sender.name, replayed=len(buffered),
+        )
+
+    # ------------------------------------------------------------------
+    # Table compaction (covering merges, §4)
+    # ------------------------------------------------------------------
+
+    def _table_changed(self) -> None:
+        self._compacted_dirty = True
+        if not self.compact:
+            self.counters.set_filters_held(len(self.table))
+
+    def _match_engine(self) -> MatchEngine:
+        """The engine events are matched against.
+
+        Without compaction this is the authoritative table.  With
+        compaction, filters sharing an identical destination set are
+        merged into covering filters (Example 5's g1 over f1/f2): fewer,
+        weaker filters — sound because every original is covered, and
+        exact again one stage below.  Leases and upward propagation keep
+        using the authoritative table.
+        """
+        if not self.compact:
+            return self.table
+        if self._compacted_dirty or self._compacted is None:
+            groups: Dict[Tuple[int, ...], Tuple[List[Filter], Tuple]] = {}
+            for filter_, ids in self.table.entries():
+                key = tuple(sorted(id(destination) for destination in ids))
+                group = groups.setdefault(key, ([], ids))
+                group[0].append(filter_)
+            compacted = self._engine_factory()
+            for filters, ids in groups.values():
+                for merged in merge_covering(filters):
+                    for destination in ids:
+                        compacted.insert(merged, destination)
+            self._compacted = compacted
+            self._compacted_dirty = False
+            self.counters.set_filters_held(len(compacted))
+        return self._compacted
+
+    # ------------------------------------------------------------------
+    # Event filtering and forwarding (Figure 6)
+    # ------------------------------------------------------------------
+
+    def _on_publish(self, message: Publish) -> None:
+        engine = self._match_engine()
+        matches = engine.match(message.envelope.metadata)
+        destinations: List[Process] = []
+        seen = set()
+        for _, ids in matches:
+            for destination in ids:
+                if id(destination) not in seen:
+                    seen.add(id(destination))
+                    destinations.append(destination)
+        self.counters.on_event(
+            matched=bool(matches),
+            forwarded_to=len(destinations),
+            evaluations=len(engine),
+        )
+        for destination in destinations:
+            offline = self._offline.get(id(destination))
+            if offline is not None:
+                _, durable = offline
+                if durable:
+                    self._buffers[id(destination)].append(message)
+                continue
+            self.network.send(self, destination, message)
+
+    def __repr__(self) -> str:
+        return f"BrokerNode({self.name}, stage={self.stage}, filters={len(self.table)})"

@@ -1,0 +1,67 @@
+"""Publisher runtime: advertising and the event transformation boundary.
+
+Publishers attach to the root ("published events are first forwarded to
+the top most stage", §4).  Publishing performs the paper's event
+transformation exactly once: the typed object is reflected into its
+covering meta-data and sealed into an opaque envelope — after this point
+no broker ever touches application code.
+"""
+
+from typing import Any, Optional
+
+from repro.core.advertisement import Advertisement
+from repro.events.hierarchy import TypeRegistry
+from repro.events.serialization import marshal
+from repro.metrics.counters import NodeCounters
+from repro.overlay.messages import Advertise, Publish
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+
+
+class PublisherRuntime(Process):
+    """A data producer attached to the root of the hierarchy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        root: Process,
+        types: Optional[TypeRegistry] = None,
+    ):
+        super().__init__(sim, name)
+        self.network = network
+        self.root = root
+        self.types = types
+        self.counters = NodeCounters()
+        self.events_published = 0
+
+    def advertise(self, advertisement: Advertisement) -> None:
+        """Disseminate an advertisement (schema + ``Gc``) into the overlay."""
+        self.network.send(self, self.root, Advertise(advertisement))
+
+    def publish(self, event: Any, event_class: Optional[str] = None) -> None:
+        """Transform ``event`` (reflection -> meta-data + opaque payload)
+        and inject it at the top stage.
+
+        ``event_class`` overrides the meta-data type name; by default the
+        type registry's registered name (when available) or the Python
+        class name is used.
+        """
+        if event_class is None and self.types is not None:
+            if self.types.is_registered(type(event)):
+                event_class = self.types.name_of(type(event))
+        envelope = marshal(
+            event,
+            class_name=event_class,
+            published_at=self.sim.now,
+            event_id=(self.name, self.events_published),
+        )
+        self.events_published += 1
+        self.network.send(self, self.root, Publish(envelope))
+
+    def receive(self, message: Any, sender: Process) -> None:
+        raise TypeError(f"publisher {self.name} received unexpected {message!r}")
+
+    def __repr__(self) -> str:
+        return f"PublisherRuntime({self.name}, published={self.events_published})"

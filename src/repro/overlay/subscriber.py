@@ -1,0 +1,307 @@
+"""Subscriber runtime: Figure 5(a) join protocol + perfect stage-0 filtering.
+
+The subscriber runtime is the paper's "user-level" (stage-0) process.  It
+owns the *original* subscriptions — standard conjunctive filters plus any
+residual closure predicates — and is the only place the full filters run
+and the only place event payloads are unmarshaled: expressiveness and
+event safety are enforced end-to-end here, while everything upstream saw
+only weakened filters and meta-data.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.subscription import Subscription
+from repro.events.serialization import Envelope, unmarshal
+from repro.filters.filter import Filter
+from repro.metrics.counters import NodeCounters
+from repro.overlay.messages import (
+    AcceptedAt,
+    Disconnect,
+    JoinAt,
+    Publish,
+    Reconnect,
+    Renewal,
+    SubscriptionRequest,
+    Unsubscribe,
+)
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Network
+from repro.sim.trace import TraceRecorder
+
+#: The handler signature: (typed event object, meta-data, subscription).
+Handler = Callable[[Any, Any, Subscription], None]
+
+
+@dataclass
+class _SubscriptionState:
+    subscription: Subscription
+    handler: Optional[Handler]
+    home: Optional[Process] = None
+    stored_filter: Optional[Filter] = None
+    active: bool = True
+    join_hops: int = 0
+
+    @property
+    def joined(self) -> bool:
+        return self.home is not None
+
+
+class SubscriberRuntime(Process):
+    """A stage-0 user process holding one or more subscriptions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        root: Process,
+        ttl: float = 60.0,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        super().__init__(sim, name)
+        self.network = network
+        self.root = root
+        self.ttl = ttl
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.counters = NodeCounters()
+        #: Publish-to-delivery latencies (simulated time), §5-style metric.
+        self.delivery_latencies: List[float] = []
+        self._states: Dict[int, _SubscriptionState] = {}
+        self._renew_handle = None
+        self._maintenance_interval: Optional[float] = None
+        self.offline = False
+        # Disjunction-group delivery dedup: (group, event_id) pairs seen,
+        # bounded LRU (branches of one OR can arrive over several paths).
+        self._delivered_groups: "OrderedDict[Tuple, None]" = OrderedDict()
+        self._delivered_groups_limit = 4096
+
+    # ------------------------------------------------------------------
+    # Subscribing (Figure 5a)
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        subscription: Subscription,
+        handler: Optional[Handler] = None,
+        at_node: Optional[Process] = None,
+    ) -> int:
+        """Send ``Subscription(fsub)`` to the root; returns the id used to
+        correlate ``accepted-At`` and to unsubscribe later.
+
+        ``at_node`` bypasses the Figure-5 search and sends the request to
+        a specific node (a stage-1 node inserts immediately) — the
+        locality/random placement the ablation experiments compare
+        against similarity placement (§4.2).
+        """
+        state = _SubscriptionState(subscription, handler)
+        self._states[subscription.subscription_id] = state
+        self.counters.set_filters_held(len(self._active_states()))
+        self._send_request(state, at_node if at_node is not None else self.root)
+        return subscription.subscription_id
+
+    def unsubscribe(self, subscription_id: int, explicit: bool = True) -> None:
+        """Stop a subscription.
+
+        With ``explicit=True`` an ``Unsubscribe`` is sent to the home node
+        for immediate removal; either way the runtime stops renewing, so
+        the soft state upstream decays within 3xTTL (§4.3).
+        """
+        state = self._states.get(subscription_id)
+        if state is None or not state.active:
+            return
+        state.active = False
+        self.counters.set_filters_held(len(self._active_states()))
+        if explicit and state.joined and state.stored_filter is not None:
+            self.network.send(
+                self, state.home, Unsubscribe(state.stored_filter, self)
+            )
+
+    def _send_request(self, state: _SubscriptionState, node: Process) -> None:
+        request = SubscriptionRequest(
+            state.subscription.filter,
+            state.subscription.event_class,
+            self,
+            state.subscription.subscription_id,
+        )
+        self.network.send(self, node, request)
+
+    # ------------------------------------------------------------------
+    # Disconnection (durable subscriptions, §2.1)
+    # ------------------------------------------------------------------
+
+    def _homes(self) -> List[Process]:
+        """Distinct home nodes of the active, joined subscriptions."""
+        homes: Dict[int, Process] = {}
+        for state in self._active_states():
+            if state.joined:
+                homes[id(state.home)] = state.home
+        return list(homes.values())
+
+    def disconnect(self, durable: bool = True) -> None:
+        """Go offline gracefully.
+
+        With ``durable=True`` every home node buffers matching events
+        for replay on :meth:`reconnect` (bounded by the node's buffer
+        limit); renewals pause — so an absence beyond 3xTTL still loses
+        the subscriptions, exactly the paper's soft-state semantics.
+        """
+        self.offline = True
+        for home in self._homes():
+            self.network.send(self, home, Disconnect(durable=durable))
+        if self._renew_handle is not None:
+            self._renew_handle.cancel()
+            self._renew_handle = None
+
+    def rejoin(self, subscription_id: int) -> None:
+        """Re-run the Figure-5 join for a subscription from scratch.
+
+        Used after an absence longer than the lease window (the upstream
+        soft state has decayed) or when the home node died: the
+        subscription's placement state resets and a fresh
+        ``Subscription(fsub)`` goes to the root.
+        """
+        state = self._states.get(subscription_id)
+        if state is None or not state.active:
+            raise KeyError(f"no active subscription {subscription_id}")
+        state.home = None
+        state.stored_filter = None
+        state.join_hops = 0
+        self._send_request(state, self.root)
+
+    def reconnect(self) -> None:
+        """Come back online: homes flush buffers, renewals resume."""
+        self.offline = False
+        for home in self._homes():
+            self.network.send(self, home, Reconnect())
+        if self._maintenance_interval is not None and self._renew_handle is None:
+            self._renew_handle = self.sim.schedule(
+                self._maintenance_interval,
+                self._renew_task,
+                self._maintenance_interval,
+            )
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def receive(self, message: Any, sender: Process) -> None:
+        if isinstance(message, Publish):
+            self._on_publish(message.envelope, sender)
+        elif isinstance(message, JoinAt):
+            self.counters.control_messages += 1
+            state = self._states.get(message.subscription_id)
+            if state is not None and state.active and not state.joined:
+                state.join_hops += 1
+                self._send_request(state, message.node)
+        elif isinstance(message, AcceptedAt):
+            self.counters.control_messages += 1
+            state = self._states.get(message.subscription_id)
+            if state is not None:
+                state.home = message.node
+                state.stored_filter = message.stored_filter
+                self.trace.record(
+                    self.sim.now, "joined", self.name,
+                    home=message.node.name, hops=state.join_hops,
+                )
+        else:
+            raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    # ------------------------------------------------------------------
+    # Perfect filtering and delivery (stage 0)
+    # ------------------------------------------------------------------
+
+    def _on_publish(self, envelope: Envelope, sender: Process) -> None:
+        # Subscriptions homed at different nodes each receive their own
+        # copy stream; a copy from node N serves exactly the subscriptions
+        # homed at N.  This keeps per-subscription delivery exactly-once
+        # even when one subscriber attaches at several points of the tree.
+        states = [s for s in self._active_states() if s.home is sender]
+        matched_states = []
+        for state in states:
+            if state.subscription.filter.matches(envelope.metadata):
+                matched_states.append(state)
+        self.counters.on_event(
+            matched=bool(matched_states),
+            forwarded_to=0,
+            evaluations=len(states),
+        )
+        if not matched_states:
+            return
+        if envelope.published_at is not None:
+            self.delivery_latencies.append(self.sim.now - envelope.published_at)
+        # Event safety: the payload is opened exactly once, at the edge.
+        event = unmarshal(envelope)
+        for state in matched_states:
+            subscription = state.subscription
+            if subscription.group is not None and envelope.event_id is not None:
+                key = (subscription.group, envelope.event_id)
+                if key in self._delivered_groups:
+                    continue  # another branch already delivered this event
+                self._delivered_groups[key] = None
+                if len(self._delivered_groups) > self._delivered_groups_limit:
+                    self._delivered_groups.popitem(last=False)
+            closure = subscription.closure
+            if closure is not None and closure.residual is not None:
+                if not closure.residual(event):
+                    continue
+            self.counters.events_delivered += 1
+            if state.handler is not None:
+                state.handler(event, envelope.metadata, subscription)
+
+    def _active_states(self) -> List[_SubscriptionState]:
+        return [s for s in self._states.values() if s.active]
+
+    # ------------------------------------------------------------------
+    # Renewal task (§4.3)
+    # ------------------------------------------------------------------
+
+    def start_maintenance(self) -> None:
+        self.stop_maintenance()
+        interval = self.ttl * 0.5
+        self._maintenance_interval = interval
+        if not self.offline:
+            self._renew_handle = self.sim.schedule(
+                interval, self._renew_task, interval
+            )
+
+    def stop_maintenance(self) -> None:
+        if self._renew_handle is not None:
+            self._renew_handle.cancel()
+            self._renew_handle = None
+        self._maintenance_interval = None
+
+    def _renew_task(self, interval: float) -> None:
+        by_home: Dict[int, List] = {}
+        homes: Dict[int, Process] = {}
+        for state in self._active_states():
+            if not state.joined or state.stored_filter is None:
+                continue
+            key = id(state.home)
+            homes[key] = state.home
+            by_home.setdefault(key, []).append(
+                (state.stored_filter, state.subscription.event_class)
+            )
+        for key, items in by_home.items():
+            deduped = tuple(dict.fromkeys(items))
+            self.network.send(self, homes[key], Renewal(deduped))
+        self._renew_handle = self.sim.schedule(interval, self._renew_task, interval)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def subscriptions(self) -> List[Subscription]:
+        return [s.subscription for s in self._active_states()]
+
+    def home_of(self, subscription_id: int) -> Optional[Process]:
+        state = self._states.get(subscription_id)
+        return state.home if state else None
+
+    def all_joined(self) -> bool:
+        """True when every active subscription has found its home node."""
+        return all(s.joined for s in self._active_states())
+
+    def __repr__(self) -> str:
+        return f"SubscriberRuntime({self.name}, {len(self._states)} subscriptions)"

@@ -1,0 +1,170 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel maintains a priority queue of scheduled callbacks ordered by
+(simulated time, sequence number).  The sequence number makes execution
+order deterministic when several events share a timestamp: events fire in
+the order they were scheduled, which is the property the reproducibility
+guarantees of the experiment harness rely on.
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(1.5, callback, arg1, arg2)
+    sim.run(until=100.0)
+"""
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Handle for a scheduled event, usable to cancel it.
+
+    A handle is returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  Cancelling is O(1): the queue entry is
+    tombstoned and skipped when it surfaces.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when dequeued."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Time-ordered event queue with deterministic tie-breaking.
+
+    The simulator clock starts at ``0.0`` and only advances when events are
+    processed; there is no wall-clock coupling.  All times are plain floats
+    in arbitrary "simulated time units" (the experiments use seconds).
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries not yet executed (includes cancelled)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        Returns an :class:`EventHandle` that can be cancelled.  A zero delay
+        is allowed and runs after all events already scheduled for the
+        current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty (cancelled entries are drained silently).
+        """
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        Events scheduled exactly at ``until`` still run (the bound is
+        inclusive).  Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = until
+                    break
+                if self.step():
+                    executed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return executed
+
+
+class Process:
+    """Base class for simulated entities (brokers, publishers, subscribers).
+
+    A process owns a reference to the :class:`Simulator` and exposes
+    :meth:`receive`, the network's delivery entry point.  Subclasses
+    override :meth:`receive` to implement their protocol.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+
+    def receive(self, message: Any, sender: "Process") -> None:
+        """Handle a message delivered by the network."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

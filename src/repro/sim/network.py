@@ -1,0 +1,145 @@
+"""Simulated network connecting processes.
+
+The network delivers messages between :class:`~repro.sim.kernel.Process`
+instances with a per-link latency and accounts traffic (message and byte
+counts) per link and per process.  Byte sizes come from a pluggable sizer
+so experiments can model the paper's observation that weakened events are
+smaller than full event objects.
+
+Only point-to-point links exist: the paper's overlay is a tree of brokers,
+and publishers/subscribers each attach to a single broker.
+"""
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+
+
+def _default_sizer(message: Any) -> int:
+    """Crude default message size model: repr length in bytes."""
+    return max(16, len(repr(message)))
+
+
+class Link:
+    """A directed link between two processes with fixed latency."""
+
+    __slots__ = ("src", "dst", "latency", "messages", "bytes")
+
+    def __init__(self, src: Process, dst: Process, latency: float):
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.messages = 0
+        self.bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.src.name} -> {self.dst.name}, latency={self.latency}, "
+            f"messages={self.messages})"
+        )
+
+
+class NetworkStats:
+    """Aggregate traffic counters for a whole network."""
+
+    def __init__(self) -> None:
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.dropped_messages = 0
+        self.messages_by_process: Dict[str, int] = {}
+
+    def record(self, link: Link, size: int) -> None:
+        self.total_messages += 1
+        self.total_bytes += size
+        self.messages_by_process[link.dst.name] = (
+            self.messages_by_process.get(link.dst.name, 0) + 1
+        )
+
+    def __repr__(self) -> str:
+        return f"NetworkStats(messages={self.total_messages}, bytes={self.total_bytes})"
+
+
+class Network:
+    """Message fabric between simulated processes.
+
+    Links must be registered with :meth:`connect` before :meth:`send` is
+    used between a pair of processes; this mirrors the paper's overlay
+    where every process talks only to its hierarchy neighbours.  A default
+    latency can be supplied for convenience, in which case unknown pairs
+    are connected lazily.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency: Optional[float] = None,
+        sizer: Callable[[Any], int] = _default_sizer,
+    ):
+        self.sim = sim
+        self.default_latency = default_latency
+        self.sizer = sizer
+        self.stats = NetworkStats()
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._partitioned: set = set()
+
+    def partition(self, a: Process, b: Process) -> None:
+        """Cut communication between ``a`` and ``b`` (both directions).
+
+        Unlike :meth:`disconnect`, sends over a partitioned pair are
+        *silently dropped* (counted in ``stats.dropped_messages``) — the
+        behaviour of a real network partition, and what the TTL soft
+        state of §4.3 is designed to survive.
+        """
+        self._partitioned.add(frozenset((id(a), id(b))))
+
+    def heal(self, a: Process, b: Process) -> None:
+        """Restore communication after :meth:`partition`."""
+        self._partitioned.discard(frozenset((id(a), id(b))))
+
+    def is_partitioned(self, a: Process, b: Process) -> bool:
+        return frozenset((id(a), id(b))) in self._partitioned
+
+    def connect(self, a: Process, b: Process, latency: float = 0.001) -> None:
+        """Create a bidirectional link between ``a`` and ``b``."""
+        if latency < 0:
+            raise SimulationError(f"negative latency {latency}")
+        self._links[(id(a), id(b))] = Link(a, b, latency)
+        self._links[(id(b), id(a))] = Link(b, a, latency)
+
+    def disconnect(self, a: Process, b: Process) -> None:
+        """Remove the link between ``a`` and ``b`` (both directions).
+
+        Used by the failure-injection tests to simulate partitions; sends
+        over a missing link raise unless a default latency allows lazy
+        reconnection, so partitioned experiments must also disable that.
+        """
+        self._links.pop((id(a), id(b)), None)
+        self._links.pop((id(b), id(a)), None)
+
+    def link(self, src: Process, dst: Process) -> Optional[Link]:
+        """Return the directed link from ``src`` to ``dst`` if present."""
+        return self._links.get((id(src), id(dst)))
+
+    def send(self, src: Process, dst: Process, message: Any) -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` after link latency.
+
+        Delivery invokes ``dst.receive(message, src)`` as a scheduled
+        simulator event.  Per-link FIFO order follows from the kernel's
+        deterministic tie-breaking and the fixed per-link latency.
+        """
+        if frozenset((id(src), id(dst))) in self._partitioned:
+            self.stats.dropped_messages += 1
+            return
+        link = self._links.get((id(src), id(dst)))
+        if link is None:
+            if self.default_latency is None:
+                raise SimulationError(
+                    f"no link from {src.name} to {dst.name} and no default latency"
+                )
+            self.connect(src, dst, self.default_latency)
+            link = self._links[(id(src), id(dst))]
+        size = self.sizer(message)
+        link.messages += 1
+        link.bytes += size
+        self.stats.record(link, size)
+        self.sim.schedule(link.latency, dst.receive, message, src)

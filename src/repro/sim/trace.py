@@ -1,0 +1,73 @@
+"""Structured trace recording.
+
+Experiments record significant occurrences (event published, event matched
+at a node, filter inserted, lease expired, ...) as :class:`TraceRecord`
+rows.  The metrics layer computes LC/RLC/MR from node counters directly,
+but traces support debugging, assertions in integration tests, and
+ad-hoc analysis of simulation runs.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace row: when, where, what, and free-form details."""
+
+    time: float
+    category: str
+    source: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"[{self.time:.4f}] {self.category} @ {self.source} {self.details}"
+
+
+class TraceRecorder:
+    """Append-only trace sink with simple query helpers.
+
+    Recording can be disabled wholesale (``enabled=False``) for large
+    benchmark runs where the per-record overhead matters; the ``record``
+    call then becomes a no-op.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str, source: str, **details: Any) -> None:
+        """Append a record (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, category, source, details))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def query(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all the given criteria."""
+        result = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if source is not None and record.source != source:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def count(self, category: Optional[str] = None, source: Optional[str] = None) -> int:
+        """Count records matching the given criteria."""
+        return len(self.query(category=category, source=source))

@@ -1,0 +1,28 @@
+"""Synthetic workloads for the evaluation (Section 5.2) and examples.
+
+- :mod:`~repro.workloads.distributions` — seeded Zipf/uniform samplers;
+- :mod:`~repro.workloads.bibliographic` — the paper's simulation
+  workload (author/conference/year/title records);
+- :mod:`~repro.workloads.stocks` — stock-quote events (Examples 1-5);
+- :mod:`~repro.workloads.auctions` — auction events (Example 5's f4);
+- :mod:`~repro.workloads.subscriptions` — generic subscription
+  generators with controllable similarity and wildcard rates.
+"""
+
+from repro.workloads.auctions import Auction, AuctionWorkload
+from repro.workloads.bibliographic import BibliographicWorkload, BibRecord
+from repro.workloads.distributions import CategoricalSampler, ZipfSampler
+from repro.workloads.stocks import Stock, StockWorkload
+from repro.workloads.subscriptions import SubscriptionGenerator
+
+__all__ = [
+    "Auction",
+    "AuctionWorkload",
+    "BibRecord",
+    "BibliographicWorkload",
+    "CategoricalSampler",
+    "Stock",
+    "StockWorkload",
+    "SubscriptionGenerator",
+    "ZipfSampler",
+]

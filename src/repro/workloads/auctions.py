@@ -1,0 +1,133 @@
+"""Auction workload: the second event class of Example 5.
+
+The paper's ``f4`` filter::
+
+    f4 = (class, "Auction", =) (Product, "Vehicle", =)
+         (Kind, "Car", =) (Capacity, 2K, <) (price, 10K, <)
+
+fixes the generality order class > product > kind > capacity > price,
+exactly Example 6's five-attribute ``G_Auction`` with stage prefixes
+``[5, 4, 3, 1]``.
+"""
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.advertisement import Advertisement
+from repro.core.stages import AttributeStageAssociation
+from repro.events.base import CLASS_ATTRIBUTE
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import EQ, LT
+from repro.workloads.distributions import CategoricalSampler
+
+AUCTION_SCHEMA: Tuple[str, ...] = (
+    CLASS_ATTRIBUTE,
+    "product",
+    "kind",
+    "capacity",
+    "price",
+)
+
+AUCTION_EVENT_CLASS = "Auction"
+
+#: Example 6's stage prefixes: stage 1 keeps 4 attributes, stage 2 keeps
+#: 3, stage 3 keeps only the class.
+EXAMPLE6_PREFIXES = (5, 4, 3, 1)
+
+_CATALOG = {
+    "Vehicle": ["Car", "Truck", "Motorcycle"],
+    "Electronics": ["Phone", "Laptop", "Camera"],
+    "Furniture": ["Table", "Chair", "Sofa"],
+}
+
+
+class Auction:
+    """An auction listing event (accessor convention)."""
+
+    def __init__(self, product: str, kind: str, capacity: int, price: float):
+        self._product = product
+        self._kind = kind
+        self._capacity = capacity
+        self._price = price
+
+    def get_product(self) -> str:
+        return self._product
+
+    def get_kind(self) -> str:
+        return self._kind
+
+    def get_capacity(self) -> int:
+        return self._capacity
+
+    def get_price(self) -> float:
+        return self._price
+
+    def __repr__(self) -> str:
+        return (
+            f"Auction({self._product!r}, {self._kind!r}, "
+            f"capacity={self._capacity}, price={self._price})"
+        )
+
+
+class AuctionWorkload:
+    """Random auction listings over a small product catalog."""
+
+    def __init__(self, rng: random.Random, max_capacity: int = 5000, max_price: float = 50_000.0):
+        self._rng = rng
+        self.max_capacity = max_capacity
+        self.max_price = max_price
+        products = list(_CATALOG)
+        self._product_sampler = CategoricalSampler(products, [3.0, 2.0, 1.0])
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return AUCTION_SCHEMA
+
+    def association(self) -> AttributeStageAssociation:
+        """Example 6's ``G_Auction`` (stage prefixes 5, 4, 3, 1)."""
+        return AttributeStageAssociation.from_prefixes(
+            AUCTION_SCHEMA, EXAMPLE6_PREFIXES
+        )
+
+    def advertisement(self) -> Advertisement:
+        return Advertisement(AUCTION_EVENT_CLASS, self.association())
+
+    def next_listing(self) -> Auction:
+        product = self._product_sampler.sample(self._rng)
+        kind = self._rng.choice(_CATALOG[product])
+        capacity = self._rng.randrange(1, self.max_capacity)
+        price = round(self._rng.uniform(10.0, self.max_price), 2)
+        return Auction(product, kind, capacity, price)
+
+    def listings(self, count: int) -> List[Auction]:
+        return [self.next_listing() for _ in range(count)]
+
+    def sample_subscription(self, rng: random.Random) -> Filter:
+        """An ``f4``-shaped filter for a random product/kind."""
+        product = self._product_sampler.sample(rng)
+        kind = rng.choice(_CATALOG[product])
+        capacity_cap = rng.randrange(self.max_capacity // 4, self.max_capacity)
+        price_cap = round(rng.uniform(self.max_price / 4, self.max_price), 2)
+        return Filter(
+            [
+                AttributeConstraint(CLASS_ATTRIBUTE, EQ, AUCTION_EVENT_CLASS),
+                AttributeConstraint("product", EQ, product),
+                AttributeConstraint("kind", EQ, kind),
+                AttributeConstraint("capacity", LT, capacity_cap),
+                AttributeConstraint("price", LT, price_cap),
+            ]
+        )
+
+    @staticmethod
+    def example5_f4() -> Filter:
+        """The literal ``f4`` of Example 5 (lower-cased attribute names)."""
+        return Filter(
+            [
+                AttributeConstraint(CLASS_ATTRIBUTE, EQ, AUCTION_EVENT_CLASS),
+                AttributeConstraint("product", EQ, "Vehicle"),
+                AttributeConstraint("kind", EQ, "Car"),
+                AttributeConstraint("capacity", LT, 2000),
+                AttributeConstraint("price", LT, 10_000.0),
+            ]
+        )

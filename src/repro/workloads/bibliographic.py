@@ -1,0 +1,205 @@
+"""The paper's simulation workload: bibliographic data (Section 5.2).
+
+"The events generated represent a simple form of bibliographic data.
+The attributes of an event are: author, conference, year and title."
+The generality order (most general first) is ``year`` (smallest domain),
+then ``conference``, ``author``, ``title`` — matching the paper's
+per-stage filter formats (stage 3 filters on year only, stage 2 on
+year+conference, stage 1 adds author, stage 0 all four).
+
+The workload first materializes a universe of :class:`BibRecord` "papers";
+events sample that universe (Zipf-skewed: popular papers are announced
+more), and subscriptions pick a record and subscribe to its four
+attribute values.  The matching rate observed by subscribers is then
+governed by how many records share a (year, conference, author) triple —
+a tunable, realistic correlation knob (the paper's own constants are
+unpublished; see EXPERIMENTS.md).
+"""
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.advertisement import Advertisement
+from repro.core.stages import AttributeStageAssociation
+from repro.events.base import PropertyEvent
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL, EQ
+from repro.workloads.distributions import ZipfSampler
+
+#: Generality order, most general first (paper §5.2 filter formats).
+BIB_SCHEMA: Tuple[str, ...] = ("year", "conference", "author", "title")
+
+BIB_EVENT_CLASS = "BibRecord"
+
+
+class BibRecord:
+    """One bibliographic record, following the ``get_*`` event convention."""
+
+    def __init__(self, year: int, conference: str, author: str, title: str):
+        self._year = year
+        self._conference = conference
+        self._author = author
+        self._title = title
+
+    def get_year(self) -> int:
+        return self._year
+
+    def get_conference(self) -> str:
+        return self._conference
+
+    def get_author(self) -> str:
+        return self._author
+
+    def get_title(self) -> str:
+        return self._title
+
+    def to_property_event(self) -> PropertyEvent:
+        return PropertyEvent(
+            year=self._year,
+            conference=self._conference,
+            author=self._author,
+            title=self._title,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BibRecord({self._year}, {self._conference!r}, "
+            f"{self._author!r}, {self._title!r})"
+        )
+
+
+class BibliographicWorkload:
+    """Record universe + event/subscription samplers.
+
+    ``record_exponent`` skews which records are published and subscribed
+    (hot papers); ``author_exponent`` skews how records are attributed
+    (prolific authors); ``sibling_rate`` controls how often consecutive
+    records share their (year, conference, author) triple, which directly
+    tunes the subscriber-level matching rate: only title-level (stage-0)
+    filtering separates siblings.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        n_years: int = 6,
+        n_conferences: int = 8,
+        n_authors: int = 300,
+        n_records: int = 500,
+        author_exponent: float = 0.9,
+        record_exponent: float = 0.9,
+        sibling_rate: float = 0.0,
+    ):
+        if min(n_years, n_conferences, n_authors, n_records) < 1:
+            raise ValueError("all domain sizes must be at least 1")
+        if not 0.0 <= sibling_rate < 1.0:
+            raise ValueError(f"sibling_rate must be in [0, 1), got {sibling_rate}")
+        self.years = list(range(1990, 1990 + n_years))
+        self.conferences = [f"conf-{i}" for i in range(n_conferences)]
+        self.authors = [f"author-{i}" for i in range(n_authors)]
+        author_sampler = ZipfSampler(self.authors, author_exponent)
+        year_sampler = ZipfSampler(self.years, 0.3)
+        conference_sampler = ZipfSampler(self.conferences, 0.5)
+        # With probability ``sibling_rate`` a record shares its (year,
+        # conference, author) triple with the previous one — these
+        # "siblings" are exactly what title-level (stage-0) filtering has
+        # to separate, so the rate directly tunes the subscriber MR.
+        self.records: List[BibRecord] = []
+        for i in range(n_records):
+            if self.records and rng.random() < sibling_rate:
+                previous = self.records[-1]
+                record = BibRecord(
+                    year=previous.get_year(),
+                    conference=previous.get_conference(),
+                    author=previous.get_author(),
+                    title=f"title-{i}",
+                )
+            else:
+                record = BibRecord(
+                    year=year_sampler.sample(rng),
+                    conference=conference_sampler.sample(rng),
+                    author=author_sampler.sample(rng),
+                    title=f"title-{i}",
+                )
+            self.records.append(record)
+        self._record_sampler = ZipfSampler(self.records, record_exponent)
+
+    # ------------------------------------------------------------------
+    # Advertising
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return BIB_SCHEMA
+
+    def association(self, stages: int = 4) -> AttributeStageAssociation:
+        """The §5.2 ``Gc``: drop one least-general attribute per stage."""
+        return AttributeStageAssociation.uniform(BIB_SCHEMA, stages)
+
+    def advertisement(self, stages: int = 4) -> Advertisement:
+        return Advertisement(BIB_EVENT_CLASS, self.association(stages))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_record(self, rng: random.Random) -> BibRecord:
+        return self._record_sampler.sample(rng)
+
+    def sample_event(self, rng: random.Random) -> PropertyEvent:
+        """One published event, already in property form."""
+        return self.sample_record(rng).to_property_event()
+
+    def sample_events(self, rng: random.Random, count: int) -> List[PropertyEvent]:
+        return [self.sample_event(rng) for _ in range(count)]
+
+    def subscription_for(
+        self, record: BibRecord, wildcards: Sequence[str] = ()
+    ) -> Filter:
+        """The standard subscription filter for one record (§5.2 stage-0
+        format), with optional wildcarded attributes."""
+        values = {
+            "year": record.get_year(),
+            "conference": record.get_conference(),
+            "author": record.get_author(),
+            "title": record.get_title(),
+        }
+        wildcard_set = set(wildcards)
+        unknown = wildcard_set - set(BIB_SCHEMA)
+        if unknown:
+            raise ValueError(f"unknown wildcard attributes {sorted(unknown)}")
+        constraints = []
+        for attribute in BIB_SCHEMA:
+            if attribute in wildcard_set:
+                constraints.append(AttributeConstraint(attribute, ALL))
+            else:
+                constraints.append(AttributeConstraint(attribute, EQ, values[attribute]))
+        return Filter(constraints)
+
+    def sample_subscription(
+        self,
+        rng: random.Random,
+        wildcard_rate: float = 0.0,
+        wildcard_attribute: str = "title",
+    ) -> Filter:
+        """A subscription for a (Zipf-)sampled record.
+
+        With probability ``wildcard_rate`` the given attribute — and every
+        attribute less general than it — is wildcarded, producing the
+        §4.4 "missing attribute" subscriptions.
+        """
+        record = self.sample_record(rng)
+        wildcards: Tuple[str, ...] = ()
+        if wildcard_rate > 0 and rng.random() < wildcard_rate:
+            position = BIB_SCHEMA.index(wildcard_attribute)
+            wildcards = BIB_SCHEMA[position:]
+        return self.subscription_for(record, wildcards)
+
+    def sample_subscriptions(
+        self, rng: random.Random, count: int, wildcard_rate: float = 0.0
+    ) -> List[Filter]:
+        return [
+            self.sample_subscription(rng, wildcard_rate=wildcard_rate)
+            for _ in range(count)
+        ]

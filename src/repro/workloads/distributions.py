@@ -1,0 +1,72 @@
+"""Seeded samplers over finite domains.
+
+Real pub/sub workloads are skewed (a few hot authors, symbols, topics);
+the Zipf sampler provides that skew reproducibly.  All samplers take the
+``random.Random`` stream to draw from at call time, so one generator can
+serve multiple independent streams.
+"""
+
+import bisect
+import itertools
+import random
+from typing import Generic, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class CategoricalSampler(Generic[T]):
+    """Sample from explicit per-item weights.
+
+    >>> rng = random.Random(1)
+    >>> sampler = CategoricalSampler(["a", "b"], [0.9, 0.1])
+    >>> sampler.sample(rng) in ("a", "b")
+    True
+    """
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float]):
+        if len(items) != len(weights):
+            raise ValueError(
+                f"{len(items)} items but {len(weights)} weights"
+            )
+        if not items:
+            raise ValueError("cannot sample from an empty domain")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self.items: List[T] = list(items)
+        self._cumulative: List[float] = list(
+            itertools.accumulate(w / total for w in weights)
+        )
+        # Guard against floating-point shortfall at the top.
+        self._cumulative[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> T:
+        return self.items[bisect.bisect_left(self._cumulative, rng.random())]
+
+    def sample_many(self, rng: random.Random, count: int) -> List[T]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ZipfSampler(CategoricalSampler[T]):
+    """Zipf-distributed sampling: item ``k`` has weight ``1 / (k+1)^s``.
+
+    ``s = 0`` degenerates to uniform; ``s = 1`` is the classic Zipf law.
+    Items are ranked in the order given (first item most popular).
+    """
+
+    def __init__(self, items: Sequence[T], exponent: float = 1.0):
+        if exponent < 0:
+            raise ValueError(f"exponent must be non-negative, got {exponent}")
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(len(items))]
+        super().__init__(items, weights)
+        self.exponent = exponent
+
+
+def uniform_sampler(items: Sequence[T]) -> CategoricalSampler[T]:
+    """Uniform categorical sampler over ``items``."""
+    return CategoricalSampler(items, [1.0] * len(items))

@@ -1,0 +1,115 @@
+"""Stock-quote workload: the running example of Sections 3 and 4.
+
+:class:`Stock` is the paper's Example-4 event class translated to the
+Python accessor convention (``get_symbol`` / ``get_price`` /
+``get_volume``); :class:`StockWorkload` generates a random-walk quote
+stream plus threshold subscriptions shaped like Example 5's ``f1``-``f3``
+(``class = Stock and symbol = X and price < bound``).
+"""
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.advertisement import Advertisement
+from repro.core.stages import AttributeStageAssociation
+from repro.events.base import CLASS_ATTRIBUTE
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import EQ, LT
+from repro.workloads.distributions import ZipfSampler
+
+#: Generality order: class, then symbol, then price (Example 5's filters).
+STOCK_SCHEMA: Tuple[str, ...] = (CLASS_ATTRIBUTE, "symbol", "price")
+
+STOCK_EVENT_CLASS = "Stock"
+
+
+class Stock:
+    """The paper's Example-4 ``Stock`` event class.
+
+    Attributes are private; the event system deduces the effective
+    attributes ``symbol`` and ``price`` from the public access methods.
+    """
+
+    def __init__(self, symbol: str, price: float, volume: int = 0):
+        self._symbol = symbol
+        self._price = price
+        self._volume = volume
+
+    def get_symbol(self) -> str:
+        return self._symbol
+
+    def get_price(self) -> float:
+        return self._price
+
+    def get_volume(self) -> int:
+        return self._volume
+
+    def __repr__(self) -> str:
+        return f"Stock({self._symbol!r}, {self._price!r}, volume={self._volume})"
+
+
+class StockWorkload:
+    """Random-walk quotes over a Zipf-popular symbol universe."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        symbols: Optional[Sequence[str]] = None,
+        n_symbols: int = 50,
+        initial_price: float = 100.0,
+        volatility: float = 0.02,
+        symbol_exponent: float = 0.8,
+    ):
+        if symbols is None:
+            symbols = [f"SYM{i:03d}" for i in range(n_symbols)]
+        if not symbols:
+            raise ValueError("need at least one symbol")
+        self.symbols: List[str] = list(symbols)
+        self.volatility = volatility
+        self._sampler = ZipfSampler(self.symbols, symbol_exponent)
+        self._prices = {symbol: initial_price for symbol in self.symbols}
+        self._rng = rng
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return STOCK_SCHEMA
+
+    def association(self, stages: int = 3) -> AttributeStageAssociation:
+        return AttributeStageAssociation.uniform(STOCK_SCHEMA, stages)
+
+    def advertisement(self, stages: int = 3) -> Advertisement:
+        return Advertisement(STOCK_EVENT_CLASS, self.association(stages))
+
+    def next_quote(self) -> Stock:
+        """Advance one symbol's random walk and emit its quote."""
+        symbol = self._sampler.sample(self._rng)
+        drift = 1.0 + self._rng.uniform(-self.volatility, self.volatility)
+        price = max(0.01, self._prices[symbol] * drift)
+        self._prices[symbol] = price
+        volume = self._rng.randrange(100, 100_000)
+        return Stock(symbol, round(price, 2), volume)
+
+    def quotes(self, count: int) -> List[Stock]:
+        return [self.next_quote() for _ in range(count)]
+
+    def price_of(self, symbol: str) -> float:
+        return self._prices[symbol]
+
+    def sample_subscription(
+        self, rng: random.Random, band: float = 0.05
+    ) -> Filter:
+        """An Example-5-style filter: symbol equality + price ceiling.
+
+        The ceiling sits within ``band`` of the symbol's current price, so
+        a live stream keeps crossing it in both directions.
+        """
+        symbol = self._sampler.sample(rng)
+        ceiling = self._prices[symbol] * (1.0 + rng.uniform(-band, band))
+        return Filter(
+            [
+                AttributeConstraint(CLASS_ATTRIBUTE, EQ, STOCK_EVENT_CLASS),
+                AttributeConstraint("symbol", EQ, symbol),
+                AttributeConstraint("price", LT, round(ceiling, 2)),
+            ]
+        )

@@ -1,0 +1,107 @@
+"""Generic subscription generators with controllable structure.
+
+The placement and merging behaviour of the overlay depends on how
+*similar* subscriptions are (§4.2: similar subscriptions should cluster)
+— this module generates filter populations whose similarity is an
+explicit knob: ``cluster_count`` seeds of rigid equality constraints,
+each spawning variants that differ only in a numeric bound, which is
+precisely the ``f1``/``f2`` relationship of Example 5.
+"""
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL, EQ, LT
+
+
+class SubscriptionGenerator:
+    """Population generator over a categorical schema + one numeric attr.
+
+    ``schema`` lists the categorical attributes (generality order) with
+    their domain sizes; ``numeric_attribute`` gets a ``<`` bound drawn
+    from ``numeric_range``.
+    """
+
+    def __init__(
+        self,
+        schema: Sequence[Tuple[str, int]],
+        numeric_attribute: str = "price",
+        numeric_range: Tuple[float, float] = (10.0, 1000.0),
+    ):
+        if not schema:
+            raise ValueError("need at least one categorical attribute")
+        self.schema = list(schema)
+        self.numeric_attribute = numeric_attribute
+        self.numeric_range = numeric_range
+
+    @property
+    def attributes(self) -> List[str]:
+        return [name for name, _ in self.schema] + [self.numeric_attribute]
+
+    def _random_rigid(self, rng: random.Random) -> List[AttributeConstraint]:
+        return [
+            AttributeConstraint(name, EQ, f"{name}-{rng.randrange(domain)}")
+            for name, domain in self.schema
+        ]
+
+    def random_filter(self, rng: random.Random) -> Filter:
+        lo, hi = self.numeric_range
+        bound = round(rng.uniform(lo, hi), 2)
+        return Filter(
+            self._random_rigid(rng)
+            + [AttributeConstraint(self.numeric_attribute, LT, bound)]
+        )
+
+    def clustered_population(
+        self,
+        rng: random.Random,
+        cluster_count: int,
+        cluster_size: int,
+    ) -> List[Filter]:
+        """``cluster_count`` groups of ``cluster_size`` similar filters.
+
+        Filters within a group share every equality constraint and differ
+        only in the numeric bound — Example 5's ``f1``/``f2`` shape, the
+        best case for covering merges and similarity placement.
+        """
+        lo, hi = self.numeric_range
+        population: List[Filter] = []
+        for _ in range(cluster_count):
+            rigid = self._random_rigid(rng)
+            for _ in range(cluster_size):
+                bound = round(rng.uniform(lo, hi), 2)
+                population.append(
+                    Filter(
+                        rigid + [AttributeConstraint(self.numeric_attribute, LT, bound)]
+                    )
+                )
+        return population
+
+    def dissimilar_population(self, rng: random.Random, count: int) -> List[Filter]:
+        """Independent filters: the anti-clustered control population."""
+        return [self.random_filter(rng) for _ in range(count)]
+
+    def with_wildcards(
+        self,
+        rng: random.Random,
+        filters: Sequence[Filter],
+        rate: float,
+        attribute: Optional[str] = None,
+    ) -> List[Filter]:
+        """Replace an attribute's constraint with ``ALL`` at the given rate."""
+        target = attribute or self.schema[-1][0]
+        result = []
+        for filter_ in filters:
+            if rng.random() < rate:
+                constraints = [
+                    AttributeConstraint(target, ALL)
+                    if c.attribute == target
+                    else c
+                    for c in filter_.constraints
+                ]
+                result.append(Filter(constraints))
+            else:
+                result.append(filter_)
+        return result

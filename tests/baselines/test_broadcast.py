@@ -1,0 +1,82 @@
+"""Unit tests for the broadcast baseline (§2.1)."""
+
+from repro.baselines.broadcast import BroadcastSystem
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+def test_every_subscriber_receives_every_event():
+    system = BroadcastSystem()
+    publisher = system.create_publisher()
+    subscribers = []
+    for i in range(3):
+        subscriber = system.create_subscriber()
+        system.subscribe(subscriber, f'symbol = "S{i}"', event_class="Stock")
+        subscribers.append(subscriber)
+    for i in range(5):
+        publisher.publish(Quote("S0", float(i)), event_class="Stock")
+    system.drain()
+    for subscriber in subscribers:
+        assert subscriber.counters.events_received == 5
+
+
+def test_local_filtering_delivers_only_matches():
+    system = BroadcastSystem()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = []
+    system.subscribe(
+        subscriber, 'symbol = "A"', event_class="Stock",
+        handler=lambda e, m, s: got.append(m["symbol"]),
+    )
+    publisher.publish(Quote("A", 1.0), event_class="Stock")
+    publisher.publish(Quote("B", 1.0), event_class="Stock")
+    system.drain()
+    assert got == ["A"]
+    assert subscriber.counters.events_matched == 1
+
+
+def test_fabric_holds_no_filters():
+    system = BroadcastSystem()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'symbol = "A"', event_class="Stock")
+    publisher.publish(Quote("A", 1.0), event_class="Stock")
+    system.drain()
+    assert system.fabric.counters.filters_held == 0
+    assert system.fabric.counters.filter_evaluations == 0
+    assert system.fabric.counters.events_received == 1
+
+
+def test_joining_twice_does_not_duplicate_delivery():
+    system = BroadcastSystem()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'symbol = "A"', event_class="Stock")
+    system.subscribe(subscriber, 'symbol = "B"', event_class="Stock")
+    publisher.publish(Quote("A", 1.0), event_class="Stock")
+    system.drain()
+    assert subscriber.counters.events_received == 1
+    assert subscriber.counters.events_delivered == 1
+
+
+def test_message_volume_scales_with_subscribers():
+    system = BroadcastSystem()
+    publisher = system.create_publisher()
+    for i in range(10):
+        subscriber = system.create_subscriber()
+        system.subscribe(subscriber, 'symbol = "never"', event_class="Stock")
+    publisher.publish(Quote("A", 1.0), event_class="Stock")
+    system.drain()
+    # 1 publisher->fabric + 10 fabric->subscriber.
+    assert system.network.stats.total_messages == 11

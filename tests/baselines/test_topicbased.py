@@ -1,0 +1,93 @@
+"""Unit tests for the topic-based baseline (degenerate content routing)."""
+
+import pytest
+
+from repro.baselines.topicbased import TopicBasedSystem
+
+
+class Quote:
+    def __init__(self, symbol):
+        self._symbol = symbol
+
+    def get_symbol(self):
+        return self._symbol
+
+
+class Listing:
+    def __init__(self, item):
+        self._item = item
+
+    def get_item(self):
+        return self._item
+
+
+def test_events_routed_by_class_topic():
+    system = TopicBasedSystem()
+    publisher = system.create_publisher()
+    stocks = system.create_subscriber()
+    auctions = system.create_subscriber()
+    system.subscribe(stocks, None, event_class="Quote")
+    system.subscribe(auctions, None, event_class="Listing")
+    publisher.publish(Quote("A"), event_class="Quote")
+    publisher.publish(Listing("chair"), event_class="Listing")
+    publisher.publish(Quote("B"), event_class="Quote")
+    system.drain()
+    assert stocks.counters.events_received == 2
+    assert auctions.counters.events_received == 1
+
+
+def test_content_selectivity_is_local_only():
+    """Members of a topic receive the whole topic and filter locally —
+    exactly the g3 degeneration of §3.4."""
+    system = TopicBasedSystem()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = []
+    system.subscribe(
+        subscriber, 'symbol = "A"', event_class="Quote",
+        handler=lambda e, m, s: got.append(m["symbol"]),
+    )
+    publisher.publish(Quote("A"), event_class="Quote")
+    publisher.publish(Quote("B"), event_class="Quote")
+    system.drain()
+    assert got == ["A"]
+    assert subscriber.counters.events_received == 2  # whole topic
+
+
+def test_event_without_members_is_dropped():
+    system = TopicBasedSystem()
+    publisher = system.create_publisher()
+    publisher.publish(Quote("A"), event_class="Quote")
+    system.drain()
+    assert system.hub.counters.events_received == 1
+    assert system.hub.counters.events_matched == 0
+
+
+def test_subscription_requires_topic():
+    system = TopicBasedSystem()
+    subscriber = system.create_subscriber()
+    with pytest.raises(ValueError):
+        system.subscribe(subscriber, 'symbol = "A"', event_class="")
+
+
+def test_duplicate_join_is_single_membership():
+    system = TopicBasedSystem()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'symbol = "A"', event_class="Quote")
+    system.subscribe(subscriber, 'symbol = "B"', event_class="Quote")
+    publisher.publish(Quote("A"), event_class="Quote")
+    system.drain()
+    assert subscriber.counters.events_received == 1
+    assert system.hub.topics() == ["Quote"]
+
+
+def test_hub_counts_one_evaluation_per_event():
+    system = TopicBasedSystem()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, None, event_class="Quote")
+    publisher.publish(Quote("A"), event_class="Quote")
+    publisher.publish(Quote("B"), event_class="Quote")
+    system.drain()
+    assert system.hub.counters.filter_evaluations == 2

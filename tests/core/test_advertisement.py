@@ -1,0 +1,148 @@
+"""Unit tests for advertisements and the advertisement registry."""
+
+import pytest
+
+from repro.core.advertisement import Advertisement, AdvertisementRegistry
+from repro.core.stages import AttributeStageAssociation
+from repro.filters.parser import parse_filter
+from repro.filters.standard import wildcard_attributes
+
+STOCK = Advertisement(
+    "Stock",
+    AttributeStageAssociation.from_prefixes(("class", "symbol", "price"), [3, 2, 1]),
+)
+BIB = Advertisement(
+    "BibRecord",
+    AttributeStageAssociation.uniform(("year", "conference", "author", "title"), 4),
+)
+
+
+class TestAdvertisement:
+    def test_schema_comes_from_association(self):
+        assert STOCK.schema == ("class", "symbol", "price")
+
+    def test_class_filter(self):
+        f = STOCK.class_filter()
+        assert f.matches({"class": "Stock"})
+        assert not f.matches({"class": "Auction"})
+
+    def test_standardize_fills_wildcards(self):
+        standard = STOCK.standardize(parse_filter('symbol = "Foo"'))
+        assert standard.attributes() == ["class", "symbol", "price"]
+        assert wildcard_attributes(standard) == ["price"]
+
+    def test_standardize_defaults_class_to_equality(self):
+        """Subscribing through an advertisement pins the class, never a
+        class wildcard — that is what makes i1-style root filters work."""
+        standard = STOCK.standardize(parse_filter("price < 10"))
+        class_constraint = standard.constraints_on("class")[0]
+        assert class_constraint.operand == "Stock"
+        assert not standard.matches({"class": "Other", "symbol": "X", "price": 5})
+
+    def test_standardize_keeps_explicit_class_constraint(self):
+        standard = STOCK.standardize(parse_filter('class = "Stock" and price < 10'))
+        assert standard.constraints_on("class")[0].operand == "Stock"
+
+    def test_standardize_without_class_in_schema(self):
+        standard = BIB.standardize(parse_filter("year = 2002"))
+        assert standard.attributes() == list(BIB.schema)
+        assert "class" not in standard.attributes()
+
+    def test_standardize_rejects_foreign_attributes(self):
+        with pytest.raises(ValueError):
+            STOCK.standardize(parse_filter("volume > 100"))
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        registry = AdvertisementRegistry()
+        assert registry.add(STOCK) is True
+        assert registry.get("Stock") is STOCK
+        assert "Stock" in registry
+        assert len(registry) == 1
+
+    def test_readding_same_is_not_a_change(self):
+        registry = AdvertisementRegistry()
+        registry.add(STOCK)
+        assert registry.add(STOCK) is False
+
+    def test_updated_association_is_a_change(self):
+        registry = AdvertisementRegistry()
+        registry.add(STOCK)
+        updated = Advertisement(
+            "Stock",
+            AttributeStageAssociation.from_prefixes(
+                ("class", "symbol", "price"), [3, 3, 1]
+            ),
+        )
+        assert registry.add(updated) is True
+        assert registry.get("Stock") == updated
+
+    def test_require_raises_on_unknown(self):
+        with pytest.raises(KeyError):
+            AdvertisementRegistry().require("Nope")
+
+    def test_get_returns_none_on_unknown(self):
+        assert AdvertisementRegistry().get("Nope") is None
+
+    def test_classes_and_iteration(self):
+        registry = AdvertisementRegistry()
+        registry.add(STOCK)
+        registry.add(BIB)
+        assert registry.classes() == ["Stock", "BibRecord"]
+        assert list(registry) == [STOCK, BIB]
+
+
+class TestInference:
+    def test_schema_inferred_by_domain_size(self):
+        from repro.events.base import PropertyEvent
+
+        samples = [
+            PropertyEvent(year=1990 + (i % 3), author=f"a{i % 20}", title=f"t{i}")
+            for i in range(40)
+        ]
+        advertisement = Advertisement.infer("Bib", samples, stages=4,
+                                            include_class=False)
+        assert advertisement.schema == ("year", "author", "title")
+        assert advertisement.association.num_stages == 4
+
+    def test_class_attribute_leads_when_included(self):
+        from repro.events.base import PropertyEvent
+
+        samples = [PropertyEvent(x=i % 2, y=i) for i in range(10)]
+        advertisement = Advertisement.infer("Thing", samples, stages=3)
+        assert advertisement.schema[0] == "class"
+        assert advertisement.schema[1] == "x"
+
+    def test_typed_samples_are_reflected(self):
+        class Ping:
+            def __init__(self, i):
+                self._i = i
+
+            def get_host(self):
+                return f"h{self._i % 2}"
+
+            def get_seq(self):
+                return self._i
+
+        advertisement = Advertisement.infer(
+            "Ping", [Ping(i) for i in range(12)], stages=3
+        )
+        assert advertisement.schema == ("class", "host", "seq")
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            Advertisement.infer("X", [], stages=3)
+
+
+def test_engine_advertise_from_samples():
+    from repro.core.engine import MultiStageEventSystem
+    from repro.events.base import PropertyEvent
+
+    system = MultiStageEventSystem(stage_sizes=(2, 1))
+    samples = [PropertyEvent(kind=f"k{i % 2}", detail=f"d{i}") for i in range(10)]
+    advertisement = system.advertise_from_samples("Obs", samples)
+    assert advertisement.schema == ("class", "kind", "detail")
+    system.drain()
+    for node in system.hierarchy.nodes():
+        assert node.advertisements.get("Obs") is not None

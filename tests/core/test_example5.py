@@ -1,0 +1,131 @@
+"""Exact reproduction of the paper's Example 5 (Section 4).
+
+Four subscriber filters over two event classes are weakened stage by
+stage: f1..f4 -> g1..g3 (stage 1) -> h1..h3 (stage 2) -> i1, i2 (stage
+3).  We reproduce every intermediate filter the paper lists, using the
+automated weakening (Gc prefix truncation, §4.1) combined with covering
+merges for the stage-1 bound relaxation (g1 covering f1 and f2).
+"""
+
+from repro.core.stages import AttributeStageAssociation
+from repro.core.weakening import merge_covering, weaken_filter
+from repro.filters.parser import parse_filter
+
+STOCK_SCHEMA = ("class", "symbol", "price")
+# For Stock, stage 1 keeps all three attributes (g1/g2 still bound price);
+# stage 2 keeps class+symbol (h1/h2); stage 3 keeps class only (i1).
+STOCK_ASSOC = AttributeStageAssociation.from_prefixes(STOCK_SCHEMA, [3, 3, 2, 1])
+
+AUCTION_SCHEMA = ("class", "product", "kind", "capacity", "price")
+# Example 6's G_Auction: stage prefixes 5, 4, 3, 1.
+AUCTION_ASSOC = AttributeStageAssociation.from_prefixes(
+    AUCTION_SCHEMA, [5, 4, 3, 1]
+)
+
+F1 = parse_filter('class = "Stock" and symbol = "DEF" and price < 10.0')
+F2 = parse_filter('class = "Stock" and symbol = "DEF" and price < 11.0')
+F3 = parse_filter('class = "Stock" and symbol = "GHI" and price < 8.0')
+F4 = parse_filter(
+    'class = "Auction" and product = "Vehicle" and kind = "Car" '
+    "and capacity < 2000 and price < 10000"
+)
+
+G1 = parse_filter('class = "Stock" and symbol = "DEF" and price < 11.0')
+G2 = parse_filter('class = "Stock" and symbol = "GHI" and price < 8.0')
+G3 = parse_filter(
+    'class = "Auction" and product = "Vehicle" and kind = "Car" '
+    "and capacity < 2000"
+)
+
+H1 = parse_filter('class = "Stock" and symbol = "DEF"')
+H2 = parse_filter('class = "Stock" and symbol = "GHI"')
+H3 = parse_filter('class = "Auction" and product = "Vehicle" and kind = "Car"')
+
+I1 = parse_filter('class = "Stock"')
+I2 = parse_filter('class = "Auction"')
+
+
+def stage1_filters():
+    """Stage 1: weaken per Gc, then merge covering filters (g1 <- f1, f2)."""
+    stock = merge_covering(
+        [weaken_filter(f, STOCK_ASSOC, 1) for f in (F1, F2, F3)]
+    )
+    auction = [weaken_filter(F4, AUCTION_ASSOC, 1)]
+    return stock + auction
+
+
+class TestStage1:
+    def test_g_filters_reproduced(self):
+        produced = stage1_filters()
+        assert len(produced) == 3
+        assert G1 in produced
+        assert G2 in produced
+        assert G3 in produced
+
+    def test_g1_covers_f1_and_f2(self):
+        assert G1.covers(F1)
+        assert G1.covers(F2)
+
+    def test_g2_covers_f3_and_g3_covers_f4(self):
+        assert G2.covers(F3)
+        assert G3.covers(F4)
+
+    def test_fewer_filters_than_user_level(self):
+        assert len(stage1_filters()) < 4
+
+
+class TestStage2:
+    def test_h_filters_reproduced(self):
+        assert weaken_filter(G1, STOCK_ASSOC, 2) == H1
+        assert weaken_filter(G2, STOCK_ASSOC, 2) == H2
+        assert weaken_filter(G3, AUCTION_ASSOC, 2) == H3
+
+    def test_h_filters_cover_g_filters(self):
+        assert H1.covers(G1)
+        assert H2.covers(G2)
+        assert H3.covers(G3)
+
+
+class TestStage3:
+    def test_i_filters_reproduced(self):
+        assert weaken_filter(H1, STOCK_ASSOC, 3) == I1
+        assert weaken_filter(H2, STOCK_ASSOC, 3) == I1
+        assert weaken_filter(H3, AUCTION_ASSOC, 3) == I2
+
+    def test_stage3_collapses_to_type_filters(self):
+        produced = {
+            weaken_filter(h, STOCK_ASSOC if "Stock" in str(h) else AUCTION_ASSOC, 3)
+            for h in (H1, H2, H3)
+        }
+        assert produced == {I1, I2}
+
+
+class TestEndToEndCovering:
+    """Every stage covers everything below it — the Proposition-1 chain."""
+
+    def test_full_ladders(self):
+        ladders = [
+            (F1, G1, H1, I1),
+            (F2, G1, H1, I1),
+            (F3, G2, H2, I1),
+            (F4, G3, H3, I2),
+        ]
+        for ladder in ladders:
+            for higher_index in range(1, len(ladder)):
+                for lower_index in range(higher_index):
+                    assert ladder[higher_index].covers(ladder[lower_index]), (
+                        f"{ladder[higher_index]} should cover {ladder[lower_index]}"
+                    )
+
+    def test_matching_is_consistent_along_the_ladder(self):
+        stock_event = {
+            "class": "Stock", "symbol": "DEF", "price": 9.5, "volume": 100,
+        }
+        assert F1.matches(stock_event)
+        for filter_ in (G1, H1, I1):
+            assert filter_.matches(stock_event)
+
+    def test_paper_remark_g1_covers_f1_derivative(self):
+        """'we can now ignore filter f1 (and its derivative) and keep only
+        g1' — f1's stage-1 weakening is covered by g1."""
+        assert G1.covers(weaken_filter(F1, STOCK_ASSOC, 1))

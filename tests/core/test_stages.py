@@ -1,0 +1,101 @@
+"""Unit tests for attribute generality and the Gc association (§4.1)."""
+
+import pytest
+
+from repro.core.stages import AttributeStageAssociation, rank_by_generality
+
+SCHEMA = ("class", "product", "kind", "capacity", "price")
+
+
+class TestRankByGenerality:
+    def test_smallest_domain_is_most_general(self):
+        order = rank_by_generality({"title": 10000, "year": 30, "author": 2000})
+        assert order == ["year", "author", "title"]
+
+    def test_ties_break_alphabetically(self):
+        assert rank_by_generality({"b": 5, "a": 5}) == ["a", "b"]
+
+    def test_empty(self):
+        assert rank_by_generality({}) == []
+
+
+class TestConstruction:
+    def test_example6_prefixes(self):
+        assoc = AttributeStageAssociation.from_prefixes(SCHEMA, [5, 4, 3, 1])
+        assert assoc.attributes_for_stage(0) == SCHEMA
+        assert assoc.attributes_for_stage(1) == SCHEMA[:4]
+        assert assoc.attributes_for_stage(2) == SCHEMA[:3]
+        assert assoc.attributes_for_stage(3) == ("class",)
+
+    def test_uniform_drops_one_per_stage(self):
+        assoc = AttributeStageAssociation.uniform(("a", "b", "c", "d"), stages=4)
+        assert [len(assoc.attributes_for_stage(i)) for i in range(4)] == [4, 3, 2, 1]
+
+    def test_uniform_never_drops_below_one(self):
+        assoc = AttributeStageAssociation.uniform(("a", "b"), stages=4)
+        assert assoc.attributes_for_stage(3) == ("a",)
+
+    def test_stage0_must_be_full_schema(self):
+        with pytest.raises(ValueError):
+            AttributeStageAssociation(("a", "b"), [("a",), ("a",)])
+
+    def test_non_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeStageAssociation(("a", "b"), [("a", "b"), ("b",)])
+
+    def test_growing_stage_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeStageAssociation.from_prefixes(("a", "b", "c"), [3, 1, 2])
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeStageAssociation.from_prefixes(("a", "a"), [2, 1])
+
+    def test_out_of_range_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeStageAssociation.from_prefixes(("a", "b"), [2, 5])
+
+    def test_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            AttributeStageAssociation(("a",), [])
+        with pytest.raises(ValueError):
+            AttributeStageAssociation.uniform(("a",), stages=0)
+
+
+class TestQueries:
+    @pytest.fixture()
+    def assoc(self):
+        return AttributeStageAssociation.from_prefixes(SCHEMA, [5, 4, 3, 1])
+
+    def test_num_stages_and_top(self, assoc):
+        assert assoc.num_stages == 4
+        assert assoc.top_stage == 3
+
+    def test_stage_beyond_top_degrades_to_top(self, assoc):
+        assert assoc.attributes_for_stage(99) == ("class",)
+
+    def test_negative_stage_rejected(self, assoc):
+        with pytest.raises(ValueError):
+            assoc.attributes_for_stage(-1)
+
+    def test_top_stage_using(self, assoc):
+        assert assoc.top_stage_using("class") == 3
+        assert assoc.top_stage_using("kind") == 2
+        assert assoc.top_stage_using("capacity") == 1
+        assert assoc.top_stage_using("price") == 0
+        assert assoc.top_stage_using("unknown") == -1
+
+    def test_stages_iteration_and_dict(self, assoc):
+        stages = dict(assoc.stages())
+        assert stages == assoc.as_dict()
+        assert stages[3] == ("class",)
+
+    def test_equality_and_hash(self, assoc):
+        same = AttributeStageAssociation.from_prefixes(SCHEMA, [5, 4, 3, 1])
+        other = AttributeStageAssociation.from_prefixes(SCHEMA, [5, 4, 2, 1])
+        assert assoc == same
+        assert hash(assoc) == hash(same)
+        assert assoc != other
+
+    def test_repr(self, assoc):
+        assert "prefixes=[5, 4, 3, 1]" in repr(assoc)

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for stage weakening: Propositions 1-2."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.core.stages import AttributeStageAssociation
+from repro.core.weakening import weaken_event, weaken_filter, weakening_chain
+from repro.events.base import PropertyEvent
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter, event_covers
+from repro.filters.operators import ALL, EQ, GE, GT, LE, LT
+
+SCHEMA = ("w", "x", "y", "z")
+
+values = st.one_of(
+    st.integers(min_value=0, max_value=9),
+    st.sampled_from(["a", "b", "c"]),
+)
+
+
+@st.composite
+def associations(draw):
+    lengths = [4]
+    current = 4
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        current = draw(st.integers(min_value=1, max_value=current))
+        lengths.append(current)
+    return AttributeStageAssociation.from_prefixes(SCHEMA, lengths)
+
+
+@st.composite
+def schema_filters(draw):
+    constraints = []
+    for attribute in SCHEMA:
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            constraints.append(AttributeConstraint(attribute, ALL))
+        elif kind == 1:
+            constraints.append(
+                AttributeConstraint(attribute, EQ, draw(values))
+            )
+        else:
+            op = draw(st.sampled_from([LT, LE, GT, GE]))
+            constraints.append(
+                AttributeConstraint(attribute, op, draw(st.integers(0, 9)))
+            )
+    return Filter(constraints)
+
+
+@st.composite
+def schema_events(draw):
+    return PropertyEvent({attribute: draw(values) for attribute in SCHEMA})
+
+
+@given(f=schema_filters(), assoc=associations(), e=schema_events())
+def test_proposition1_weakened_filters_cover_originals(f, assoc, e):
+    """Every stage's weakening may pre-filter for the original: no event
+    the original accepts is ever dropped upstream."""
+    for stage in range(assoc.num_stages):
+        weakened = weaken_filter(f, assoc, stage)
+        assert weakened.covers(f)
+        if f.matches(e):
+            assert weakened.matches(e)
+
+
+@given(f=schema_filters(), assoc=associations())
+def test_chain_is_monotone(f, assoc):
+    chain = weakening_chain(f, assoc)
+    for higher in range(1, len(chain)):
+        assert chain[higher].covers(chain[higher - 1])
+
+
+@given(f=schema_filters(), assoc=associations(), e=schema_events())
+def test_proposition2_coordinated_event_weakening(f, assoc, e):
+    """The stage-s weakened event covers the original for every stage-s
+    weakened filter (the coordination requirement of Prop. 2)."""
+    for stage in range(assoc.num_stages):
+        weakened_filter = weaken_filter(f, assoc, stage)
+        weakened_event = weaken_event(e, assoc, stage)
+        assert event_covers(weakened_event, e, weakened_filter)
+        # And the match outcome is identical, not merely covering:
+        assert weakened_filter.matches(weakened_event) == weakened_filter.matches(e)
+
+
+@given(f=schema_filters(), assoc=associations())
+def test_top_stage_keeps_most_general_attributes_only(f, assoc):
+    top = weaken_filter(f, assoc, assoc.top_stage)
+    allowed = set(assoc.attributes_for_stage(assoc.top_stage))
+    assert set(top.attributes()) <= allowed

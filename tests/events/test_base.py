@@ -1,0 +1,86 @@
+"""Unit tests for PropertyEvent."""
+
+import pytest
+
+from repro.events.base import CLASS_ATTRIBUTE, PropertyEvent
+
+
+def test_mapping_protocol():
+    e = PropertyEvent({"symbol": "Foo", "price": 10.0})
+    assert e["symbol"] == "Foo"
+    assert len(e) == 2
+    assert set(e) == {"symbol", "price"}
+    assert "price" in e
+    assert "volume" not in e
+    assert e.get("volume") is None
+    assert dict(e) == {"symbol": "Foo", "price": 10.0}
+
+
+def test_kwargs_construction():
+    e = PropertyEvent(symbol="Foo", price=1.0)
+    assert e["price"] == 1.0
+
+
+def test_pairs_construction():
+    e = PropertyEvent([("a", 1), ("b", 2)])
+    assert e["b"] == 2
+
+
+def test_kwargs_override_mapping():
+    e = PropertyEvent({"a": 1}, a=2)
+    assert e["a"] == 2
+
+
+def test_non_string_keys_rejected():
+    with pytest.raises(TypeError):
+        PropertyEvent({1: "x"})
+
+
+def test_immutability():
+    e = PropertyEvent(a=1)
+    with pytest.raises(AttributeError):
+        e.anything = 2
+    with pytest.raises(TypeError):
+        e["a"] = 2
+
+
+def test_event_class_property():
+    assert PropertyEvent({CLASS_ATTRIBUTE: "Stock"}).event_class == "Stock"
+    assert PropertyEvent(a=1).event_class is None
+
+
+def test_restricted_to():
+    e = PropertyEvent(a=1, b=2, c=3)
+    restricted = e.restricted_to(["a", "c", "missing"])
+    assert dict(restricted) == {"a": 1, "c": 3}
+
+
+def test_restricted_to_empty():
+    assert dict(PropertyEvent(a=1).restricted_to([])) == {}
+
+
+def test_with_properties():
+    e = PropertyEvent(a=1)
+    updated = e.with_properties(b=2, a=9)
+    assert dict(updated) == {"a": 9, "b": 2}
+    assert dict(e) == {"a": 1}  # original untouched
+
+
+def test_equality_with_event_and_mapping():
+    assert PropertyEvent(a=1) == PropertyEvent(a=1)
+    assert PropertyEvent(a=1) == {"a": 1}
+    assert PropertyEvent(a=1) != PropertyEvent(a=2)
+
+
+def test_hashable():
+    assert hash(PropertyEvent(a=1)) == hash(PropertyEvent(a=1))
+    assert len({PropertyEvent(a=1), PropertyEvent(a=1), PropertyEvent(a=2)}) == 2
+
+
+def test_properties_view():
+    e = PropertyEvent(a=1)
+    assert e.properties["a"] == 1
+
+
+def test_repr_lists_properties():
+    assert "symbol='Foo'" in repr(PropertyEvent(symbol="Foo"))

@@ -1,0 +1,93 @@
+"""Unit tests for filter closures (the BuyFilter pattern, Section 3.4)."""
+
+import pytest
+
+from repro.events.closures import FilterClosure
+from repro.filters.filter import Filter
+from repro.filters.parser import parse_filter
+
+
+class FakeStock:
+    def __init__(self, price):
+        self._price = price
+
+    def get_price(self):
+        return self._price
+
+
+def test_pure_closure_is_just_the_filter():
+    closure = FilterClosure(parse_filter("price < 10"))
+    assert closure.is_pure
+    assert closure.matches({"price": 5})
+    assert not closure.matches({"price": 15})
+
+
+def test_residual_runs_after_indexable_part():
+    calls = []
+
+    def residual(event):
+        calls.append(event)
+        return event["price"] > 3
+
+    closure = FilterClosure(parse_filter("price < 10"), residual=residual)
+    assert closure.matches({"price": 5})
+    assert not closure.matches({"price": 2})
+    # Indexable rejection short-circuits: the residual never sees it.
+    assert not closure.matches({"price": 50})
+    assert {"price": 50} not in calls
+
+
+def test_residual_receives_typed_event_with_separate_metadata():
+    closure = FilterClosure(
+        parse_filter("price < 10"),
+        residual=lambda stock: stock.get_price() != 7,
+    )
+    stock = FakeStock(5)
+    assert closure.matches(stock, metadata={"price": 5})
+    assert not closure.matches(FakeStock(7), metadata={"price": 7})
+
+
+def test_stateful_residual_buyfilter_semantics():
+    """The paper's BuyFilter: price below 95% of the previous match."""
+    state = {"last": 0.0}
+
+    def buy(stock):
+        price = stock.get_price()
+        match = price <= state["last"] * 0.95
+        state["last"] = price
+        return match
+
+    closure = FilterClosure(parse_filter("price < 10.0"), residual=buy)
+
+    def feed(price):
+        return closure.matches(FakeStock(price), metadata={"price": price})
+
+    assert not feed(9.8)   # no previous matching price
+    assert feed(9.0)       # 9.0 <= 9.8 * 0.95
+    assert not feed(8.9)   # 8.9 > 9.0 * 0.95 = 8.55
+    assert feed(8.0)       # 8.0 <= 8.9 * 0.95 = 8.455
+
+
+def test_indexable_part_covers_the_closure():
+    """The overlay only ever sees the cover: residuals can only narrow."""
+    closure = FilterClosure(
+        parse_filter("price < 10"), residual=lambda e: e["price"] % 2 == 0
+    )
+    for price in range(20):
+        event = {"price": price}
+        if closure.matches(event):
+            assert closure.matches_metadata(event)
+
+
+def test_residual_under_bottom_rejected():
+    with pytest.raises(ValueError):
+        FilterClosure(Filter.bottom(), residual=lambda e: True)
+
+
+def test_repr_and_name():
+    named = FilterClosure(parse_filter("a = 1"), name="my-sub")
+    assert "my-sub" in repr(named)
+    assert "pure" in repr(FilterClosure(parse_filter("a = 1")))
+    assert "residual" in repr(
+        FilterClosure(parse_filter("a = 1"), residual=lambda e: True)
+    )

@@ -1,0 +1,128 @@
+"""Unit tests for the runtime type registry."""
+
+import pytest
+
+from repro.events.hierarchy import TypeRegistry
+
+
+class Event:
+    pass
+
+
+class StockEvent(Event):
+    pass
+
+
+class TechStockEvent(StockEvent):
+    pass
+
+
+class AuctionEvent(Event):
+    pass
+
+
+@pytest.fixture()
+def registry():
+    r = TypeRegistry()
+    r.register_all([Event, StockEvent, TechStockEvent, AuctionEvent])
+    return r
+
+
+def test_register_returns_name():
+    r = TypeRegistry()
+    assert r.register(StockEvent) == "StockEvent"
+
+
+def test_register_custom_name():
+    r = TypeRegistry()
+    assert r.register(StockEvent, "Stock") == "Stock"
+    assert r.class_of("Stock") is StockEvent
+
+
+def test_reregistration_is_idempotent():
+    r = TypeRegistry()
+    r.register(StockEvent)
+    r.register(StockEvent)
+    assert len(r) == 1
+
+
+def test_name_conflict_rejected():
+    r = TypeRegistry()
+    r.register(StockEvent, "Thing")
+    with pytest.raises(ValueError):
+        r.register(AuctionEvent, "Thing")
+
+
+def test_class_renaming_rejected():
+    r = TypeRegistry()
+    r.register(StockEvent, "A")
+    with pytest.raises(ValueError):
+        r.register(StockEvent, "B")
+
+
+def test_lookups(registry):
+    assert registry.name_of(StockEvent) == "StockEvent"
+    assert registry.class_of("AuctionEvent") is AuctionEvent
+    assert registry.is_registered(StockEvent)
+    assert not registry.is_registered(int)
+    assert "StockEvent" in registry
+
+
+def test_unknown_lookups_raise(registry):
+    with pytest.raises(KeyError):
+        registry.name_of(int)
+    with pytest.raises(KeyError):
+        registry.class_of("Unknown")
+
+
+def test_conforms(registry):
+    assert registry.conforms("TechStockEvent", "StockEvent")
+    assert registry.conforms("TechStockEvent", "Event")
+    assert registry.conforms("StockEvent", "StockEvent")
+    assert not registry.conforms("StockEvent", "TechStockEvent")
+    assert not registry.conforms("AuctionEvent", "StockEvent")
+
+
+def test_conformers(registry):
+    assert set(registry.conformers("StockEvent")) == {
+        "StockEvent",
+        "TechStockEvent",
+    }
+    assert set(registry.conformers("Event")) == {
+        "Event",
+        "StockEvent",
+        "TechStockEvent",
+        "AuctionEvent",
+    }
+
+
+def test_ancestors(registry):
+    assert set(registry.ancestors("TechStockEvent")) == {
+        "TechStockEvent",
+        "StockEvent",
+        "Event",
+    }
+
+
+def test_lineage_nearest_first(registry):
+    assert registry.lineage(TechStockEvent) == [
+        "TechStockEvent",
+        "StockEvent",
+        "Event",
+    ]
+
+
+def test_lineage_skips_unregistered():
+    r = TypeRegistry()
+    r.register(Event)
+    r.register(TechStockEvent)  # StockEvent deliberately unregistered
+    assert r.lineage(TechStockEvent) == ["TechStockEvent", "Event"]
+
+
+def test_names_in_registration_order(registry):
+    assert registry.names() == [
+        "Event",
+        "StockEvent",
+        "TechStockEvent",
+        "AuctionEvent",
+    ]

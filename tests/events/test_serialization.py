@@ -1,0 +1,68 @@
+"""Unit tests for envelopes and (un)marshaling."""
+
+from repro.events.base import PropertyEvent
+from repro.events.serialization import Envelope, marshal, unmarshal
+
+
+class Order:
+    def __init__(self, item, quantity):
+        self._item = item
+        self._quantity = quantity
+
+    def get_item(self):
+        return self._item
+
+    def get_quantity(self):
+        return self._quantity
+
+    def total(self, unit_price):
+        # Behaviour that travels with the object but is invisible to brokers.
+        return unit_price * self._quantity
+
+
+def test_marshal_extracts_metadata():
+    envelope = marshal(Order("widget", 3))
+    assert envelope.metadata["item"] == "widget"
+    assert envelope.metadata["quantity"] == 3
+    assert envelope.metadata["class"] == "Order"
+    assert envelope.event_class == "Order"
+
+
+def test_marshal_class_name_override():
+    assert marshal(Order("w", 1), class_name="PurchaseOrder").event_class == (
+        "PurchaseOrder"
+    )
+
+
+def test_unmarshal_round_trips_the_object():
+    original = Order("widget", 3)
+    recovered = unmarshal(marshal(original))
+    assert isinstance(recovered, Order)
+    assert recovered.get_item() == "widget"
+    assert recovered.total(2.0) == 6.0
+
+
+def test_weakened_envelope_keeps_payload():
+    envelope = marshal(Order("widget", 3))
+    weakened = envelope.weakened(["class", "item"])
+    assert "quantity" not in weakened.metadata
+    assert weakened.metadata["item"] == "widget"
+    # The encapsulated object is untouched by meta-data weakening.
+    assert unmarshal(weakened).get_quantity() == 3
+
+
+def test_property_event_marshals_as_its_own_metadata():
+    event = PropertyEvent(a=1, b=2)
+    envelope = marshal(event)
+    assert envelope.metadata == event
+    assert unmarshal(envelope) == event
+
+
+def test_envelope_size_model():
+    envelope = marshal(Order("widget", 3))
+    assert len(envelope) > len(envelope.payload)
+
+
+def test_payload_not_in_repr():
+    envelope = marshal(Order("widget", 3))
+    assert "payload" not in repr(envelope) or "b'" not in repr(envelope)

@@ -1,0 +1,146 @@
+"""Unit tests for reflection-based meta-data extraction (Section 3.4)."""
+
+from repro.events.base import CLASS_ATTRIBUTE
+from repro.events.typed import (
+    TypedEvent,
+    _accessor_attribute_name,
+    reflect_attributes,
+    to_property_event,
+)
+
+
+class PythonStyleStock:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+class JavaStyleStock:
+    """Example 4 verbatim, modulo syntax."""
+
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def getSymbol(self):
+        return self._symbol
+
+    def getPrice(self):
+        return self._price
+
+
+class TestAccessorNames:
+    def test_python_style(self):
+        assert _accessor_attribute_name("get_symbol") == "symbol"
+
+    def test_java_style(self):
+        assert _accessor_attribute_name("getSymbol") == "symbol"
+        assert _accessor_attribute_name("getPrice") == "price"
+
+    def test_plain_get_is_not_an_accessor(self):
+        assert _accessor_attribute_name("get") is None
+        assert _accessor_attribute_name("get_") is None
+
+    def test_non_get_names_rejected(self):
+        assert _accessor_attribute_name("fetch_symbol") is None
+        assert _accessor_attribute_name("getter") is None
+
+
+class TestReflection:
+    def test_python_accessors(self):
+        assert reflect_attributes(PythonStyleStock("Foo", 9.0)) == {
+            "symbol": "Foo",
+            "price": 9.0,
+        }
+
+    def test_java_accessors(self):
+        assert reflect_attributes(JavaStyleStock("Foo", 9.0)) == {
+            "symbol": "Foo",
+            "price": 9.0,
+        }
+
+    def test_properties_are_reflected(self):
+        class WithProperty:
+            def __init__(self):
+                self._x = 42
+
+            @property
+            def level(self):
+                return self._x
+
+        assert reflect_attributes(WithProperty()) == {"level": 42}
+
+    def test_private_state_is_never_read_directly(self):
+        class Secret:
+            def __init__(self):
+                self._password = "hunter2"
+                self.plain_field = "visible-but-not-an-accessor"
+
+            def get_public(self):
+                return "ok"
+
+        attrs = reflect_attributes(Secret())
+        assert attrs == {"public": "ok"}
+
+    def test_methods_with_parameters_ignored(self):
+        class Parameterized:
+            def get_value(self):
+                return 1
+
+            def get_scaled(self, factor):
+                return factor
+
+        assert reflect_attributes(Parameterized()) == {"value": 1}
+
+    def test_methods_with_default_args_are_accessors(self):
+        class Defaulted:
+            def get_value(self, precision=2):
+                return round(3.14159, precision)
+
+        assert reflect_attributes(Defaulted()) == {"value": 3.14}
+
+    def test_inherited_accessors_reflected(self):
+        class Extended(PythonStyleStock):
+            def get_exchange(self):
+                return "NYSE"
+
+        attrs = reflect_attributes(Extended("Foo", 9.0))
+        assert attrs == {"symbol": "Foo", "price": 9.0, "exchange": "NYSE"}
+
+
+class TestToPropertyEvent:
+    def test_adds_class_attribute(self):
+        metadata = to_property_event(PythonStyleStock("Foo", 9.0))
+        assert metadata[CLASS_ATTRIBUTE] == "PythonStyleStock"
+        assert metadata["symbol"] == "Foo"
+
+    def test_class_name_override(self):
+        metadata = to_property_event(PythonStyleStock("Foo", 9.0), class_name="Stock")
+        assert metadata[CLASS_ATTRIBUTE] == "Stock"
+
+    def test_property_event_passes_through(self):
+        from repro.events.base import PropertyEvent
+
+        original = PropertyEvent(a=1)
+        assert to_property_event(original) is original
+
+
+class TestTypedEventBase:
+    def test_attributes_and_conversion(self):
+        class Ping(TypedEvent):
+            def __init__(self, target):
+                self._target = target
+
+            def get_target(self):
+                return self._target
+
+        ping = Ping("host-1")
+        assert ping.attributes() == {"target": "host-1"}
+        assert ping.to_property_event()["class"] == "Ping"
+        assert "target='host-1'" in repr(ping)

@@ -1,0 +1,23 @@
+"""Tests for the `python -m repro.experiments` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_unknown_experiment_returns_2(capsys):
+    assert main(["bogus"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_quick_rlc_runs(capsys):
+    assert main(["--quick", "rlc"]) == 0
+    out = capsys.readouterr().out
+    assert "RLC table" in out
+    assert "centralized reference RLC = 1" in out
+
+
+def test_quick_multiclass_runs(capsys):
+    assert main(["--quick", "multiclass"]) == 0
+    out = capsys.readouterr().out
+    assert "multistage" in out and "topicbased" in out

@@ -1,0 +1,125 @@
+"""Tests for the experiment harness: the reproduced shapes must hold.
+
+These runs are small (seconds), but assert the qualitative claims of the
+paper's evaluation — the same claims the full-scale benchmarks print.
+"""
+
+import pytest
+
+from repro.experiments import figure7, rlc_table
+from repro.experiments.common import ScenarioConfig, run_bibliographic
+
+QUICK = ScenarioConfig(stage_sizes=(10, 3, 1), n_subscribers=120, n_events=150)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_bibliographic(QUICK)
+
+
+class TestScenarioMechanics:
+    def test_all_subscribers_join(self, result):
+        assert all(s.all_joined() for s in result.system.subscribers)
+
+    def test_totals(self, result):
+        assert result.total_events == 150
+        assert result.total_subscriptions == 120
+
+    def test_counters_cover_all_stages(self, result):
+        assert result.stages() == [0, 1, 2, 3]
+        assert len(result.counters_by_stage[0]) == 120
+        assert len(result.counters_by_stage[1]) == 10
+
+    def test_runs_are_reproducible(self):
+        a = run_bibliographic(QUICK)
+        b = run_bibliographic(QUICK)
+        assert a.rlc_global_total() == b.rlc_global_total()
+        assert a.subscriber_average_mr() == b.subscriber_average_mr()
+        assert a.mr_values(1) == b.mr_values(1)
+
+    def test_different_seeds_differ(self):
+        other = run_bibliographic(
+            ScenarioConfig(**{**QUICK.__dict__, "seed": 99})
+        )
+        base = run_bibliographic(QUICK)
+        assert other.mr_values(0) != base.mr_values(0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(placement="nearest")
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_subscribers=0)
+
+
+class TestRlcShape:
+    """The §5.3 table's qualitative content."""
+
+    def test_every_broker_rlc_far_below_centralized(self, result):
+        for stage in (1, 2, 3):
+            for rlc in result.rlc_values(stage):
+                assert rlc < 0.5  # centralized server = 1
+
+    def test_subscriber_rlc_is_tiny(self, result):
+        assert result.rlc_node_average(0) < 1e-3
+
+    def test_rlc_rises_through_mid_stages(self, result):
+        assert result.rlc_node_average(0) < result.rlc_node_average(1)
+        assert result.rlc_node_average(1) < result.rlc_node_average(2)
+
+    def test_global_total_at_most_centralized(self, result):
+        # "no greater computational power requirement in global sense".
+        assert result.rlc_global_total() <= 1.5
+
+    def test_rows_match_result_accessors(self, result):
+        rows = rlc_table.rlc_rows(result)
+        assert [stage for stage, _, _ in rows] == [0, 1, 2, 3]
+        for stage, node_avg, total in rows:
+            assert node_avg == pytest.approx(result.rlc_node_average(stage))
+            assert total == pytest.approx(result.rlc_stage_total(stage))
+
+    def test_render_includes_paper_references(self, result):
+        text = rlc_table.render(result)
+        assert "2.00e-07" in text  # the paper's stage-0 value
+        assert "Stage" in text
+
+
+class TestFigure7Shape:
+    def test_subscriber_mr_is_high(self, result):
+        """Pre-filtering means subscribers mostly see relevant events;
+        the paper reports 0.87."""
+        assert result.subscriber_average_mr() > 0.6
+
+    def test_stage1_mr_is_high(self, result):
+        values = result.mr_values(1)
+        assert values
+        # Small-scale runs are noisy; the paper-scale benchmark asserts > 0.7.
+        assert sum(values) / len(values) > 0.5
+
+    def test_mr_values_are_rates(self, result):
+        for stage in (0, 1, 2):
+            for value in result.mr_values(stage):
+                assert 0.0 <= value <= 1.0
+
+    def test_series_and_render(self, result):
+        series = figure7.mr_series(result)
+        assert set(series) == {0, 1, 2}
+        text = figure7.render(result)
+        assert "subscriber average MR" in text
+        assert "0.87" in text  # paper reference
+
+
+class TestPreFiltering:
+    def test_lower_stages_see_fewer_events(self, result):
+        """The whole point of pre-filtering (§3.2)."""
+        root_received = result.counters_by_stage[3][0][1].events_received
+        stage1_avg = sum(result.stage1_event_loads()) / len(
+            result.stage1_event_loads()
+        )
+        assert root_received == result.total_events
+        assert stage1_avg < root_received
+
+    def test_subscribers_see_far_less_than_published(self, result):
+        per_subscriber = [
+            c.events_received for _, c in result.counters_by_stage[0]
+        ]
+        assert max(per_subscriber) < result.total_events / 2

@@ -1,0 +1,149 @@
+"""Unit tests for AttributeConstraint and conjunction implication."""
+
+import pytest
+
+from repro.filters.constraints import AttributeConstraint, conjunction_implies
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+)
+
+
+def c(attr, op, operand=None):
+    return AttributeConstraint(attr, op, operand)
+
+
+class TestConstraint:
+    def test_matches_value(self):
+        assert c("price", GT, 5.0).matches_value(10.0, present=True)
+        assert not c("price", GT, 5.0).matches_value(1.0, present=True)
+
+    def test_matches_mapping(self):
+        constraint = c("symbol", EQ, "Foo")
+        assert constraint.matches({"symbol": "Foo"})
+        assert not constraint.matches({"symbol": "Bar"})
+        assert not constraint.matches({"price": 1.0})
+
+    def test_wildcard_matches_missing_attribute(self):
+        assert c("volume", ALL).matches({"price": 1.0})
+
+    def test_exists_requires_presence(self):
+        assert c("volume", EXISTS).matches({"volume": 0})
+        assert not c("volume", EXISTS).matches({"price": 1.0})
+
+    def test_nullary_operators_reject_operand(self):
+        with pytest.raises(ValueError):
+            AttributeConstraint("x", ALL, 5)
+        with pytest.raises(ValueError):
+            AttributeConstraint("x", EXISTS, "v")
+
+    def test_is_wildcard(self):
+        assert c("x", ALL).is_wildcard
+        assert not c("x", EXISTS).is_wildcard
+        assert not c("x", EQ, 1).is_wildcard
+
+    def test_implies_requires_same_attribute(self):
+        assert not c("a", EQ, 5).implies(c("b", LT, 10))
+        assert c("a", EQ, 5).implies(c("a", LT, 10))
+
+    def test_str_forms(self):
+        assert str(c("price", LT, 10.0)) == "(price, 10.0, <)"
+        assert str(c("price", EXISTS)) == "(price, exists)"
+
+    def test_frozen_and_hashable(self):
+        constraint = c("a", EQ, 1)
+        with pytest.raises(AttributeError):
+            constraint.attribute = "b"
+        assert hash(c("a", EQ, 1)) == hash(constraint)
+        assert c("a", EQ, 1) == constraint
+
+
+class TestConjunctionImplies:
+    def test_single_constraint_pairwise(self):
+        assert conjunction_implies([c("p", LT, 5)], c("p", LT, 10))
+        assert not conjunction_implies([c("p", LT, 10)], c("p", LT, 5))
+
+    def test_target_all_is_trivial(self):
+        assert conjunction_implies([], c("p", ALL))
+        assert conjunction_implies([c("q", EQ, 1)], c("p", ALL))
+
+    def test_empty_conjunction_implies_nothing_else(self):
+        assert not conjunction_implies([], c("p", LT, 10))
+        assert not conjunction_implies([], c("p", EXISTS))
+
+    def test_other_attribute_constraints_ignored(self):
+        assert not conjunction_implies([c("q", LT, 5)], c("p", LT, 10))
+
+    def test_interval_two_sided_implies_wider_bound(self):
+        conj = [c("p", GT, 5), c("p", LT, 10)]
+        assert conjunction_implies(conj, c("p", LT, 12))
+        assert conjunction_implies(conj, c("p", GT, 3))
+        assert conjunction_implies(conj, c("p", NE, 12))
+        assert conjunction_implies(conj, c("p", NE, 3))
+        assert not conjunction_implies(conj, c("p", NE, 7))
+        assert not conjunction_implies(conj, c("p", LT, 8))
+
+    def test_interval_with_eq_checks_the_point(self):
+        conj = [c("p", EQ, 7)]
+        assert conjunction_implies(conj, c("p", LT, 8))
+        assert conjunction_implies(conj, c("p", GE, 7))
+        assert not conjunction_implies(conj, c("p", GT, 7))
+
+    def test_unsatisfiable_conjunction_implies_everything(self):
+        conj = [c("p", GT, 10), c("p", LT, 5)]
+        assert conjunction_implies(conj, c("p", EQ, 123))
+        conj2 = [c("p", EQ, 1), c("p", EQ, 2)]
+        assert conjunction_implies(conj2, c("p", LT, -100))
+
+    def test_empty_open_interval_is_unsatisfiable(self):
+        conj = [c("p", GT, 5), c("p", LT, 5)]
+        assert conjunction_implies(conj, c("p", EQ, 0))
+        half_open = [c("p", GE, 5), c("p", LT, 5)]
+        assert conjunction_implies(half_open, c("p", EQ, 0))
+
+    def test_degenerate_closed_interval_implies_eq(self):
+        conj = [c("p", GE, 5), c("p", LE, 5)]
+        assert conjunction_implies(conj, c("p", EQ, 5))
+        assert not conjunction_implies(conj, c("p", EQ, 6))
+
+    def test_tightest_bound_wins(self):
+        conj = [c("p", LT, 100), c("p", LT, 10)]
+        assert conjunction_implies(conj, c("p", LT, 11))
+        assert not conjunction_implies(conj, c("p", LT, 9))
+
+    def test_strictness_tracked_at_equal_bounds(self):
+        assert conjunction_implies([c("p", LT, 5), c("p", LE, 5)], c("p", LT, 5))
+        assert not conjunction_implies([c("p", LE, 5)], c("p", LT, 5))
+
+    def test_interval_proof_survives_non_interval_constraints(self):
+        # The PREFIX constraint only narrows further; the interval subset
+        # already proves the bound.
+        conj = [c("p", GT, 5), c("p", LT, 10), c("p", PREFIX, "x")]
+        assert conjunction_implies(conj, c("p", LT, 12))
+
+    def test_exists_implied_by_any_value_constraint(self):
+        assert conjunction_implies([c("p", LT, 5)], c("p", EXISTS))
+        assert conjunction_implies([c("p", NE, 5)], c("p", EXISTS))
+        assert conjunction_implies([c("p", CONTAINS, "a")], c("p", EXISTS))
+        assert not conjunction_implies([c("p", ALL)], c("p", EXISTS))
+
+    def test_string_interval(self):
+        conj = [c("s", GE, "b"), c("s", LT, "d")]
+        assert conjunction_implies(conj, c("s", LT, "e"))
+        assert not conjunction_implies(conj, c("s", LT, "c"))
+
+    def test_mixed_type_bounds_do_not_crash(self):
+        conj = [c("p", GT, 5), c("p", LT, "z")]
+        # The numeric bound still proves numeric targets; the string
+        # bound proves string targets pairwise.  No crash either way.
+        assert conjunction_implies(conj, c("p", GT, 4))
+        assert conjunction_implies(conj, c("p", LT, "zz"))
+        assert not conjunction_implies(conj, c("p", EQ, 6))

@@ -1,0 +1,109 @@
+"""Unit tests for disjunctive filters (Figure 2's OR level)."""
+
+import pytest
+
+from repro.filters.disjunction import Disjunction
+from repro.filters.filter import Filter
+from repro.filters.parser import FilterParseError, parse_filter
+
+
+def test_parse_or_returns_disjunction():
+    d = parse_filter('symbol = "A" or symbol = "B"')
+    assert isinstance(d, Disjunction)
+    assert len(d) == 2
+
+
+def test_and_binds_tighter_than_or():
+    d = parse_filter('a = 1 and b = 2 or c = 3')
+    assert isinstance(d, Disjunction)
+    assert [len(branch) for branch in d] == [2, 1]
+
+
+def test_matching_is_any_branch():
+    d = parse_filter('symbol = "A" or price < 3')
+    assert d.matches({"symbol": "A", "price": 10})
+    assert d.matches({"symbol": "B", "price": 1})
+    assert not d.matches({"symbol": "B", "price": 10})
+    assert d({"symbol": "A"})  # callable
+
+
+def test_dangling_or_rejected():
+    with pytest.raises(FilterParseError):
+        parse_filter("a = 1 or")
+
+
+def test_single_branch_parse_is_plain_filter():
+    assert isinstance(parse_filter("a = 1"), Filter)
+
+
+def test_nested_disjunction_flattens():
+    inner = parse_filter("a = 1 or b = 2")
+    outer = Disjunction([inner, parse_filter("c = 3")])
+    assert len(outer) == 3
+
+
+def test_empty_disjunction_rejected():
+    with pytest.raises(ValueError):
+        Disjunction([])
+
+
+def test_immutable_and_hashable():
+    d = parse_filter("a = 1 or b = 2")
+    with pytest.raises(AttributeError):
+        d.branches = ()
+    assert d == parse_filter("a = 1 or b = 2")
+    assert hash(d) == hash(parse_filter("a = 1 or b = 2"))
+
+
+class TestCovering:
+    def test_disjunction_covers_each_branch(self):
+        d = parse_filter("a = 1 or b = 2")
+        for branch in d:
+            assert d.covers(branch)
+
+    def test_disjunction_covers_stronger_filter(self):
+        d = parse_filter("a = 1 or price < 10")
+        assert d.covers(parse_filter("price < 5"))
+        assert not d.covers(parse_filter("price < 50"))
+
+    def test_disjunction_covers_disjunction(self):
+        wide = parse_filter("price < 10 or a = 1")
+        narrow = parse_filter("price < 5 or a = 1")
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+
+    def test_covering_soundness_spot_check(self):
+        wide = parse_filter('symbol = "A" or price < 10')
+        narrow = parse_filter('symbol = "A" and volume > 3')
+        assert wide.covers(narrow)
+        for event in (
+            {"symbol": "A", "volume": 5},
+            {"symbol": "A", "volume": 1},
+            {"symbol": "B", "price": 2, "volume": 9},
+        ):
+            if narrow.matches(event):
+                assert wide.matches(event)
+
+
+class TestSimplified:
+    def test_drops_bottom_branches(self):
+        d = Disjunction([Filter.bottom(), parse_filter("a = 1")])
+        assert d.simplified() == parse_filter("a = 1")
+
+    def test_all_bottom_collapses_to_bottom(self):
+        d = Disjunction([Filter.bottom(), Filter.bottom()])
+        assert d.simplified().matches_nothing
+
+    def test_matches_nothing_property(self):
+        assert Disjunction([Filter.bottom()]).matches_nothing
+        assert not parse_filter("a = 1 or b = 2").matches_nothing
+
+    def test_live_disjunction_stays(self):
+        d = parse_filter("a = 1 or b = 2")
+        assert d.simplified() == d
+
+
+def test_str_and_repr():
+    d = parse_filter("a = 1 or b = 2")
+    assert " OR " in str(d)
+    assert "Disjunction" in repr(d)

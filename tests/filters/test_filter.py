@@ -1,0 +1,222 @@
+"""Filter semantics: Definitions 1-3 and the paper's literal Examples 1-3."""
+
+import pytest
+
+from repro.events.base import PropertyEvent
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter, event_covers, strongest_covering
+from repro.filters.operators import ALL, EQ, EXISTS, GE, GT, LT
+
+# The events of Example 1.
+E1 = PropertyEvent(symbol="Foo", price=10.0, volume=32300)
+E2 = PropertyEvent(symbol="Bar", price=15.0, volume=25600)
+
+# The filter of Example 1: f = (symbol, "Foo", =) (price, 5.0, >).
+F = Filter([
+    AttributeConstraint("symbol", EQ, "Foo"),
+    AttributeConstraint("price", GT, 5.0),
+])
+
+
+class TestExample1:
+    def test_f_matches_e1(self):
+        assert F.matches(E1) is True
+
+    def test_f_rejects_e2(self):
+        assert F.matches(E2) is False
+
+    def test_filter_is_callable(self):
+        assert F(E1) is True
+        assert F(E2) is False
+
+
+class TestExample2:
+    """The three covering filters of Example 2 all cover f."""
+
+    def test_f_prime_covers_f(self):
+        f_prime = Filter([AttributeConstraint("symbol", EQ, "Foo")])
+        assert f_prime.covers(F)
+
+    def test_f_double_prime_covers_f(self):
+        f_double = Filter([AttributeConstraint("price", GT, 5.0)])
+        assert f_double.covers(F)
+
+    def test_f_triple_prime_covers_f(self):
+        f_triple = Filter([
+            AttributeConstraint("symbol", EQ, "Foo"),
+            AttributeConstraint("price", GE, 4.5),
+        ])
+        assert f_triple.covers(F)
+
+    def test_f_does_not_cover_its_covers(self):
+        f_prime = Filter([AttributeConstraint("symbol", EQ, "Foo")])
+        assert not F.covers(f_prime)
+
+
+class TestExample3:
+    """Event covering is relative to a filter (Definition 3)."""
+
+    def test_e1_prime_covers_e1_for_f(self):
+        e1_prime = PropertyEvent(symbol="Foo", price=10.0)
+        assert event_covers(e1_prime, E1, F)
+
+    def test_volume_exists_filter_breaks_the_covering(self):
+        e1_prime = PropertyEvent(symbol="Foo", price=10.0)
+        volume_filter = Filter([AttributeConstraint("volume", EXISTS)])
+        assert not event_covers(e1_prime, E1, volume_filter)
+
+    def test_every_event_covers_itself(self):
+        assert event_covers(E1, E1, F)
+
+    def test_covering_holds_vacuously_when_filter_rejects_original(self):
+        assert event_covers(E1, E2, F)
+
+
+class TestTopBottom:
+    def test_top_matches_everything(self):
+        assert Filter.top().matches(E1)
+        assert Filter.top().matches(PropertyEvent())
+
+    def test_bottom_matches_nothing(self):
+        assert not Filter.bottom().matches(E1)
+        assert not Filter.bottom().matches(PropertyEvent())
+
+    def test_top_covers_all_filters(self):
+        assert Filter.top().covers(F)
+        assert Filter.top().covers(Filter.bottom())
+        assert Filter.top().covers(Filter.top())
+
+    def test_bottom_covered_by_all_filters(self):
+        assert F.covers(Filter.bottom())
+        assert Filter.bottom().covers(Filter.bottom())
+
+    def test_bottom_covers_nothing_else(self):
+        assert not Filter.bottom().covers(F)
+        assert not Filter.bottom().covers(Filter.top())
+
+    def test_flags(self):
+        assert Filter.top().is_top and not Filter.top().is_bottom
+        assert Filter.bottom().is_bottom and not Filter.bottom().is_top
+        assert not F.is_top and not F.is_bottom
+
+
+class TestCovering:
+    def test_every_filter_covers_itself(self):
+        assert F.covers(F)
+
+    def test_wildcard_constraints_never_block_covering(self):
+        with_wildcard = Filter([
+            AttributeConstraint("symbol", EQ, "Foo"),
+            AttributeConstraint("volume", ALL),
+        ])
+        without = Filter([AttributeConstraint("symbol", EQ, "Foo")])
+        assert with_wildcard.covers(without)
+        assert without.covers(with_wildcard)
+
+    def test_multi_attribute_covering(self):
+        strong = Filter([
+            AttributeConstraint("a", EQ, 1),
+            AttributeConstraint("b", LT, 5),
+        ])
+        weak = Filter([AttributeConstraint("b", LT, 10)])
+        assert weak.covers(strong)
+        assert not strong.covers(weak)
+
+    def test_interval_covering_through_conjunction(self):
+        banded = Filter([
+            AttributeConstraint("p", GT, 2),
+            AttributeConstraint("p", LT, 8),
+        ])
+        wide = Filter([AttributeConstraint("p", LT, 9)])
+        assert wide.covers(banded)
+
+
+class TestStructure:
+    def test_attributes_in_first_occurrence_order(self):
+        assert F.attributes() == ["symbol", "price"]
+
+    def test_constraints_on(self):
+        assert len(F.constraints_on("price")) == 1
+        assert F.constraints_on("volume") == ()
+
+    def test_restricted_to_keeps_order(self):
+        restricted = F.restricted_to(["symbol"])
+        assert restricted.attributes() == ["symbol"]
+        assert restricted.covers(F)
+
+    def test_restricted_to_empty_is_top(self):
+        assert F.restricted_to([]).is_top
+
+    def test_restricted_bottom_stays_bottom(self):
+        assert Filter.bottom().restricted_to(["a"]).is_bottom
+
+    def test_without_wildcards(self):
+        mixed = Filter([
+            AttributeConstraint("a", EQ, 1),
+            AttributeConstraint("b", ALL),
+        ])
+        assert mixed.without_wildcards().attributes() == ["a"]
+
+    def test_conjoin(self):
+        both = Filter([AttributeConstraint("symbol", EQ, "Foo")]) & Filter(
+            [AttributeConstraint("price", GT, 5.0)]
+        )
+        assert both.matches(E1)
+        assert not both.matches(E2)
+
+    def test_conjoin_with_bottom_is_bottom(self):
+        assert (F & Filter.bottom()).is_bottom
+
+    def test_len_and_iter(self):
+        assert len(F) == 2
+        assert [c.attribute for c in F] == ["symbol", "price"]
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            F.constraints = ()
+
+    def test_equality_and_hash(self):
+        same = Filter([
+            AttributeConstraint("symbol", EQ, "Foo"),
+            AttributeConstraint("price", GT, 5.0),
+        ])
+        assert same == F
+        assert hash(same) == hash(F)
+        assert Filter.top() != Filter.bottom()
+
+    def test_order_matters_for_equality(self):
+        reordered = Filter([
+            AttributeConstraint("price", GT, 5.0),
+            AttributeConstraint("symbol", EQ, "Foo"),
+        ])
+        assert reordered != F
+
+    def test_str(self):
+        assert str(Filter.top()) == "fT"
+        assert str(Filter.bottom()) == "fF"
+        assert "symbol" in str(F)
+
+    def test_matches_plain_mapping(self):
+        assert F.matches({"symbol": "Foo", "price": 6.0})
+
+
+class TestStrongestCovering:
+    def test_picks_the_strongest(self):
+        weak = Filter([AttributeConstraint("symbol", EQ, "Foo")])
+        strong = Filter([
+            AttributeConstraint("symbol", EQ, "Foo"),
+            AttributeConstraint("price", LT, 20.0),
+        ])
+        target = Filter([
+            AttributeConstraint("symbol", EQ, "Foo"),
+            AttributeConstraint("price", LT, 10.0),
+        ])
+        assert strongest_covering([weak, strong], target) == strong
+        assert strongest_covering([strong, weak], target) == strong
+
+    def test_none_when_no_cover(self):
+        other = Filter([AttributeConstraint("symbol", EQ, "Bar")])
+        assert strongest_covering([other], F) is None
+
+    def test_empty_candidates(self):
+        assert strongest_covering([], F) is None

@@ -1,0 +1,212 @@
+"""Unit tests for constraint operators: evaluation and implication."""
+
+import pytest
+
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+    operator_by_symbol,
+    values_comparable,
+)
+
+
+class TestEvaluation:
+    def test_eq_matches_equal_values(self):
+        assert EQ.evaluate("Foo", "Foo", present=True)
+        assert not EQ.evaluate("Bar", "Foo", present=True)
+
+    def test_eq_numeric_cross_type(self):
+        assert EQ.evaluate(1, 1.0, present=True)
+        assert EQ.evaluate(1.0, 1, present=True)
+
+    def test_eq_bool_is_not_int(self):
+        assert not EQ.evaluate(True, 1, present=True)
+        assert not EQ.evaluate(1, True, present=True)
+        assert EQ.evaluate(True, True, present=True)
+
+    def test_eq_absent_is_false(self):
+        assert not EQ.evaluate(None, "Foo", present=False)
+
+    def test_ne(self):
+        assert NE.evaluate(5, 6, present=True)
+        assert not NE.evaluate(5, 5, present=True)
+        assert not NE.evaluate(None, 5, present=False)
+
+    def test_ne_cross_family_is_true(self):
+        assert NE.evaluate("five", 5, present=True)
+
+    @pytest.mark.parametrize(
+        "op,value,operand,expected",
+        [
+            (LT, 4, 5, True), (LT, 5, 5, False), (LT, 6, 5, False),
+            (LE, 4, 5, True), (LE, 5, 5, True), (LE, 6, 5, False),
+            (GT, 6, 5, True), (GT, 5, 5, False), (GT, 4, 5, False),
+            (GE, 6, 5, True), (GE, 5, 5, True), (GE, 4, 5, False),
+        ],
+    )
+    def test_ordering_operators(self, op, value, operand, expected):
+        assert op.evaluate(value, operand, present=True) is expected
+
+    def test_ordering_on_strings(self):
+        assert LT.evaluate("apple", "banana", present=True)
+        assert GT.evaluate("cherry", "banana", present=True)
+
+    def test_ordering_incomparable_is_false(self):
+        assert not LT.evaluate("apple", 5, present=True)
+        assert not GE.evaluate(5, "apple", present=True)
+
+    def test_ordering_bool_excluded_from_numeric(self):
+        assert not LT.evaluate(True, 2, present=True)
+
+    def test_ordering_absent_is_false(self):
+        assert not LT.evaluate(None, 5, present=False)
+
+    def test_exists(self):
+        assert EXISTS.evaluate("anything", None, present=True)
+        assert not EXISTS.evaluate(None, None, present=False)
+
+    def test_all_matches_everything(self):
+        assert ALL.evaluate("x", None, present=True)
+        assert ALL.evaluate(None, None, present=False)
+
+    def test_prefix(self):
+        assert PREFIX.evaluate("foobar", "foo", present=True)
+        assert not PREFIX.evaluate("barfoo", "foo", present=True)
+        assert not PREFIX.evaluate(42, "foo", present=True)
+        assert not PREFIX.evaluate(None, "foo", present=False)
+
+    def test_contains(self):
+        assert CONTAINS.evaluate("foobar", "oba", present=True)
+        assert not CONTAINS.evaluate("foobar", "xyz", present=True)
+        assert not CONTAINS.evaluate(3.14, "1", present=True)
+
+
+class TestImplication:
+    """Hand-picked implication facts; exhaustive soundness is property-tested."""
+
+    def test_everything_implies_all(self):
+        for op, operand in [(EQ, 5), (NE, 5), (LT, 5), (PREFIX, "a"), (EXISTS, None)]:
+            assert op.implies(operand, ALL, None)
+
+    def test_all_implies_only_all(self):
+        assert ALL.implies(None, ALL, None)
+        assert not ALL.implies(None, EXISTS, None)
+        assert not ALL.implies(None, EQ, 5)
+
+    def test_non_all_implies_exists(self):
+        for op, operand in [(EQ, 5), (NE, 5), (LT, 5), (GE, 5), (PREFIX, "a")]:
+            assert op.implies(operand, EXISTS, None)
+
+    def test_eq_implies_whatever_matches_the_operand(self):
+        assert EQ.implies(5, LT, 10)
+        assert EQ.implies(5, GT, 1)
+        assert EQ.implies(5, NE, 6)
+        assert not EQ.implies(5, LT, 5)
+        assert EQ.implies("Foo", EQ, "Foo")
+        assert not EQ.implies("Foo", EQ, "Bar")
+        assert EQ.implies("foobar", PREFIX, "foo")
+
+    def test_lt_implies_weaker_lt(self):
+        assert LT.implies(5, LT, 5)
+        assert LT.implies(5, LT, 7)
+        assert not LT.implies(7, LT, 5)
+
+    def test_lt_implies_le(self):
+        assert LT.implies(5, LE, 5)
+        assert LT.implies(5, LE, 6)
+
+    def test_le_implies_lt_only_strictly(self):
+        assert LE.implies(5, LT, 6)
+        assert not LE.implies(5, LT, 5)
+
+    def test_le_implies_weaker_le(self):
+        assert LE.implies(5, LE, 5)
+        assert LE.implies(5, LE, 9)
+        assert not LE.implies(9, LE, 5)
+
+    def test_gt_ge_mirror(self):
+        assert GT.implies(5, GT, 5)
+        assert GT.implies(5, GT, 3)
+        assert GT.implies(5, GE, 5)
+        assert GE.implies(5, GE, 5)
+        assert GE.implies(5, GT, 4)
+        assert not GE.implies(5, GT, 5)
+
+    def test_bounds_imply_ne_outside(self):
+        assert LT.implies(5, NE, 5)
+        assert LT.implies(5, NE, 9)
+        assert not LT.implies(5, NE, 3)
+        assert GT.implies(5, NE, 5)
+        assert GE.implies(5, NE, 4)
+        assert not GE.implies(5, NE, 5)
+
+    def test_opposite_directions_never_imply(self):
+        assert not LT.implies(5, GT, 1)
+        assert not GT.implies(5, LT, 100)
+
+    def test_ne_implies_same_ne(self):
+        assert NE.implies(5, NE, 5)
+        assert not NE.implies(5, NE, 6)
+        assert not NE.implies(5, EQ, 6)
+
+    def test_prefix_implication(self):
+        assert PREFIX.implies("abc", PREFIX, "ab")
+        assert not PREFIX.implies("ab", PREFIX, "abc")
+        assert PREFIX.implies("abc", CONTAINS, "bc")
+        assert not PREFIX.implies("abc", CONTAINS, "cd")
+
+    def test_contains_implication(self):
+        assert CONTAINS.implies("abc", CONTAINS, "b")
+        assert not CONTAINS.implies("b", CONTAINS, "abc")
+        assert not CONTAINS.implies("abc", PREFIX, "a")
+
+    def test_cross_family_operands_never_imply(self):
+        assert not LT.implies(5, LT, "five")
+        assert not LE.implies("a", LE, 1)
+
+
+class TestLookup:
+    def test_lookup_by_symbol(self):
+        assert operator_by_symbol("=") is EQ
+        assert operator_by_symbol("==") is EQ
+        assert operator_by_symbol("!=") is NE
+        assert operator_by_symbol("<>") is NE
+        assert operator_by_symbol("<") is LT
+        assert operator_by_symbol("<=") is LE
+        assert operator_by_symbol(">") is GT
+        assert operator_by_symbol(">=") is GE
+        assert operator_by_symbol("exists") is EXISTS
+        assert operator_by_symbol("prefix") is PREFIX
+        assert operator_by_symbol("contains") is CONTAINS
+        assert operator_by_symbol("ALL") is ALL
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(KeyError):
+            operator_by_symbol("~")
+
+    def test_repr_is_symbol(self):
+        assert repr(LT) == "<"
+
+
+class TestValuesComparable:
+    def test_numeric_family(self):
+        assert values_comparable(1, 2.5)
+
+    def test_strings(self):
+        assert values_comparable("a", "b")
+
+    def test_bool_only_with_bool(self):
+        assert values_comparable(True, False)
+        assert not values_comparable(True, 1)
+        assert not values_comparable(0, False)
+
+    def test_cross_family(self):
+        assert not values_comparable("a", 1)

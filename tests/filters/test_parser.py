@@ -1,0 +1,168 @@
+"""Unit tests for the textual filter language."""
+
+import pytest
+
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+)
+from repro.filters.parser import FilterParseError, parse_filter
+
+
+def only(filter_):
+    assert len(filter_) == 1
+    return filter_.constraints[0]
+
+
+class TestValues:
+    def test_double_quoted_string(self):
+        c = only(parse_filter('symbol = "Foo"'))
+        assert (c.attribute, c.operator, c.operand) == ("symbol", EQ, "Foo")
+
+    def test_single_quoted_string(self):
+        assert only(parse_filter("symbol = 'Foo'")).operand == "Foo"
+
+    def test_escaped_quote(self):
+        assert only(parse_filter(r'name = "a\"b"')).operand == 'a"b'
+
+    def test_integer(self):
+        c = only(parse_filter("year = 2002"))
+        assert c.operand == 2002
+        assert isinstance(c.operand, int)
+
+    def test_float(self):
+        assert only(parse_filter("price < 10.5")).operand == 10.5
+
+    def test_negative_and_scientific(self):
+        assert only(parse_filter("delta > -3.5")).operand == -3.5
+        assert only(parse_filter("mass < 1e3")).operand == 1000.0
+
+    def test_booleans(self):
+        assert only(parse_filter("active = true")).operand is True
+        assert only(parse_filter("active = False")).operand is False
+
+    def test_bareword_is_string(self):
+        assert only(parse_filter("status = open")).operand == "open"
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,op",
+        [
+            ("a = 1", EQ), ("a == 1", EQ), ("a != 1", NE), ("a <> 1", NE),
+            ("a < 1", LT), ("a <= 1", LE), ("a > 1", GT), ("a >= 1", GE),
+        ],
+    )
+    def test_comparison_operators(self, text, op):
+        assert only(parse_filter(text)).operator is op
+
+    def test_exists(self):
+        c = only(parse_filter("volume exists"))
+        assert c.operator is EXISTS
+        assert c.operand is None
+
+    def test_prefix_and_contains(self):
+        assert only(parse_filter('title prefix "intro"')).operator is PREFIX
+        assert only(parse_filter('title contains "event"')).operator is CONTAINS
+
+    def test_wildcard_star(self):
+        c = only(parse_filter("symbol = *"))
+        assert c.operator is ALL
+
+    def test_star_with_other_operator_rejected(self):
+        with pytest.raises(FilterParseError):
+            parse_filter("symbol < *")
+
+
+class TestConjunctions:
+    def test_and_chains(self):
+        f = parse_filter('class = "Stock" and symbol = "Foo" and price < 10')
+        assert f.attributes() == ["class", "symbol", "price"]
+
+    def test_case_insensitive_and(self):
+        assert len(parse_filter("a = 1 AND b = 2")) == 2
+
+    def test_matching_behaviour(self):
+        f = parse_filter('symbol = "Foo" and price > 5.0')
+        assert f.matches({"symbol": "Foo", "price": 10.0})
+        assert not f.matches({"symbol": "Bar", "price": 10.0})
+
+
+class TestSpecialFilters:
+    def test_true_is_top(self):
+        assert parse_filter("true").is_top
+        assert parse_filter("  TRUE ").is_top
+
+    def test_false_is_bottom(self):
+        assert parse_filter("false").is_bottom
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "price <",
+            "price",
+            "= 5",
+            "a = 1 and",
+            "a = 1 b = 2",
+            "a = 1 or",
+            "price ? 5",
+            'a = "unterminated',
+        ],
+    )
+    def test_malformed_inputs(self, bad):
+        with pytest.raises(FilterParseError):
+            parse_filter(bad)
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(FilterParseError, ValueError)
+
+
+class TestRenderFilter:
+    def test_round_trip_simple(self):
+        from repro.filters.parser import render_filter
+
+        text = 'class = "Stock" and symbol = "Foo" and price < 10.0'
+        f = parse_filter(text)
+        assert parse_filter(render_filter(f)) == f
+
+    def test_round_trip_special_forms(self):
+        from repro.filters.filter import Filter
+        from repro.filters.parser import render_filter
+
+        assert parse_filter(render_filter(Filter.top())).is_top
+        assert parse_filter(render_filter(Filter.bottom())).is_bottom
+        wild = parse_filter("a = * and b exists")
+        assert parse_filter(render_filter(wild)) == wild
+
+    def test_round_trip_disjunction(self):
+        from repro.filters.parser import render_filter
+
+        d = parse_filter('a = 1 or b = 2 and c < 3')
+        assert parse_filter(render_filter(d)) == d
+
+    def test_quotes_escaped(self):
+        from repro.filters.constraints import AttributeConstraint
+        from repro.filters.filter import Filter
+        from repro.filters.operators import EQ
+        from repro.filters.parser import render_filter
+
+        f = Filter([AttributeConstraint("name", EQ, 'say "hi"')])
+        assert parse_filter(render_filter(f)) == f
+
+    def test_bools_and_negatives(self):
+        from repro.filters.parser import render_filter
+
+        f = parse_filter("active = true and delta > -3.5")
+        assert parse_filter(render_filter(f)) == f

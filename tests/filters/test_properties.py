@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) for the filtering core.
+
+These pin the soundness obligations of the paper:
+
+- constraint implication and filter covering are *sound*: a proved
+  implication can never be contradicted by an event (Definition 2,
+  Proposition 1);
+- attribute-removal weakening always yields covering filters;
+- covering merges cover every input;
+- the counting index is observationally equal to the Figure-6 table.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events.base import PropertyEvent
+from repro.filters.constraints import AttributeConstraint, conjunction_implies
+from repro.filters.filter import Filter, event_covers
+from repro.filters.index import CountingIndex
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+)
+from repro.filters.standard import standardize
+from repro.filters.table import FilterTable
+
+ATTRIBUTES = ["a", "b", "c"]
+
+values = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.sampled_from([0.5, 1.5, 2.5]),
+    st.sampled_from(["", "v", "va", "vab", "w"]),
+    st.booleans(),
+)
+
+nullary_ops = st.sampled_from([EXISTS, ALL])
+value_ops = st.sampled_from([EQ, NE, LT, LE, GT, GE])
+string_ops = st.sampled_from([PREFIX, CONTAINS])
+
+
+@st.composite
+def constraints(draw, attribute=None):
+    attr = attribute or draw(st.sampled_from(ATTRIBUTES))
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return AttributeConstraint(attr, draw(nullary_ops))
+    if kind == 1:
+        return AttributeConstraint(attr, draw(string_ops), draw(
+            st.sampled_from(["v", "va", "w", ""])
+        ))
+    return AttributeConstraint(attr, draw(value_ops), draw(values))
+
+
+filters = st.lists(constraints(), min_size=0, max_size=4).map(Filter)
+
+
+@st.composite
+def events(draw):
+    properties = {}
+    for attr in ATTRIBUTES:
+        if draw(st.booleans()):
+            properties[attr] = draw(values)
+    return PropertyEvent(properties)
+
+
+@given(c1=constraints(attribute="a"), c2=constraints(attribute="a"), value=values)
+def test_constraint_implication_is_sound(c1, c2, value):
+    if c1.implies(c2) and c1.matches_value(value, present=True):
+        assert c2.matches_value(value, present=True)
+
+
+@given(c1=constraints(attribute="a"), c2=constraints(attribute="a"))
+def test_implication_respects_absence(c1, c2):
+    # If c1 accepts an absent attribute (only ALL does) then anything it
+    # implies must accept absence too.
+    if c1.implies(c2) and c1.matches_value(None, present=False):
+        assert c2.matches_value(None, present=False)
+
+
+@given(
+    conj=st.lists(constraints(attribute="a"), min_size=0, max_size=4),
+    target=constraints(attribute="a"),
+    value=values,
+)
+def test_conjunction_implication_is_sound(conj, target, value):
+    if conjunction_implies(conj, target):
+        if all(c.matches_value(value, present=True) for c in conj):
+            assert target.matches_value(value, present=True)
+
+
+@given(f=filters, g=filters, e=events())
+def test_filter_covering_is_sound(f, g, e):
+    """Definition 2: f covers g means every event matching g matches f."""
+    if f.covers(g) and g.matches(e):
+        assert f.matches(e)
+
+
+@given(f=filters)
+def test_covering_is_reflexive(f):
+    assert f.covers(f)
+
+
+@given(f=filters, g=filters, h=filters, e=events())
+def test_covering_is_transitive_observationally(f, g, h, e):
+    if f.covers(g) and g.covers(h) and h.matches(e):
+        assert f.matches(e)
+
+
+@given(f=filters, keep=st.sets(st.sampled_from(ATTRIBUTES)))
+def test_restriction_yields_covering_filter(f, keep):
+    """Attribute removal is the paper's §4.1 weakening: always covers."""
+    assert f.restricted_to(keep).covers(f)
+
+
+@given(f=filters, e=events(), keep=st.sets(st.sampled_from(ATTRIBUTES)))
+def test_restriction_never_loses_matches(f, e, keep):
+    if f.matches(e):
+        assert f.restricted_to(keep).matches(e)
+
+
+@given(f=filters)
+def test_without_wildcards_is_equivalent_cover(f):
+    stripped = f.without_wildcards()
+    assert stripped.covers(f)
+    assert f.covers(stripped)
+
+
+@given(f=filters, e=events())
+def test_event_covering_definition(f, e):
+    """Any event covers itself; full events cover weakened ones except
+    under existence tests (checked elsewhere with Example 3)."""
+    assert event_covers(e, e, f)
+
+
+@given(f=filters, e=events())
+def test_standardize_preserves_matching(f, e):
+    standard = standardize(f, ATTRIBUTES, strict=False)
+    assert standard.matches(e) == f.matches(e)
+
+
+@given(
+    population=st.lists(filters, min_size=0, max_size=8),
+    e=events(),
+)
+@settings(max_examples=60)
+def test_index_equals_table(population, e):
+    table, index = FilterTable(), CountingIndex()
+    for position, f in enumerate(population):
+        if f.matches_nothing:
+            continue
+        table.insert(f, position)
+        index.insert(f, position)
+    assert index.destinations(e) == table.destinations(e)
+
+
+@given(
+    fs=st.lists(filters, min_size=1, max_size=6),
+    e=events(),
+)
+def test_merge_covering_covers_inputs(fs, e):
+    from repro.core.weakening import merge_covering
+
+    merged = merge_covering(fs)
+    assert len(merged) <= len(fs)
+    for original in fs:
+        if original.matches(e):
+            assert any(m.matches(e) for m in merged), (
+                f"{original} matched {dict(e)} but no merged filter did"
+            )
+
+
+@given(f=filters)
+def test_parse_render_round_trip(f):
+    """render_filter is a right inverse of parse_filter over the
+    representable operand types."""
+    from repro.filters.parser import parse_filter, render_filter
+
+    assert parse_filter(render_filter(f)) == f

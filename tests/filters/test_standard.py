@@ -1,0 +1,102 @@
+"""Standard subscription format and wildcard helpers (Section 4.4)."""
+
+import pytest
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL, EQ, LT
+from repro.filters.parser import parse_filter
+from repro.filters.standard import (
+    is_standard,
+    most_general_wildcard,
+    standardize,
+    wildcard_attributes,
+)
+
+SCHEMA = ("class", "symbol", "price")
+
+
+def test_missing_attributes_become_wildcards():
+    fx = parse_filter('class = "Stock" and symbol = "DEF"')
+    standard = standardize(fx, SCHEMA)
+    assert standard.attributes() == list(SCHEMA)
+    assert wildcard_attributes(standard) == ["price"]
+
+
+def test_constraints_reordered_to_schema_order():
+    scrambled = parse_filter('price < 100 and class = "Stock" and symbol = "X"')
+    standard = standardize(scrambled, SCHEMA)
+    assert standard.attributes() == list(SCHEMA)
+
+
+def test_standard_matching_semantics_unchanged():
+    original = parse_filter('class = "Stock" and price < 100')
+    standard = standardize(original, SCHEMA)
+    event = {"class": "Stock", "symbol": "Any", "price": 50}
+    assert original.matches(event) == standard.matches(event) is True
+    reject = {"class": "Stock", "symbol": "Any", "price": 500}
+    assert original.matches(reject) == standard.matches(reject) is False
+
+
+def test_multiple_constraints_on_one_attribute_kept():
+    banded = parse_filter('class = "Stock" and price > 5 and price < 10')
+    standard = standardize(banded, SCHEMA)
+    assert len(standard.constraints_on("price")) == 2
+
+
+def test_strict_rejects_unknown_attributes():
+    with pytest.raises(ValueError):
+        standardize(parse_filter("volume > 5"), SCHEMA)
+
+
+def test_lenient_appends_unknown_attributes():
+    standard = standardize(parse_filter("volume > 5"), SCHEMA, strict=False)
+    assert standard.attributes() == list(SCHEMA) + ["volume"]
+    assert standard.matches({"class": "x", "volume": 6})
+
+
+def test_bottom_passes_through():
+    assert standardize(Filter.bottom(), SCHEMA).is_bottom
+
+
+def test_top_becomes_all_wildcards():
+    standard = standardize(Filter.top(), SCHEMA)
+    assert wildcard_attributes(standard) == list(SCHEMA)
+    assert standard.matches({})
+
+
+def test_is_standard():
+    assert is_standard(standardize(Filter.top(), SCHEMA), SCHEMA)
+    assert not is_standard(parse_filter('class = "Stock"'), SCHEMA)
+    assert not is_standard(Filter.bottom(), SCHEMA)
+
+
+def test_standardized_filter_covers_nothing_extra():
+    """Standardizing neither weakens nor strengthens: mutual covering."""
+    original = parse_filter('class = "Stock" and price < 100')
+    standard = standardize(original, SCHEMA)
+    assert standard.covers(original)
+    assert original.covers(standard)
+
+
+class TestMostGeneralWildcard:
+    def test_first_schema_wildcard_wins(self):
+        f = Filter([
+            AttributeConstraint("class", EQ, "Stock"),
+            AttributeConstraint("symbol", ALL),
+            AttributeConstraint("price", ALL),
+        ])
+        assert most_general_wildcard(f, SCHEMA) == "symbol"
+
+    def test_wildcard_on_most_general_attribute(self):
+        f = Filter([
+            AttributeConstraint("class", ALL),
+            AttributeConstraint("symbol", EQ, "X"),
+            AttributeConstraint("price", LT, 5),
+        ])
+        assert most_general_wildcard(f, SCHEMA) == "class"
+
+    def test_no_wildcard_raises(self):
+        f = parse_filter('class = "Stock"')
+        with pytest.raises(ValueError):
+            most_general_wildcard(f, SCHEMA)

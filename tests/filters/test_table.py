@@ -1,0 +1,103 @@
+"""Unit tests for the naive Figure-6 filter table."""
+
+from repro.filters.parser import parse_filter
+from repro.filters.table import FilterTable
+
+F_FOO = parse_filter('symbol = "Foo"')
+F_CHEAP = parse_filter("price < 10")
+F_FOO_CHEAP = parse_filter('symbol = "Foo" and price < 10')
+
+EVENT = {"symbol": "Foo", "price": 5}
+
+
+def test_insert_and_match():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    assert table.destinations(EVENT) == {"n1"}
+
+
+def test_same_filter_accumulates_ids():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.insert(F_FOO, "n2")
+    assert len(table) == 1
+    assert table.destinations(EVENT) == {"n1", "n2"}
+
+
+def test_duplicate_id_not_repeated():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.insert(F_FOO, "n1")
+    assert table.destinations_for(F_FOO) == ("n1",)
+
+
+def test_union_of_destinations_across_filters():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.insert(F_CHEAP, "n2")
+    table.insert(parse_filter('symbol = "Bar"'), "n3")
+    assert table.destinations(EVENT) == {"n1", "n2"}
+
+
+def test_match_returns_entries_in_insertion_order():
+    table = FilterTable()
+    table.insert(F_CHEAP, "a")
+    table.insert(F_FOO, "b")
+    matched = table.match(EVENT)
+    assert [ids for _, ids in matched] == [("a",), ("b",)]
+
+
+def test_remove_pair():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.insert(F_FOO, "n2")
+    assert table.remove(F_FOO, "n1") is True
+    assert table.destinations(EVENT) == {"n2"}
+
+
+def test_remove_last_id_drops_entry():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.remove(F_FOO, "n1")
+    assert len(table) == 0
+    assert F_FOO not in table
+
+
+def test_remove_missing_returns_false():
+    table = FilterTable()
+    assert table.remove(F_FOO, "nope") is False
+    table.insert(F_FOO, "n1")
+    assert table.remove(F_FOO, "other") is False
+
+
+def test_remove_destination_everywhere():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.insert(F_CHEAP, "n1")
+    table.insert(F_CHEAP, "n2")
+    assert table.remove_destination("n1") == 2
+    assert len(table) == 1
+
+
+def test_contains_and_iteration():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    assert F_FOO in table
+    assert list(table.filters()) == [F_FOO]
+    assert list(table.entries()) == [(F_FOO, ("n1",))]
+
+
+def test_evaluations_counter_tracks_work():
+    table = FilterTable()
+    table.insert(F_FOO, "n1")
+    table.insert(F_CHEAP, "n2")
+    table.match(EVENT)
+    table.match(EVENT)
+    assert table.evaluations == 4
+
+
+def test_equal_filters_built_separately_collapse():
+    table = FilterTable()
+    table.insert(parse_filter('symbol = "Foo"'), "n1")
+    table.insert(parse_filter('symbol = "Foo"'), "n2")
+    assert len(table) == 1

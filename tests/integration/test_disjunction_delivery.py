@@ -1,0 +1,152 @@
+"""End-to-end disjunctive subscriptions: routed per branch, delivered once."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+def make_system(**kwargs):
+    defaults = dict(stage_sizes=(4, 2, 1), seed=31)
+    defaults.update(kwargs)
+    system = MultiStageEventSystem(**defaults)
+    system.advertise("Quote", schema=("class", "symbol", "price"))
+    return system
+
+
+def test_branches_share_a_group():
+    system = make_system()
+    subscriber = system.create_subscriber()
+    subs = system.subscribe(
+        subscriber, 'class = "Quote" and symbol = "A" or class = "Quote" and symbol = "B"'
+    )
+    assert len(subs) == 2
+    assert subs[0].group == subs[1].group is not None
+
+
+def test_each_event_delivered_at_most_once_per_group():
+    system = make_system()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = Counter()
+    system.subscribe(
+        subscriber,
+        'class = "Quote" and symbol = "A" or class = "Quote" and price < 3',
+        handler=lambda e, m, s: got.update([(m["symbol"], m["price"])]),
+    )
+    system.drain()
+    publisher.publish(Quote("A", 10.0), event_class="Quote")  # branch 1
+    publisher.publish(Quote("B", 1.0), event_class="Quote")   # branch 2
+    publisher.publish(Quote("A", 1.0), event_class="Quote")   # both -> once
+    publisher.publish(Quote("B", 9.0), event_class="Quote")   # neither
+    system.drain()
+    assert got == Counter({("A", 10.0): 1, ("B", 1.0): 1, ("A", 1.0): 1})
+
+
+def test_disjunction_matches_oracle():
+    system = make_system(seed=32)
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = Counter()
+    text = (
+        'class = "Quote" and symbol = "A" and price < 5 '
+        'or class = "Quote" and symbol = "B" and price > 8'
+    )
+    system.subscribe(
+        subscriber, text, handler=lambda e, m, s: got.update([m["price"]])
+    )
+    system.drain()
+    from repro.filters.parser import parse_filter
+
+    oracle_filter = parse_filter(text)
+    expected = Counter()
+    import random
+
+    rng = random.Random(5)
+    for _ in range(60):
+        quote = Quote(rng.choice("AB"), round(rng.uniform(0, 10), 1))
+        metadata = {
+            "class": "Quote",
+            "symbol": quote.get_symbol(),
+            "price": quote.get_price(),
+        }
+        if oracle_filter.matches(metadata):
+            expected.update([quote.get_price()])
+        publisher.publish(quote, event_class="Quote")
+    system.drain()
+    assert got == expected
+
+
+def test_same_event_twice_is_delivered_twice():
+    """Dedup keys on event identity, not content: republishing the same
+    payload is a new event."""
+    system = make_system(seed=33)
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = []
+    system.subscribe(
+        subscriber,
+        'class = "Quote" and symbol = "A" or class = "Quote" and price < 99',
+        handler=lambda e, m, s: got.append(m["price"]),
+    )
+    system.drain()
+    quote = Quote("A", 5.0)
+    publisher.publish(quote, event_class="Quote")
+    publisher.publish(quote, event_class="Quote")
+    system.drain()
+    assert got == [5.0, 5.0]
+
+
+def test_independent_disjunctions_do_not_share_dedup():
+    system = make_system(seed=34)
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = Counter()
+    for label in ("first", "second"):
+        system.subscribe(
+            subscriber,
+            'class = "Quote" and symbol = "A" or class = "Quote" and price < 99',
+            handler=lambda e, m, s, _l=label: got.update([_l]),
+        )
+    system.drain()
+    publisher.publish(Quote("A", 5.0), event_class="Quote")
+    system.drain()
+    assert got == Counter({"first": 1, "second": 1})
+
+
+def test_bottom_branches_simplify_away():
+    system = make_system(seed=35)
+    subscriber = system.create_subscriber()
+    from repro.filters.disjunction import Disjunction
+    from repro.filters.filter import Filter
+    from repro.filters.parser import parse_filter
+
+    subs = system.subscribe(
+        subscriber,
+        Disjunction([Filter.bottom(), parse_filter('class = "Quote" and symbol = "A"')]),
+    )
+    assert len(subs) == 1
+    assert subs[0].group is None  # collapsed to a plain subscription
+
+
+def test_type_based_disjunction_rejected():
+    system = make_system(seed=36)
+    system.register_type(Quote)
+    subscriber = system.create_subscriber()
+    with pytest.raises(ValueError):
+        system.subscribe(
+            subscriber, 'symbol = "A" or symbol = "B"', event_class=Quote
+        )

@@ -1,0 +1,115 @@
+"""Example 5, run live on Figure 4's topology.
+
+The paper hand-derives the per-stage filter tables for four subscriber
+filters (f1..f4) over Stock and Auction events on a 4-stage hierarchy
+(N1.1-N1.4 / N2.1-N2.2 / N3.1).  Here the same subscriptions flow
+through the actual protocol and the resulting broker tables must contain
+exactly the filters the paper lists: the i-set at stage 3, the h-set at
+stage 2, and (with covering-merge compaction on the common path) the
+g-collapse the paper points out for f1/f2.
+"""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.filters.parser import parse_filter
+from repro.workloads.auctions import AUCTION_SCHEMA, Auction
+from repro.workloads.stocks import STOCK_SCHEMA, Stock
+
+F1 = 'class = "Stock" and symbol = "DEF" and price < 10.0'
+F2 = 'class = "Stock" and symbol = "DEF" and price < 11.0'
+F3 = 'class = "Stock" and symbol = "GHI" and price < 8.0'
+F4 = (
+    'class = "Auction" and product = "Vehicle" and kind = "Car" '
+    "and capacity < 2000 and price < 10000.0"
+)
+
+I1 = parse_filter('class = "Stock"')
+I2 = parse_filter('class = "Auction"')
+H1 = parse_filter('class = "Stock" and symbol = "DEF"')
+H2 = parse_filter('class = "Stock" and symbol = "GHI"')
+H3 = parse_filter('class = "Auction" and product = "Vehicle" and kind = "Car"')
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = MultiStageEventSystem(stage_sizes=(4, 2, 1), seed=2002)
+    # Stock keeps price through stage 1 (the g1/g2 bounds of Example 5).
+    system.advertise("Stock", schema=STOCK_SCHEMA, stage_prefixes=[3, 3, 2, 1])
+    # Auction uses Example 6's G_Auction.
+    system.advertise("Auction", schema=AUCTION_SCHEMA, stage_prefixes=[5, 4, 3, 1])
+    system.register_type(Stock)
+    system.register_type(Auction)
+    for text in (F1, F2, F3, F4):
+        subscriber = system.create_subscriber()
+        system.subscribe(subscriber, text)
+        system.drain()
+    return system
+
+
+def stage_filters(system, stage):
+    filters = set()
+    for node in system.hierarchy.nodes(stage):
+        filters.update(node.table.filters())
+    return filters
+
+
+def test_stage3_holds_exactly_the_i_filters(system):
+    assert stage_filters(system, 3) == {I1, I2}
+
+
+def test_stage2_holds_exactly_the_h_filters(system):
+    assert stage_filters(system, 2) == {H1, H2, H3}
+
+
+def test_stage1_filters_cover_the_subscriptions(system):
+    stage1 = stage_filters(system, 1)
+    for text in (F1, F2, F3, F4):
+        original = parse_filter(text)
+        assert any(stored.covers(original) for stored in stage1), text
+
+
+def test_similar_f1_f2_cluster_at_one_node(system):
+    """§4.2: f1 and f2 differ only in the price bound, so the placement
+    algorithm homes them on the same stage-1 node."""
+    f1_sub, f2_sub = system.subscribers[0], system.subscribers[1]
+    home1 = f1_sub.home_of(f1_sub.subscriptions()[0].subscription_id)
+    home2 = f2_sub.home_of(f2_sub.subscriptions()[0].subscription_id)
+    assert home1 is home2
+
+
+def test_paper_example_events_route_correctly(system):
+    publisher = system.create_publisher()
+    delivered = []
+    for index, subscriber in enumerate(system.subscribers):
+        state = subscriber._states[subscriber.subscriptions()[0].subscription_id]
+        original_handler = state.handler
+
+        def handler(event, metadata, subscription, _i=index):
+            delivered.append(_i)
+
+        state.handler = handler
+
+    publisher.publish(Stock("DEF", 9.5))          # matches f1 and f2
+    publisher.publish(Stock("DEF", 10.5))         # matches f2 only
+    publisher.publish(Stock("GHI", 9.0))          # nobody (price >= 8)
+    publisher.publish(Auction("Vehicle", "Car", 1500, 8000.0))  # f4
+    publisher.publish(Auction("Vehicle", "Truck", 1500, 8000.0))  # nobody
+    system.drain()
+    assert sorted(delivered) == [0, 1, 1, 3]
+
+
+def test_stage2_collapse_on_the_common_path(system):
+    """f1 and f2's stage-2 weakenings are identical (h1), so the parent
+    of their shared home holds ONE filter for that branch — the paper's
+    "we can now ignore filter f1 ... and keep only g1" effect."""
+    f1_sub = system.subscribers[0]
+    home = f1_sub.home_of(f1_sub.subscriptions()[0].subscription_id)
+    parent = home.parent
+    stock_def_entries = [
+        (stored, ids)
+        for stored, ids in parent.table.entries()
+        if stored == H1
+    ]
+    assert len(stock_def_entries) == 1
+    assert home in stock_def_entries[0][1]

@@ -1,0 +1,83 @@
+"""Tests for delivery-latency metrics."""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.metrics.latency import combined, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_p99_small_sample(self):
+        assert percentile([1.0, 2.0], 0.99) == 2.0
+
+    def test_zero_fraction_is_minimum(self):
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_one_is_maximum(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.0
+        assert summary.maximum == 4.0
+
+    def test_empty_is_zeros(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_combined(self):
+        summary = combined([[1.0], [2.0, 3.0]])
+        assert summary.count == 3
+        assert summary.maximum == 3.0
+
+    def test_str(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class Ping:
+    def get_target(self):
+        return "x"
+
+
+def test_end_to_end_latency_equals_hop_count_times_link_latency():
+    latency = 0.01
+    system = MultiStageEventSystem(
+        stage_sizes=(2, 2, 1), seed=4, link_latency=latency
+    )
+    system.advertise("Ping", schema=("class", "target"))
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'class = "Ping"')
+    system.drain()
+    publisher.publish(Ping())
+    system.drain()
+    # publisher -> root -> stage2 -> stage1 -> subscriber: 4 hops.
+    assert subscriber.delivery_latencies == [pytest.approx(4 * latency)]
+
+
+def test_latency_recorded_only_for_matching_events():
+    system = MultiStageEventSystem(stage_sizes=(2, 1), seed=4)
+    system.advertise("Ping", schema=("class", "target"))
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'class = "Ping" and target = "nothing"')
+    system.drain()
+    publisher.publish(Ping())
+    system.drain()
+    assert subscriber.delivery_latencies == []

@@ -1,0 +1,61 @@
+"""Unit tests for the plain-text report renderers."""
+
+from repro.metrics.report import format_number, render_series, render_table
+
+
+class TestFormatNumber:
+    def test_integers_verbatim(self):
+        assert format_number(42) == "42"
+
+    def test_zero(self):
+        assert format_number(0) == "0"
+        assert format_number(0.0) == "0"
+
+    def test_small_values_scientific(self):
+        assert format_number(2e-7) == "2.00e-07"
+
+    def test_ordinary_floats_compact(self):
+        assert format_number(0.8712) == "0.8712"
+
+    def test_strings_pass_through(self):
+        assert format_number("-") == "-"
+
+    def test_bools(self):
+        assert format_number(True) == "True"
+
+
+class TestRenderTable:
+    def test_columns_align(self):
+        table = render_table(
+            ["Stage", "RLC"], [[0, 2e-7], [1, 2e-4], [3, 0.02]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("Stage")
+        header_rlc = lines[0].index("RLC")
+        for line in lines[2:]:
+            assert line[header_rlc] not in (" ",)
+
+    def test_values_present(self):
+        table = render_table(["a"], [[123456]])
+        assert "123456" in table
+
+
+class TestRenderSeries:
+    def test_summary_statistics(self):
+        text = render_series("MR", [("level 0", [0.5, 1.0, 0.75])])
+        assert "min=0.5" in text
+        assert "max=1" in text
+        assert "n=3" in text
+
+    def test_empty_series(self):
+        assert "(empty)" in render_series("MR", [("level 0", [])])
+
+    def test_long_series_downsampled(self):
+        text = render_series("MR", [("s", [float(i) for i in range(500)])], width=40)
+        strip = text.splitlines()[-1]
+        assert len(strip.strip()) <= 44
+
+    def test_constant_series_no_crash(self):
+        text = render_series("MR", [("s", [1.0, 1.0, 1.0])])
+        assert "mean=1" in text

@@ -1,0 +1,107 @@
+"""Tests for covering-merge table compaction (the §4 g1-collapse)."""
+
+from collections import Counter
+
+from repro.core.engine import MultiStageEventSystem
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+SCHEMA = ("class", "symbol", "price")
+# Keep the price bound up to stage 2: compaction merges filters that
+# share a destination set, which happens at stage >= 2 where many of one
+# child's filters coexist (Example 5's g1 collapse happens upstream).
+PREFIXES = (3, 3, 3, 1)
+
+
+def build(compact):
+    system = MultiStageEventSystem(stage_sizes=(2, 2, 1), seed=8, compact=compact)
+    system.advertise("Quote", schema=SCHEMA, stage_prefixes=PREFIXES)
+    deliveries = Counter()
+    # Example-5-shaped population: same symbol, different price bounds.
+    for index, bound in enumerate((10.0, 11.0, 12.0, 13.0)):
+        subscriber = system.create_subscriber(f"s{index}")
+        system.subscribe(
+            subscriber,
+            f'class = "Quote" and symbol = "DEF" and price < {bound}',
+            handler=lambda e, m, s, _i=index: deliveries.update([(_i, m["price"])]),
+        )
+        system.drain()
+    return system, deliveries
+
+
+def publish_stream(system):
+    publisher = system.create_publisher()
+    for price in (9.0, 10.5, 11.5, 12.5, 14.0):
+        publisher.publish(Quote("DEF", price), event_class="Quote")
+    system.drain()
+
+
+def effective_filters(system, stage):
+    return sum(
+        len(node._match_engine()) for node in system.hierarchy.nodes(stage)
+    )
+
+
+def test_compaction_reduces_stage2_filters():
+    plain, _ = build(compact=False)
+    compacted, _ = build(compact=True)
+    publish_stream(plain)
+    publish_stream(compacted)
+    assert effective_filters(compacted, 2) < effective_filters(plain, 2)
+
+
+def test_compaction_preserves_deliveries_exactly():
+    plain, plain_deliveries = build(compact=False)
+    compacted, compacted_deliveries = build(compact=True)
+    publish_stream(plain)
+    publish_stream(compacted)
+    assert plain_deliveries == compacted_deliveries
+    assert plain_deliveries  # non-trivial
+
+
+def test_compacted_filter_covers_all_members():
+    system, _ = build(compact=True)
+    publish_stream(system)
+    nodes = [
+        node
+        for stage in (1, 2)
+        for node in system.hierarchy.nodes(stage)
+        if len(node.table) > 0
+    ]
+    for node in nodes:
+        effective = list(node._match_engine().filters())
+        for original in node.table.filters():
+            assert any(merged.covers(original) for merged in effective)
+
+
+def test_compaction_rebuilds_after_table_changes():
+    system, _ = build(compact=True)
+    publish_stream(system)
+    node = next(n for n in system.hierarchy.nodes(2) if len(n.table) > 0)
+    before = len(node._match_engine())
+    # Removing a subscriber's filter must reflect in the effective engine.
+    filter_, ids = next(iter(node.table.entries()))
+    node.table.remove(filter_, ids[0])
+    node._table_changed()
+    after = len(node._match_engine())
+    assert after <= before
+
+
+def test_counters_report_compacted_size():
+    system, _ = build(compact=True)
+    publish_stream(system)
+    for stage in (1, 2, 3):
+        for node in system.hierarchy.nodes(stage):
+            if len(node.table) > 0:
+                assert node.counters.filters_held == len(node._match_engine())

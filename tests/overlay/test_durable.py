@@ -1,0 +1,198 @@
+"""Tests for durable subscriptions (§2.1: nodes "storing events for
+temporarily disconnected subscribers with durable subscriptions")."""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+
+
+class Alert:
+    def __init__(self, topic, level):
+        self._topic = topic
+        self._level = level
+
+    def get_topic(self):
+        return self._topic
+
+    def get_level(self):
+        return self._level
+
+
+def make_system(**kwargs):
+    defaults = dict(stage_sizes=(4, 2, 1), seed=21, ttl=10.0)
+    defaults.update(kwargs)
+    system = MultiStageEventSystem(**defaults)
+    system.advertise("Alert", schema=("class", "topic", "level"))
+    return system
+
+
+def setup_subscriber(system, text='class = "Alert" and topic = "db"'):
+    subscriber = system.create_subscriber()
+    got = []
+    system.subscribe(
+        subscriber, text, handler=lambda e, m, s: got.append(m["level"])
+    )
+    system.drain()
+    return subscriber, got
+
+
+def test_durable_disconnect_buffers_and_replays():
+    system = make_system()
+    publisher = system.create_publisher()
+    subscriber, got = setup_subscriber(system)
+
+    publisher.publish(Alert("db", 1))
+    system.drain()
+    assert got == [1]
+
+    subscriber.disconnect(durable=True)
+    system.drain()
+    publisher.publish(Alert("db", 2))
+    publisher.publish(Alert("db", 3))
+    publisher.publish(Alert("web", 9))  # does not match; never buffered
+    system.drain()
+    assert got == [1]  # nothing delivered while offline
+
+    subscriber.reconnect()
+    system.drain()
+    assert got == [1, 2, 3]  # replayed in publish order
+
+
+def test_non_durable_disconnect_drops_events():
+    system = make_system()
+    publisher = system.create_publisher()
+    subscriber, got = setup_subscriber(system)
+
+    subscriber.disconnect(durable=False)
+    system.drain()
+    publisher.publish(Alert("db", 2))
+    system.drain()
+    subscriber.reconnect()
+    system.drain()
+    assert got == []
+
+    publisher.publish(Alert("db", 3))
+    system.drain()
+    assert got == [3]  # live again after reconnect
+
+
+def test_buffer_is_bounded_drop_oldest():
+    system = MultiStageEventSystem(stage_sizes=(2, 1), seed=3, ttl=10.0)
+    system.advertise("Alert", schema=("class", "topic", "level"))
+    for node in system.hierarchy.nodes():
+        node.offline_buffer_limit = 3
+    publisher = system.create_publisher()
+    subscriber, got = setup_subscriber(system)
+
+    subscriber.disconnect(durable=True)
+    system.drain()
+    for level in range(10):
+        publisher.publish(Alert("db", level))
+    system.drain()
+    subscriber.reconnect()
+    system.drain()
+    assert got == [7, 8, 9]  # only the newest 3 survive
+
+
+def test_filters_stay_installed_while_offline():
+    system = make_system()
+    subscriber, _ = setup_subscriber(system)
+    home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+    subscriber.disconnect()
+    system.drain()
+    assert len(home.table) == 1
+
+
+def test_offline_beyond_lease_loses_subscription_and_buffer():
+    """The durable window is the lease lifetime: past 3xTTL the filters
+    decay and the buffer is garbage-collected with them."""
+    ttl = 10.0
+    system = make_system(ttl=ttl)
+    publisher = system.create_publisher()
+    subscriber, got = setup_subscriber(system)
+    home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+
+    system.start_maintenance()
+    subscriber.disconnect(durable=True)
+    system.run_for(1.0)
+    publisher.publish(Alert("db", 1))
+    system.run_for(ttl * 12)
+    assert len(home.table) == 0
+    assert not home._buffers  # buffer went with the lease
+
+    subscriber.reconnect()
+    system.run_for(1.0)
+    assert got == []  # nothing to replay; subscription is gone upstream
+    system.stop_maintenance()
+
+
+def test_renewals_pause_while_offline_and_resume():
+    ttl = 10.0
+    system = make_system(ttl=ttl)
+    subscriber, _ = setup_subscriber(system)
+    system.start_maintenance()
+    subscriber.disconnect(durable=True)
+    system.run_for(ttl)  # short absence, well under 3xTTL
+    subscriber.reconnect()
+    system.run_for(ttl * 6)  # renewals resumed: still installed
+    home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+    assert len(home.table) == 1
+    system.stop_maintenance()
+
+
+def test_multiple_durable_subscribers_buffer_independently():
+    system = make_system()
+    publisher = system.create_publisher()
+    first, got_first = setup_subscriber(system)
+    second, got_second = setup_subscriber(system)
+
+    first.disconnect(durable=True)
+    system.drain()
+    publisher.publish(Alert("db", 5))
+    system.drain()
+    assert got_second == [5]
+    assert got_first == []
+
+    first.reconnect()
+    system.drain()
+    assert got_first == [5]
+
+
+def test_rejoin_after_lease_decay_restores_service():
+    """After sleeping past the lease window, rejoin() re-runs Figure 5
+    and the subscription comes back to life end to end."""
+    ttl = 10.0
+    system = make_system(ttl=ttl)
+    publisher = system.create_publisher()
+    subscriber, got = setup_subscriber(system)
+    sub_id = subscriber.subscriptions()[0].subscription_id
+
+    system.start_maintenance()
+    subscriber.disconnect(durable=True)
+    system.run_for(ttl * 12)  # far past 3xTTL: filters are gone upstream
+    assert sum(len(n.table) for n in system.hierarchy.nodes()) == 0
+
+    subscriber.reconnect()
+    subscriber.rejoin(sub_id)
+    system.run_for(ttl)
+    assert subscriber.all_joined()
+    publisher.publish(Alert("db", 7))
+    system.run_for(1.0)
+    assert got == [7]
+    system.stop_maintenance()
+
+
+def test_rejoin_unknown_subscription_raises():
+    system = make_system()
+    subscriber, _ = setup_subscriber(system)
+    with pytest.raises(KeyError):
+        subscriber.rejoin(999999)
+
+
+def test_rejoin_inactive_subscription_raises():
+    system = make_system()
+    subscriber, _ = setup_subscriber(system)
+    sub_id = subscriber.subscriptions()[0].subscription_id
+    subscriber.unsubscribe(sub_id)
+    with pytest.raises(KeyError):
+        subscriber.rejoin(sub_id)

@@ -1,0 +1,245 @@
+"""Edge-case and robustness tests for the overlay protocol."""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.core.stages import AttributeStageAssociation
+from repro.events.base import PropertyEvent
+from repro.overlay.node import BrokerNode
+from repro.overlay.messages import SubscriptionRequest
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+SCHEMA = ("class", "symbol", "price")
+
+
+def make_system(**kwargs):
+    defaults = dict(stage_sizes=(3, 1), seed=41)
+    defaults.update(kwargs)
+    system = MultiStageEventSystem(**defaults)
+    system.advertise("Quote", schema=SCHEMA)
+    return system
+
+
+def test_event_matching_nothing_discarded_silently():
+    system = make_system()
+    publisher = system.create_publisher()
+    system.drain()
+    publisher.publish(Quote("A", 1.0), event_class="Quote")
+    system.drain()
+    assert system.root.counters.events_received == 1
+    assert system.root.counters.events_forwarded == 0
+
+
+def test_events_before_any_subscription_do_not_crash():
+    system = make_system()
+    publisher = system.create_publisher()
+    for _ in range(5):
+        publisher.publish(Quote("A", 1.0), event_class="Quote")
+    system.drain()
+    assert system.root.counters.events_received == 5
+
+
+def test_single_node_hierarchy_serves_directly():
+    """Degenerate tree: the root IS the stage-1 node."""
+    system = MultiStageEventSystem(stage_sizes=(1,), seed=42)
+    system.advertise("Quote", schema=SCHEMA, stage_prefixes=[3, 1])
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = []
+    system.subscribe(
+        subscriber, 'class = "Quote" and symbol = "A"',
+        handler=lambda e, m, s: got.append(m["symbol"]),
+    )
+    system.drain()
+    publisher.publish(Quote("A", 1.0), event_class="Quote")
+    publisher.publish(Quote("B", 1.0), event_class="Quote")
+    system.drain()
+    assert got == ["A"]
+
+
+def test_inner_node_without_children_hosts_rather_than_bouncing():
+    """Malformed topology guard: an inner node with no broker children
+    inserts the subscriber instead of redirecting forever."""
+    sim = Simulator()
+    network = Network(sim, default_latency=0.001)
+    rngs = RngRegistry(0)
+    node = BrokerNode(sim, network, "lonely", stage=2, rng=rngs.stream("n"))
+    from repro.core.advertisement import Advertisement
+
+    advertisement = Advertisement(
+        "Quote", AttributeStageAssociation.uniform(SCHEMA, 3)
+    )
+    node.advertisements.add(advertisement)
+
+    from repro.overlay.subscriber import SubscriberRuntime
+
+    subscriber = SubscriberRuntime(sim, network, "edge", root=node)
+    from repro.core.subscription import Subscription
+
+    subscription = Subscription(
+        advertisement.standardize(
+            __import__("repro.filters.parser", fromlist=["parse_filter"]).parse_filter(
+                'class = "Quote" and symbol = "A" and price < 2'
+            )
+        ),
+        "Quote",
+    )
+    subscriber.subscribe(subscription)
+    sim.run()
+    assert subscriber.all_joined()
+    assert len(node.table) == 1
+
+
+def test_updated_advertisement_changes_weakening():
+    """Re-advertising with a different Gc affects subsequent insertions."""
+    system = make_system(stage_sizes=(2, 2, 1))
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'class = "Quote" and symbol = "A" and price < 2')
+    system.drain()
+    home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+    first = next(iter(home.table.filters()))
+    assert first.attributes() == ["class", "symbol"]  # uniform Gc
+
+    # Publisher re-advertises keeping price down to stage 1.
+    system.advertise("Quote", schema=SCHEMA, stage_prefixes=[3, 3, 2, 1])
+    system.drain()
+    other = system.create_subscriber()
+    system.subscribe(other, 'class = "Quote" and symbol = "B" and price < 2')
+    system.drain()
+    other_home = other.home_of(other.subscriptions()[0].subscription_id)
+    stored = [
+        f for f in other_home.table.filters()
+        if f.constraints_on("symbol") and f.constraints_on("symbol")[0].operand == "B"
+    ]
+    assert stored and stored[0].attributes() == ["class", "symbol", "price"]
+
+
+def test_fT_subscription_with_class_in_schema_pins_the_class():
+    system = make_system()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    got = []
+    system.subscribe(
+        subscriber, None, event_class="Quote",
+        handler=lambda e, m, s: got.append(m["class"]),
+    )
+    system.drain()
+    publisher.publish(Quote("A", 1.0), event_class="Quote")
+    publisher.publish(PropertyEvent({"class": "Other", "x": 1}))
+    system.drain()
+    assert got == ["Quote"]
+
+
+def test_many_subscriptions_single_subscriber():
+    system = make_system(stage_sizes=(4, 2, 1))
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    hits = []
+    for i in range(10):
+        system.subscribe(
+            subscriber, f'class = "Quote" and symbol = "S{i}"',
+            handler=lambda e, m, s: hits.append(m["symbol"]),
+        )
+        system.drain()
+    assert subscriber.all_joined()
+    for i in range(10):
+        publisher.publish(Quote(f"S{i}", 1.0), event_class="Quote")
+    system.drain()
+    assert sorted(hits) == [f"S{i}" for i in range(10)]
+
+
+def test_control_messages_counted():
+    system = make_system()
+    subscriber = system.create_subscriber()
+    system.subscribe(subscriber, 'class = "Quote" and symbol = "A"')
+    system.drain()
+    total_control = sum(
+        node.counters.control_messages for node in system.hierarchy.nodes()
+    )
+    assert total_control >= 2  # advertisement flood + subscription request
+
+
+def test_redirect_follows_strongest_covering_filter():
+    """Figure 5b picks the *strongest* stored covering filter, not the
+    first: a subscription covered by both a wide and a narrow stored
+    filter must follow the narrow one's child."""
+    from repro.core.advertisement import Advertisement
+    from repro.core.subscription import Subscription
+    from repro.filters.parser import parse_filter
+    from repro.overlay.subscriber import SubscriberRuntime
+    from repro.sim.rng import RngRegistry
+
+    sim = Simulator()
+    network = Network(sim, default_latency=0.001)
+    rngs = RngRegistry(0)
+    parent = BrokerNode(sim, network, "N2.1", stage=2, rng=rngs.stream("p"))
+    wide_child = BrokerNode(sim, network, "N1.wide", stage=1, rng=rngs.stream("w"))
+    narrow_child = BrokerNode(sim, network, "N1.narrow", stage=1, rng=rngs.stream("n"))
+    parent.attach_child(wide_child)
+    parent.attach_child(narrow_child)
+    network.connect(parent, wide_child)
+    network.connect(parent, narrow_child)
+
+    advertisement = Advertisement(
+        "Quote",
+        AttributeStageAssociation.from_prefixes(SCHEMA, [3, 3, 2, 1]),
+    )
+    for node in (parent, wide_child, narrow_child):
+        node.advertisements.add(advertisement)
+
+    wide = parse_filter('class = "Quote"')
+    narrow = parse_filter('class = "Quote" and symbol = "A" and price < 100')
+    parent._store(wide, wide_child, "Quote")
+    parent._store(narrow, narrow_child, "Quote")
+
+    subscriber = SubscriberRuntime(sim, network, "edge", root=parent)
+    subscription = Subscription(
+        advertisement.standardize(
+            parse_filter('class = "Quote" and symbol = "A" and price < 10')
+        ),
+        "Quote",
+    )
+    subscriber.subscribe(subscription)
+    sim.run()
+    # Redirected via the narrow filter's child, where it was inserted.
+    assert subscriber.home_of(subscription.subscription_id) is narrow_child
+
+
+def test_covering_entries_pointing_only_at_subscribers_are_skipped():
+    """A covering entry whose destinations are all subscribers (a
+    wildcard host) must not be used as a redirect target."""
+    system = make_system(stage_sizes=(3, 1))
+    publisher = system.create_publisher()
+    # First: a wildcard subscription hosts at the root (class-only Gc use).
+    wild = system.create_subscriber("wild")
+    system.subscribe(wild, 'class = "Quote"')
+    system.drain()
+    wild_home = wild.home_of(wild.subscriptions()[0].subscription_id)
+    # Second: a narrow subscription covered by the wildcard's stored
+    # filter; it must still descend to a stage-1 node, not be bounced
+    # toward the subscriber.
+    narrow = system.create_subscriber("narrow")
+    system.subscribe(narrow, 'class = "Quote" and symbol = "A"')
+    system.drain()
+    narrow_home = narrow.home_of(narrow.subscriptions()[0].subscription_id)
+    assert narrow_home is not None
+    assert narrow_home.stage == 1
+    publisher.publish(Quote("A", 1.0), event_class="Quote")
+    system.drain()
+    assert narrow.counters.events_delivered == 1
+    assert wild.counters.events_delivered == 1

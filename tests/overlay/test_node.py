@@ -1,0 +1,276 @@
+"""Protocol tests for BrokerNode: Figure 5(b) routing, Figure 6 forwarding,
+TTL maintenance, and wildcard handling."""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.events.base import PropertyEvent
+from repro.overlay.messages import Publish, Renewal
+from repro.overlay.node import BrokerNode
+
+SCHEMA = ("class", "symbol", "price")
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+def make_system(**kwargs):
+    defaults = dict(stage_sizes=(4, 2, 1), seed=3, ttl=10.0)
+    defaults.update(kwargs)
+    system = MultiStageEventSystem(**defaults)
+    system.advertise("Quote", schema=SCHEMA)
+    return system
+
+
+def subscribe(system, subscriber, text, **kwargs):
+    subs = system.subscribe(subscriber, text, event_class="Quote", **kwargs)
+    system.drain()
+    return subs[0]
+
+
+class TestAdvertisementFlooding:
+    def test_every_node_learns_the_advertisement(self):
+        system = make_system()
+        system.drain()
+        for node in system.hierarchy.nodes():
+            assert node.advertisements.get("Quote") is not None
+
+    def test_readvertising_is_not_reflooded(self):
+        system = make_system()
+        system.drain()
+        before = system.network.stats.total_messages
+        system.advertise("Quote", schema=SCHEMA)
+        system.drain()
+        after = system.network.stats.total_messages
+        # One message to the root, which stops the flood (no change).
+        assert after - before == 1
+
+
+class TestFilterInstallation:
+    def test_subscription_installs_weakened_filters_up_the_path(self):
+        system = make_system()
+        subscriber = system.create_subscriber("alice")
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A" and price < 5')
+        home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+        assert home.stage == 1
+        # Stage 1 stores class+symbol (uniform Gc drops price).
+        stage1_filter = next(iter(home.table.filters()))
+        assert stage1_filter.attributes() == ["class", "symbol"]
+        # The parent stores class only, the root class only.
+        parent_filter = next(iter(home.parent.table.filters()))
+        assert parent_filter.attributes() == ["class"]
+        root_filters = list(system.root.table.filters())
+        assert [f.attributes() for f in root_filters] == [["class"]]
+
+    def test_identical_upper_filters_collapse(self):
+        system = make_system()
+        for i in range(6):
+            subscriber = system.create_subscriber(f"s{i}")
+            subscribe(
+                system, subscriber,
+                f'class = "Quote" and symbol = "SYM{i}" and price < 5',
+            )
+        assert len(system.root.table) == 1  # all collapse to (class=Quote)
+
+    def test_filters_held_gauge_tracks_table(self):
+        system = make_system()
+        subscriber = system.create_subscriber()
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+        assert home.counters.filters_held == len(home.table) == 1
+
+
+class TestSimilarityPlacement:
+    def test_similar_subscriptions_cluster_on_one_node(self):
+        system = make_system()
+        homes = []
+        for i in range(4):
+            subscriber = system.create_subscriber(f"s{i}")
+            sub = subscribe(
+                system, subscriber,
+                f'class = "Quote" and symbol = "HOT" and price < {5 + i}',
+            )
+            homes.append(subscriber.home_of(sub.subscription_id))
+        assert len({h.name for h in homes}) == 1
+
+    def test_join_redirects_descend_and_terminate(self):
+        system = make_system()
+        subscriber = system.create_subscriber()
+        sub = subscribe(system, subscriber, 'class = "Quote" and symbol = "X"')
+        state = subscriber._states[sub.subscription_id]
+        # Root (stage 3) -> stage 2 -> stage 1: exactly two redirects.
+        assert state.join_hops == 2
+        assert state.joined
+
+
+class TestWildcardRouting:
+    def test_symbol_wildcard_attaches_above_stage_one(self):
+        system = make_system()
+        subscriber = system.create_subscriber("wild")
+        # symbol unspecified -> wildcard on symbol and price.  symbol is
+        # used up to stage 1 (uniform Gc on 3 attrs / 4 stages), so the
+        # subscription attaches at stage 2.
+        sub = subscribe(system, subscriber, 'class = "Quote"')
+        home = subscriber.home_of(sub.subscription_id)
+        assert home.stage == 2
+
+    def test_class_only_gc_clamps_to_root(self):
+        system = MultiStageEventSystem(stage_sizes=(4, 2, 1), seed=3)
+        # symbol used at every broker stage: a symbol wildcard targets a
+        # stage above the root and must clamp there.
+        system.advertise("Quote", schema=SCHEMA, stage_prefixes=[3, 3, 3, 3])
+        subscriber = system.create_subscriber()
+        sub = subscribe(system, subscriber, 'class = "Quote"')
+        assert subscriber.home_of(sub.subscription_id) is system.root
+
+    def test_naive_mode_sends_wildcards_to_stage_one(self):
+        system = make_system(wildcard_routing=False)
+        subscriber = system.create_subscriber()
+        sub = subscribe(system, subscriber, 'class = "Quote"')
+        assert subscriber.home_of(sub.subscription_id).stage == 1
+
+    def test_wildcard_subscriber_receives_everything_of_the_class(self):
+        system = make_system()
+        publisher = system.create_publisher()
+        subscriber = system.create_subscriber()
+        got = []
+        system.subscribe(
+            subscriber, 'class = "Quote"', event_class="Quote",
+            handler=lambda e, m, s: got.append(m["symbol"]),
+        )
+        system.drain()
+        for symbol in ("A", "B", "C"):
+            publisher.publish(Quote(symbol, 1.0), event_class="Quote")
+        system.drain()
+        assert got == ["A", "B", "C"]
+
+    def test_second_similar_wildcard_clusters_at_same_node(self):
+        system = make_system()
+        homes = []
+        for i in range(2):
+            subscriber = system.create_subscriber(f"w{i}")
+            sub = subscribe(system, subscriber, 'class = "Quote" and price < 9')
+            homes.append(subscriber.home_of(sub.subscription_id))
+        assert homes[0] is homes[1]
+
+
+class TestForwarding:
+    def test_event_forwarded_once_per_destination(self):
+        system = make_system()
+        publisher = system.create_publisher()
+        subscriber = system.create_subscriber()
+        # Two subscriptions on the same subscriber -> two filters at its
+        # home, both pointing at the same destination.
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A" and price < 5')
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A" and price < 9')
+        publisher.publish(Quote("A", 1.0), event_class="Quote")
+        system.drain()
+        assert subscriber.counters.events_received == 1
+
+    def test_non_matching_event_discarded_at_root(self):
+        system = make_system()
+        publisher = system.create_publisher()
+        subscriber = system.create_subscriber()
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        publisher.publish(PropertyEvent({"class": "Other", "symbol": "A"}))
+        system.drain()
+        root = system.root
+        assert root.counters.events_received == 1
+        assert root.counters.events_matched == 0
+        assert subscriber.counters.events_received == 0
+
+    def test_match_counters(self):
+        system = make_system()
+        publisher = system.create_publisher()
+        subscriber = system.create_subscriber()
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        publisher.publish(Quote("A", 1.0), event_class="Quote")
+        publisher.publish(Quote("B", 1.0), event_class="Quote")
+        system.drain()
+        root = system.root
+        assert root.counters.events_received == 2
+        assert root.counters.events_matched == 2  # class filter matches both
+        home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+        assert home.counters.events_matched == 1  # symbol filter rejects B
+
+
+class TestMaintenance:
+    def test_purge_removes_silent_subscriber(self):
+        system = make_system(ttl=10.0)
+        subscriber = system.create_subscriber()
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        system.start_maintenance()
+        subscriber.stop_maintenance()  # the subscriber "crashes"
+        # Decay cascades one stage at a time (a node only stops renewing a
+        # filter after purging it), so allow ~3xTTL per broker stage.
+        system.run_for(10 * 12)
+        assert sum(len(n.table) for n in system.hierarchy.nodes()) == 0
+        system.stop_maintenance()
+
+    def test_renewing_subscriber_survives(self):
+        system = make_system(ttl=10.0)
+        subscriber = system.create_subscriber()
+        subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        system.start_maintenance()
+        system.run_for(10 * 6)
+        home = subscriber.home_of(subscriber.subscriptions()[0].subscription_id)
+        assert len(home.table) == 1
+        assert len(system.root.table) == 1
+        system.stop_maintenance()
+
+    def test_renewal_restores_purged_filter(self):
+        """Refresh-or-restore: a parent that purged a live child's filter
+        gets it back on the next renewal."""
+        system = make_system(ttl=10.0)
+        subscriber = system.create_subscriber()
+        sub = subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        home = subscriber.home_of(sub.subscription_id)
+        stored = subscriber._states[sub.subscription_id].stored_filter
+        # Simulate an erroneous purge at the home node.
+        home.table.remove(stored, subscriber)
+        home.leases.forget(stored, subscriber)
+        assert len(home.table) == 0
+        system.network.send(
+            subscriber, home, Renewal(((stored, "Quote"),))
+        )
+        system.drain()
+        assert len(home.table) == 1
+
+    def test_unexpected_message_raises(self):
+        system = make_system()
+        system.drain()
+        with pytest.raises(TypeError):
+            system.root.receive("garbage", system.root)
+
+
+class TestUnsubscribe:
+    def test_explicit_unsubscribe_removes_at_home(self):
+        system = make_system()
+        publisher = system.create_publisher()
+        subscriber = system.create_subscriber()
+        sub = subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        home = subscriber.home_of(sub.subscription_id)
+        subscriber.unsubscribe(sub.subscription_id)
+        system.drain()
+        assert len(home.table) == 0
+        publisher.publish(Quote("A", 1.0), event_class="Quote")
+        system.drain()
+        assert subscriber.counters.events_delivered == 0
+
+    def test_implicit_unsubscribe_keeps_table_until_expiry(self):
+        system = make_system()
+        subscriber = system.create_subscriber()
+        sub = subscribe(system, subscriber, 'class = "Quote" and symbol = "A"')
+        home = subscriber.home_of(sub.subscription_id)
+        subscriber.unsubscribe(sub.subscription_id, explicit=False)
+        system.drain()
+        assert len(home.table) == 1  # decays only via TTL

@@ -1,0 +1,89 @@
+"""Unit tests for the publisher runtime."""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.events.base import PropertyEvent
+
+
+class Tick(object):
+    def __init__(self, value):
+        self._value = value
+
+    def get_value(self):
+        return self._value
+
+
+def make_system():
+    system = MultiStageEventSystem(stage_sizes=(2, 1), seed=9)
+    system.advertise("Tick", schema=("class", "value"))
+    return system
+
+
+def test_publish_counts_events():
+    system = make_system()
+    publisher = system.create_publisher()
+    publisher.publish(Tick(1))
+    publisher.publish(Tick(2))
+    assert publisher.events_published == 2
+
+
+def test_registered_type_name_used_in_metadata():
+    system = MultiStageEventSystem(stage_sizes=(2, 1))
+    system.register_type(Tick, "HeartBeat")
+    system.advertise("HeartBeat", schema=("class", "value"))
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    seen = []
+    system.subscribe(
+        subscriber, None, event_class="HeartBeat",
+        handler=lambda e, m, s: seen.append(m["class"]),
+    )
+    system.drain()
+    publisher.publish(Tick(1))
+    system.drain()
+    assert seen == ["HeartBeat"]
+
+
+def test_explicit_event_class_override():
+    system = make_system()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    seen = []
+    system.subscribe(
+        subscriber, None, event_class="Tick",
+        handler=lambda e, m, s: seen.append(m["class"]),
+    )
+    system.drain()
+    publisher.publish(PropertyEvent({"class": "Tick", "value": 3}))
+    system.drain()
+    assert seen == ["Tick"]
+
+
+def test_unregistered_type_falls_back_to_class_name():
+    system = make_system()
+    publisher = system.create_publisher()
+    subscriber = system.create_subscriber()
+    seen = []
+    system.subscribe(
+        subscriber, None, event_class="Tick",
+        handler=lambda e, m, s: seen.append(m["class"]),
+    )
+    system.drain()
+    publisher.publish(Tick(5))  # Tick not registered; __name__ used
+    system.drain()
+    assert seen == ["Tick"]
+
+
+def test_publisher_rejects_incoming_messages():
+    system = make_system()
+    publisher = system.create_publisher()
+    with pytest.raises(TypeError):
+        publisher.receive("anything", publisher)
+
+
+def test_repr_shows_published_count():
+    system = make_system()
+    publisher = system.create_publisher("feed")
+    publisher.publish(Tick(1))
+    assert "published=1" in repr(publisher)

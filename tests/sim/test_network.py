@@ -1,0 +1,172 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+from repro.sim.network import Network
+
+
+class Sink(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.inbox = []
+
+    def receive(self, message, sender):
+        self.inbox.append((message, sender.name, self.sim.now))
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def net(sim):
+    return Network(sim)
+
+
+def test_send_delivers_after_latency(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b, latency=0.5)
+    net.send(a, b, "hello")
+    sim.run()
+    assert b.inbox == [("hello", "a", 0.5)]
+
+
+def test_links_are_bidirectional(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b, latency=0.1)
+    net.send(b, a, "up")
+    sim.run()
+    assert a.inbox[0][0] == "up"
+
+
+def test_send_without_link_raises(sim):
+    net = Network(sim, default_latency=None)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    with pytest.raises(SimulationError):
+        net.send(a, b, "x")
+
+
+def test_default_latency_connects_lazily(sim):
+    net = Network(sim, default_latency=0.25)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.send(a, b, "x")
+    sim.run()
+    assert b.inbox[0][2] == 0.25
+    assert net.link(a, b) is not None
+
+
+def test_negative_latency_rejected(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    with pytest.raises(SimulationError):
+        net.connect(a, b, latency=-1.0)
+
+
+def test_per_link_fifo_ordering(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b, latency=0.5)
+    for i in range(5):
+        net.send(a, b, i)
+    sim.run()
+    assert [m for m, _, _ in b.inbox] == [0, 1, 2, 3, 4]
+
+
+def test_stats_count_messages_and_bytes(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.send(a, b, "payload")
+    net.send(a, b, "payload")
+    sim.run()
+    assert net.stats.total_messages == 2
+    assert net.stats.total_bytes > 0
+    assert net.stats.messages_by_process["b"] == 2
+
+
+def test_link_counters(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.send(a, b, "x")
+    link = net.link(a, b)
+    assert link.messages == 1
+    assert net.link(b, a).messages == 0
+
+
+def test_custom_sizer(sim):
+    net = Network(sim, sizer=lambda m: 1000)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.send(a, b, "x")
+    assert net.stats.total_bytes == 1000
+
+
+def test_disconnect_partitions(sim):
+    net = Network(sim, default_latency=None)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.disconnect(a, b)
+    with pytest.raises(SimulationError):
+        net.send(a, b, "x")
+
+
+def test_reconnect_after_partition(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.disconnect(a, b)
+    net.connect(a, b, latency=0.1)
+    net.send(a, b, "back")
+    sim.run()
+    assert b.inbox[0][0] == "back"
+
+
+def test_messages_to_distinct_peers_are_independent(sim, net):
+    hub = Sink(sim, "hub")
+    spokes = [Sink(sim, f"s{i}") for i in range(3)]
+    for spoke in spokes:
+        net.connect(hub, spoke, latency=0.1)
+    for spoke in spokes:
+        net.send(hub, spoke, "tick")
+    sim.run()
+    assert all(len(s.inbox) == 1 for s in spokes)
+
+
+def test_partition_drops_silently(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.partition(a, b)
+    net.send(a, b, "lost")
+    net.send(b, a, "also lost")
+    sim.run()
+    assert a.inbox == [] and b.inbox == []
+    assert net.stats.dropped_messages == 2
+    assert net.stats.total_messages == 0
+
+
+def test_heal_restores_delivery(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.partition(a, b)
+    net.send(a, b, "lost")
+    net.heal(a, b)
+    net.send(a, b, "found")
+    sim.run()
+    assert [m for m, _, _ in b.inbox] == ["found"]
+
+
+def test_is_partitioned_is_symmetric(sim, net):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.partition(a, b)
+    assert net.is_partitioned(a, b)
+    assert net.is_partitioned(b, a)
+    net.heal(b, a)
+    assert not net.is_partitioned(a, b)
+
+
+def test_partition_is_pairwise(sim, net):
+    a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+    net.connect(a, b)
+    net.connect(a, c)
+    net.partition(a, b)
+    net.send(a, c, "ok")
+    sim.run()
+    assert len(c.inbox) == 1

@@ -1,0 +1,53 @@
+"""Unit tests for the named RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    rngs = RngRegistry(1)
+    assert rngs.stream("a") is rngs.stream("a")
+
+
+def test_different_names_give_independent_streams():
+    rngs = RngRegistry(1)
+    a = [rngs.stream("a").random() for _ in range(5)]
+    b = [rngs.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_streams_reproducible_across_registries():
+    first = [RngRegistry(7).stream("x").random() for _ in range(3)]
+    second = [RngRegistry(7).stream("x").random() for _ in range(3)]
+    assert first == second
+
+
+def test_streams_do_not_depend_on_creation_order():
+    one = RngRegistry(3)
+    one.stream("a")
+    value_b_after_a = one.stream("b").random()
+    two = RngRegistry(3)
+    value_b_alone = two.stream("b").random()
+    assert value_b_after_a == value_b_alone
+
+
+def test_different_seeds_differ():
+    assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+
+def test_fork_is_deterministic():
+    assert (
+        RngRegistry(5).fork("trial-1").stream("x").random()
+        == RngRegistry(5).fork("trial-1").stream("x").random()
+    )
+
+
+def test_fork_differs_from_parent_and_siblings():
+    parent = RngRegistry(5)
+    fork_a = parent.fork("a")
+    fork_b = parent.fork("b")
+    values = {
+        parent.stream("x").random(),
+        fork_a.stream("x").random(),
+        fork_b.stream("x").random(),
+    }
+    assert len(values) == 3

@@ -1,0 +1,62 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_record_and_len():
+    trace = TraceRecorder()
+    trace.record(1.0, "publish", "node-1", size=3)
+    trace.record(2.0, "deliver", "sub-1")
+    assert len(trace) == 2
+
+
+def test_disabled_recorder_is_noop():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "publish", "node-1")
+    assert len(trace) == 0
+
+
+def test_query_by_category():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", "x")
+    trace.record(2.0, "b", "x")
+    trace.record(3.0, "a", "y")
+    assert len(trace.query(category="a")) == 2
+
+
+def test_query_by_source():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", "x")
+    trace.record(2.0, "a", "y")
+    assert [r.source for r in trace.query(source="y")] == ["y"]
+
+
+def test_query_by_predicate():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", "x", value=1)
+    trace.record(2.0, "a", "x", value=9)
+    heavy = trace.query(predicate=lambda r: r.details.get("value", 0) > 5)
+    assert len(heavy) == 1
+
+
+def test_combined_criteria():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", "x")
+    trace.record(2.0, "a", "y")
+    trace.record(3.0, "b", "y")
+    assert trace.count(category="a", source="y") == 1
+
+
+def test_clear():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", "x")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_records_preserve_details_and_repr():
+    trace = TraceRecorder()
+    trace.record(1.5, "match", "node", filter="f1")
+    record = list(trace)[0]
+    assert record.details["filter"] == "f1"
+    assert "match" in repr(record)

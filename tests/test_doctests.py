@@ -1,0 +1,37 @@
+"""Run the doctests embedded in module docstrings.
+
+The API documentation carries runnable examples; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.stages
+import repro.core.weakening
+import repro.events.base
+import repro.events.closures
+import repro.filters.constraints
+import repro.filters.disjunction
+import repro.filters.filter
+import repro.sim.rng
+import repro.workloads.distributions
+
+MODULES = [
+    repro.core.stages,
+    repro.core.weakening,
+    repro.events.base,
+    repro.events.closures,
+    repro.filters.constraints,
+    repro.filters.disjunction,
+    repro.filters.filter,
+    repro.sim.rng,
+    repro.workloads.distributions,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

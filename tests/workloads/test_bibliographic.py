@@ -1,0 +1,122 @@
+"""Unit tests for the bibliographic workload (§5.2)."""
+
+import random
+
+import pytest
+
+from repro.filters.standard import wildcard_attributes
+from repro.workloads.bibliographic import (
+    BIB_SCHEMA,
+    BibliographicWorkload,
+    BibRecord,
+)
+
+
+@pytest.fixture()
+def workload():
+    return BibliographicWorkload(random.Random(1), n_records=200)
+
+
+def test_schema_matches_paper_generality_order(workload):
+    assert workload.schema == ("year", "conference", "author", "title")
+
+
+def test_association_matches_paper_stage_formats(workload):
+    assoc = workload.association(stages=4)
+    assert assoc.attributes_for_stage(0) == BIB_SCHEMA
+    assert assoc.attributes_for_stage(1) == ("year", "conference", "author")
+    assert assoc.attributes_for_stage(2) == ("year", "conference")
+    assert assoc.attributes_for_stage(3) == ("year",)
+
+
+def test_advertisement(workload):
+    advertisement = workload.advertisement()
+    assert advertisement.event_class == "BibRecord"
+    assert advertisement.schema == BIB_SCHEMA
+
+
+def test_records_reflect_accessors(workload):
+    record = workload.records[0]
+    event = record.to_property_event()
+    assert set(event) == set(BIB_SCHEMA)
+    assert event["title"].startswith("title-")
+
+
+def test_bibrecord_accessor_convention():
+    record = BibRecord(2002, "ICDCS", "eugster", "cake")
+    assert record.get_year() == 2002
+    assert record.get_conference() == "ICDCS"
+    from repro.events.typed import reflect_attributes
+
+    assert reflect_attributes(record) == {
+        "year": 2002, "conference": "ICDCS", "author": "eugster", "title": "cake",
+    }
+
+
+def test_events_sample_the_record_universe(workload):
+    rng = random.Random(2)
+    titles = {e["title"] for e in workload.sample_events(rng, 50)}
+    universe = {r.get_title() for r in workload.records}
+    assert titles <= universe
+
+
+def test_sampling_is_deterministic():
+    a = BibliographicWorkload(random.Random(9), n_records=100)
+    b = BibliographicWorkload(random.Random(9), n_records=100)
+    assert a.sample_events(random.Random(1), 10) == b.sample_events(
+        random.Random(1), 10
+    )
+
+
+def test_subscription_for_record_is_exact(workload):
+    record = workload.records[0]
+    f = workload.subscription_for(record)
+    assert f.matches(record.to_property_event())
+    assert f.attributes() == list(BIB_SCHEMA)
+
+
+def test_subscription_wildcards_suffix(workload):
+    record = workload.records[0]
+    f = workload.subscription_for(record, wildcards=("author", "title"))
+    assert wildcard_attributes(f) == ["author", "title"]
+    # Still matches any record by the same (year, conference).
+    other = BibRecord(
+        record.get_year(), record.get_conference(), "someone-else", "other",
+    )
+    assert f.matches(other.to_property_event())
+
+
+def test_unknown_wildcard_rejected(workload):
+    with pytest.raises(ValueError):
+        workload.subscription_for(workload.records[0], wildcards=("bogus",))
+
+
+def test_sample_subscription_wildcard_rate(workload):
+    rng = random.Random(3)
+    filters = workload.sample_subscriptions(rng, 200, wildcard_rate=0.5)
+    wildcarded = [f for f in filters if wildcard_attributes(f)]
+    assert 50 < len(wildcarded) < 150
+    # Wildcarding 'title' blanks title only.
+    for f in wildcarded:
+        assert wildcard_attributes(f) == ["title"]
+
+
+def test_sample_subscription_wildcard_attribute(workload):
+    rng = random.Random(4)
+    f = workload.sample_subscription(
+        rng, wildcard_rate=1.0, wildcard_attribute="author"
+    )
+    assert wildcard_attributes(f) == ["author", "title"]
+
+
+def test_domain_size_validation():
+    with pytest.raises(ValueError):
+        BibliographicWorkload(random.Random(0), n_years=0)
+
+
+def test_subscriptions_match_their_source_records(workload):
+    """Every sampled subscription matches at least the record it targets."""
+    rng = random.Random(5)
+    for _ in range(20):
+        record = workload.sample_record(rng)
+        assert workload.subscription_for(record).matches(record.to_property_event())

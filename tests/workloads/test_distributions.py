@@ -1,0 +1,78 @@
+"""Unit tests for the seeded samplers."""
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import (
+    CategoricalSampler,
+    ZipfSampler,
+    uniform_sampler,
+)
+
+
+class TestCategorical:
+    def test_respects_weights(self):
+        rng = random.Random(1)
+        sampler = CategoricalSampler(["hot", "cold"], [0.99, 0.01])
+        draws = sampler.sample_many(rng, 500)
+        assert draws.count("hot") > 450
+
+    def test_zero_weight_never_drawn(self):
+        rng = random.Random(1)
+        sampler = CategoricalSampler(["a", "b"], [1.0, 0.0])
+        assert set(sampler.sample_many(rng, 200)) == {"a"}
+
+    def test_deterministic_given_seed(self):
+        sampler = CategoricalSampler(["a", "b", "c"], [1, 2, 3])
+        first = sampler.sample_many(random.Random(5), 20)
+        second = sampler.sample_many(random.Random(5), 20)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoricalSampler([], [])
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a"], [-1])
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a", "b"], [0, 0])
+
+    def test_len(self):
+        assert len(CategoricalSampler(["a", "b"], [1, 1])) == 2
+
+
+class TestZipf:
+    def test_rank_one_is_most_popular(self):
+        rng = random.Random(2)
+        sampler = ZipfSampler(list(range(50)), exponent=1.0)
+        draws = sampler.sample_many(rng, 2000)
+        counts = [draws.count(i) for i in range(5)]
+        assert counts[0] > counts[1] > counts[4]
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        rng = random.Random(3)
+        sampler = ZipfSampler(["a", "b", "c", "d"], exponent=0.0)
+        draws = sampler.sample_many(rng, 4000)
+        for item in "abcd":
+            assert 800 < draws.count(item) < 1200
+
+    def test_higher_exponent_is_more_skewed(self):
+        rng1, rng2 = random.Random(4), random.Random(4)
+        mild = ZipfSampler(list(range(20)), exponent=0.5)
+        steep = ZipfSampler(list(range(20)), exponent=2.0)
+        mild_top = mild.sample_many(rng1, 1000).count(0)
+        steep_top = steep.sample_many(rng2, 1000).count(0)
+        assert steep_top > mild_top
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(["a"], exponent=-1)
+
+
+def test_uniform_sampler_helper():
+    rng = random.Random(6)
+    sampler = uniform_sampler(["x", "y"])
+    draws = sampler.sample_many(rng, 1000)
+    assert 400 < draws.count("x") < 600

@@ -1,0 +1,83 @@
+"""Unit tests for the stock and auction workloads."""
+
+import random
+
+import pytest
+
+from repro.events.typed import reflect_attributes
+from repro.workloads.auctions import (
+    AUCTION_SCHEMA,
+    Auction,
+    AuctionWorkload,
+    EXAMPLE6_PREFIXES,
+)
+from repro.workloads.stocks import STOCK_SCHEMA, Stock, StockWorkload
+
+
+class TestStock:
+    def test_example4_accessors(self):
+        stock = Stock("Foo", 9.0, volume=100)
+        assert reflect_attributes(stock) == {
+            "symbol": "Foo", "price": 9.0, "volume": 100,
+        }
+
+    def test_workload_prices_stay_positive(self):
+        workload = StockWorkload(random.Random(1), n_symbols=5, volatility=0.5)
+        for quote in workload.quotes(500):
+            assert quote.get_price() > 0
+
+    def test_random_walk_moves_prices(self):
+        workload = StockWorkload(random.Random(2), n_symbols=3)
+        initial = workload.price_of("SYM000")
+        workload.quotes(200)
+        assert workload.price_of("SYM000") != initial
+
+    def test_quotes_use_known_symbols(self):
+        workload = StockWorkload(random.Random(3), symbols=["A", "B"])
+        assert {q.get_symbol() for q in workload.quotes(50)} <= {"A", "B"}
+
+    def test_subscription_shape(self):
+        workload = StockWorkload(random.Random(4), n_symbols=5)
+        f = workload.sample_subscription(random.Random(5))
+        assert f.attributes() == list(STOCK_SCHEMA)
+        assert f.constraints_on("class")[0].operand == "Stock"
+
+    def test_association_schema(self):
+        workload = StockWorkload(random.Random(6))
+        assert workload.advertisement().schema == STOCK_SCHEMA
+
+    def test_empty_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            StockWorkload(random.Random(0), symbols=[])
+
+
+class TestAuction:
+    def test_example6_association(self):
+        workload = AuctionWorkload(random.Random(1))
+        assoc = workload.association()
+        assert assoc.attributes_for_stage(0) == AUCTION_SCHEMA
+        assert assoc.attributes_for_stage(1) == AUCTION_SCHEMA[:4]
+        assert assoc.attributes_for_stage(2) == AUCTION_SCHEMA[:3]
+        assert assoc.attributes_for_stage(3) == ("class",)
+        assert EXAMPLE6_PREFIXES == (5, 4, 3, 1)
+
+    def test_listings_come_from_catalog(self):
+        workload = AuctionWorkload(random.Random(2))
+        for listing in workload.listings(100):
+            assert listing.get_capacity() >= 1
+            assert listing.get_price() >= 10.0
+
+    def test_example5_f4_literal(self):
+        f4 = AuctionWorkload.example5_f4()
+        assert f4.attributes() == list(AUCTION_SCHEMA)
+        car = Auction("Vehicle", "Car", 1500, 8000.0)
+        meta = dict(reflect_attributes(car), **{"class": "Auction"})
+        assert f4.matches(meta)
+        truck = Auction("Vehicle", "Truck", 1500, 8000.0)
+        meta = dict(reflect_attributes(truck), **{"class": "Auction"})
+        assert not f4.matches(meta)
+
+    def test_sampled_subscription_is_consistent(self):
+        workload = AuctionWorkload(random.Random(3))
+        f = workload.sample_subscription(random.Random(4))
+        assert f.attributes() == list(AUCTION_SCHEMA)

@@ -1,0 +1,83 @@
+"""Unit tests for the generic subscription generators."""
+
+import random
+
+import pytest
+
+from repro.core.weakening import merge_covering
+from repro.filters.standard import wildcard_attributes
+from repro.workloads.subscriptions import SubscriptionGenerator
+
+SCHEMA = [("region", 3), ("category", 5)]
+
+
+@pytest.fixture()
+def generator():
+    return SubscriptionGenerator(SCHEMA, numeric_attribute="price")
+
+
+def test_attributes(generator):
+    assert generator.attributes == ["region", "category", "price"]
+
+
+def test_random_filter_shape(generator):
+    f = generator.random_filter(random.Random(1))
+    assert f.attributes() == ["region", "category", "price"]
+    lo, hi = generator.numeric_range
+    assert lo <= f.constraints_on("price")[0].operand <= hi
+
+
+def test_clustered_population_counts(generator):
+    population = generator.clustered_population(random.Random(2), 4, 5)
+    assert len(population) == 20
+
+
+def test_clusters_share_rigid_constraints(generator):
+    population = generator.clustered_population(random.Random(3), 1, 6)
+    rigid = {
+        tuple(
+            (c.attribute, c.operand)
+            for c in f.constraints
+            if c.attribute != "price"
+        )
+        for f in population
+    }
+    assert len(rigid) == 1
+
+
+def test_clusters_merge_into_one_covering_filter(generator):
+    """The whole point: Example 5's f1/f2 shape merges per cluster."""
+    population = generator.clustered_population(random.Random(4), 3, 8)
+    merged = merge_covering(population)
+    assert len(merged) <= 3
+
+
+def test_dissimilar_population_rarely_merges():
+    # Large domains so rigid parts rarely collide by chance.
+    generator = SubscriptionGenerator([("region", 50), ("category", 50)])
+    population = generator.dissimilar_population(random.Random(5), 30)
+    merged = merge_covering(population)
+    assert len(merged) > 25
+
+
+def test_with_wildcards_rate(generator):
+    rng = random.Random(6)
+    population = generator.dissimilar_population(rng, 100)
+    wildcarded = generator.with_wildcards(rng, population, rate=0.4)
+    count = sum(1 for f in wildcarded if wildcard_attributes(f))
+    assert 20 < count < 60
+
+
+def test_with_wildcards_targets_attribute(generator):
+    rng = random.Random(7)
+    population = generator.dissimilar_population(rng, 10)
+    wildcarded = generator.with_wildcards(
+        rng, population, rate=1.0, attribute="region"
+    )
+    for f in wildcarded:
+        assert wildcard_attributes(f) == ["region"]
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(ValueError):
+        SubscriptionGenerator([])
