@@ -4,20 +4,32 @@ The paper presents the naive Figure-6 table "for clarity" and defers
 efficient indexing to related work; this bench quantifies the gap
 between that table and the counting index on identical populations, at
 the per-node filter counts the macro scenarios produce and beyond.
+The cached variants measure the routing-decision memo on top of either
+engine, including the cache-on/off speedup on a repetitive workload.
 """
 
 import random
+import time
 
 import pytest
 
+from repro.filters.engine import CachedMatchEngine
 from repro.filters.index import CountingIndex
 from repro.filters.table import FilterTable
+from repro.metrics.counters import CacheStats
 from repro.workloads.subscriptions import SubscriptionGenerator
 
 GENERATOR = SubscriptionGenerator(
     [("class", 5), ("category", 40), ("vendor", 200)],
     numeric_attribute="price",
 )
+
+ENGINES = {
+    "table": FilterTable,
+    "index": CountingIndex,
+    "cached-table": lambda: CachedMatchEngine(FilterTable()),
+    "cached-index": lambda: CachedMatchEngine(CountingIndex()),
+}
 
 
 def build_population(count, seed=7):
@@ -40,10 +52,21 @@ def build_events(count, seed=11):
     return events
 
 
-@pytest.mark.parametrize("engine_name", ["table", "index"])
+def build_repetitive_events(distinct=50, repeats=40, seed=13):
+    """A hot-path workload: a small set of events republished many times."""
+    rng = random.Random(seed)
+    base = build_events(distinct, seed=seed)
+    events = base * repeats
+    rng.shuffle(events)
+    return events
+
+
+@pytest.mark.parametrize(
+    "engine_name", ["table", "index", "cached-table", "cached-index"]
+)
 @pytest.mark.parametrize("population_size", [100, 1000, 5000])
 def test_match_throughput(benchmark, engine_name, population_size):
-    engine = FilterTable() if engine_name == "table" else CountingIndex()
+    engine = ENGINES[engine_name]()
     for position, filter_ in enumerate(build_population(population_size)):
         engine.insert(filter_, position)
     events = build_events(200)
@@ -59,12 +82,59 @@ def test_match_throughput(benchmark, engine_name, population_size):
 
 
 def test_engines_agree_at_scale():
-    table, index = FilterTable(), CountingIndex()
+    engines = [factory() for factory in ENGINES.values()]
     for position, filter_ in enumerate(build_population(2000)):
-        table.insert(filter_, position)
-        index.insert(filter_, position)
+        for engine in engines:
+            engine.insert(filter_, position)
+    reference = engines[0]
     for event in build_events(100):
-        assert table.destinations(event) == index.destinations(event)
+        expected = reference.destinations(event)
+        for engine in engines[1:]:
+            assert engine.destinations(event) == expected
+
+
+def test_cache_speedup_on_repetitive_workload(report):
+    """Acceptance gate: >=2x match throughput with the routing cache on.
+
+    A broker in steady state sees the same few event shapes over and
+    over; the memo turns each repeat into a dict hit instead of a full
+    counting pass over the population.
+    """
+    population = build_population(5000)
+    events = build_repetitive_events(distinct=50, repeats=40)
+
+    def timed(engine):
+        for position, filter_ in enumerate(population):
+            engine.insert(filter_, position)
+        # Warm-up pass so both variants run on hot structures.
+        for event in events[:50]:
+            engine.match(event)
+        start = time.perf_counter()
+        total = 0
+        for event in events:
+            total += len(engine.match(event))
+        return time.perf_counter() - start, total
+
+    stats = CacheStats()
+    uncached_time, uncached_total = timed(CountingIndex())
+    cached_time, cached_total = timed(
+        CachedMatchEngine(CountingIndex(), stats=stats)
+    )
+    assert cached_total == uncached_total
+    assert stats.hits > stats.misses  # the workload really is repetitive
+
+    speedup = uncached_time / cached_time
+    report()
+    report("=== Routing-decision cache on/off (counting index, 5000 filters) ===")
+    report(
+        f"uncached: {uncached_time * 1e3:.1f} ms, "
+        f"cached: {cached_time * 1e3:.1f} ms, speedup: {speedup:.1f}x "
+        f"(hits={stats.hits}, misses={stats.misses}, "
+        f"hit rate={stats.hit_rate():.2f})"
+    )
+    assert speedup >= 2.0, (
+        f"cache must give >=2x on a repetitive workload, got {speedup:.2f}x"
+    )
 
 
 @pytest.mark.parametrize("engine_name", ["table", "index"])

@@ -39,6 +39,7 @@ from repro.events.serialization import Envelope, marshal, unmarshal
 from repro.events.typed import TypedEvent, reflect_attributes, to_property_event
 from repro.filters.constraints import AttributeConstraint
 from repro.filters.disjunction import Disjunction
+from repro.filters.engine import CachedMatchEngine, MatchEngine
 from repro.filters.filter import Filter, event_covers
 from repro.filters.index import CountingIndex
 from repro.filters.parser import parse_filter, render_filter
@@ -53,12 +54,14 @@ __all__ = [
     "AttributeConstraint",
     "AttributeStageAssociation",
     "CLASS_ATTRIBUTE",
+    "CachedMatchEngine",
     "CountingIndex",
     "Disjunction",
     "Envelope",
     "Filter",
     "FilterClosure",
     "FilterTable",
+    "MatchEngine",
     "MultiStageEventSystem",
     "PropertyEvent",
     "Subscription",

@@ -79,6 +79,8 @@ class MultiStageEventSystem:
         link_latency: float = 0.001,
         wildcard_routing: bool = True,
         compact: bool = False,
+        cache: bool = True,
+        batch: bool = True,
     ):
         if engine not in ("index", "table"):
             raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
@@ -98,6 +100,8 @@ class MultiStageEventSystem:
             link_latency=link_latency,
             wildcard_routing=wildcard_routing,
             compact=compact,
+            cache=cache,
+            batch=batch,
         )
         self.ttl = ttl
         self.types = TypeRegistry()

@@ -44,6 +44,10 @@ class ScenarioConfig:
     wildcard_routing: bool = True
     #: Compact broker tables with covering merges (§4 g1-collapse).
     compact: bool = False
+    #: Routing-decision cache on broker match engines (hot-path memo).
+    cache: bool = True
+    #: Batched dispatch: nodes drain runs of publishes per wakeup.
+    batch: bool = True
     # Workload domain sizes (unpublished in the paper; see EXPERIMENTS.md).
     n_years: int = 12
     n_conferences: int = 30
@@ -124,6 +128,17 @@ class ScenarioResult:
             if stage >= 1
         }
 
+    def cache_totals(self) -> Dict[str, float]:
+        """System-wide routing-cache and batch counters (broker stages)."""
+        from repro.metrics.report import aggregate_cache_counters
+
+        return aggregate_cache_counters(
+            counters
+            for stage in self.stages()
+            if stage >= 1
+            for _, counters in self.counters_by_stage[stage]
+        )
+
 
 def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
     """Run the §5.2 simulation pipeline and collect all counters."""
@@ -136,6 +151,8 @@ def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult
         engine=config.engine,
         wildcard_routing=config.wildcard_routing,
         compact=config.compact,
+        cache=config.cache,
+        batch=config.batch,
     )
     workload = BibliographicWorkload(
         rngs.stream("workload/records"),

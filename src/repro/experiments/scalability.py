@@ -31,6 +31,8 @@ class ScalabilityPoint:
     #: The centralized comparator: every event against every subscription.
     centralized_lc: float
     subscriber_mr: float
+    #: System-wide routing-cache hit rate over the broker stages.
+    cache_hit_rate: float = 0.0
 
     def max_broker_lc(self) -> float:
         return max(
@@ -62,6 +64,7 @@ def run_scalability(
                 max_lc_by_stage=max_lc,
                 centralized_lc=float(result.total_events) * count,
                 subscriber_mr=result.subscriber_average_mr(),
+                cache_hit_rate=result.cache_totals()["hit_rate"],
             )
         )
     return points
@@ -72,13 +75,14 @@ def render(points: List[ScalabilityPoint]) -> str:
     headers = ["Subscribers"] + [f"Max LC stage {s}" for s in stages] + [
         "Centralized LC",
         "Subscriber MR",
+        "Cache hit rate",
     ]
     rows = []
     for point in points:
         rows.append(
             [point.n_subscribers]
             + [point.max_lc_by_stage[s] for s in stages]
-            + [point.centralized_lc, point.subscriber_mr]
+            + [point.centralized_lc, point.subscriber_mr, point.cache_hit_rate]
         )
     return render_table(headers, rows)
 

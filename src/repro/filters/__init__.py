@@ -15,7 +15,10 @@ paper's overlay nodes evaluate and weaken.  This package provides:
   format" of Section 4.4 (wildcard completion, generality ordering);
 - :mod:`~repro.filters.parser` — a small textual filter language;
 - :mod:`~repro.filters.table` — the paper's naive Figure-6 filter table;
-- :mod:`~repro.filters.index` — a counting-based matching index.
+- :mod:`~repro.filters.index` — a counting-based matching index;
+- :mod:`~repro.filters.engine` — the shared :class:`MatchEngine`
+  interface both implement, plus :class:`CachedMatchEngine`, a
+  fingerprint-keyed routing-decision cache for the broker hot path.
 
 Covering here is *sound but not complete*: ``f.covers(g)`` returning True
 guarantees every event matching ``g`` matches ``f`` (what Proposition 1
@@ -24,6 +27,7 @@ needs); False may simply mean "could not prove it".
 
 from repro.filters.constraints import AttributeConstraint
 from repro.filters.disjunction import Disjunction
+from repro.filters.engine import CachedMatchEngine, MatchEngine, event_fingerprint
 from repro.filters.filter import Filter, event_covers
 from repro.filters.index import CountingIndex
 from repro.filters.operators import (
@@ -48,6 +52,7 @@ __all__ = [
     "ALL",
     "AttributeConstraint",
     "CONTAINS",
+    "CachedMatchEngine",
     "CountingIndex",
     "Disjunction",
     "EQ",
@@ -56,6 +61,8 @@ __all__ = [
     "FilterParseError",
     "FilterTable",
     "GE",
+    "MatchEngine",
+    "event_fingerprint",
     "GT",
     "LE",
     "LT",

@@ -1,0 +1,244 @@
+"""Shared match-engine interface and the routing-decision cache.
+
+Both matching engines — the naive Figure-6 :class:`~repro.filters.table.
+FilterTable` and the production :class:`~repro.filters.index.CountingIndex`
+— implement the :class:`MatchEngine` surface so broker nodes (and the
+caching layer below) treat them interchangeably.
+
+:class:`CachedMatchEngine` wraps either engine with a memo of routing
+decisions keyed by a canonical *fingerprint* of the event's property set.
+Real event streams are highly repetitive (identical property-set shapes
+recur constantly — Gryphon's information-flow brokering and Shi et al.'s
+subscription aggregation both exploit this), so a per-node memo converts
+most matches into a single dict lookup.
+
+Soundness rests on two facts:
+
+1. A match result depends only on the values of attributes some stored
+   filter actually constrains (the *relevant* attributes): every other
+   attribute is never probed by either engine.  The fingerprint therefore
+   restricts the event to its relevant attributes — two events that agree
+   there are routed identically — and encodes attribute *absence* by
+   omission (constraints never match absent attributes).
+2. Every mutation path — ``insert``, ``remove``, ``remove_destination``
+   (lease expiry and unsubscription route through these), and the
+   covering-merge compaction rebuild (which constructs a fresh wrapped
+   engine) — flushes the memo and the relevant-attribute set, so a stale
+   decision can never survive a table change.
+
+Values are keyed with the same bool-vs-number discrimination the counting
+index uses for its equality buckets: ``1 == 1.0`` may share a decision
+(both engines treat them identically under every operator) but ``True``
+may not.
+"""
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import (
+    Any,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL
+from repro.metrics.counters import CacheStats
+
+
+class MatchEngine(ABC):
+    """The surface broker nodes require from a matching engine.
+
+    Concrete engines also expose an ``evaluations`` counter of constraint
+    probes performed (the LC bookkeeping callers read as a delta around
+    each ``match`` call).
+    """
+
+    @abstractmethod
+    def insert(self, filter_: Filter, destination: Hashable) -> None:
+        """Associate ``destination`` with ``filter_``."""
+
+    @abstractmethod
+    def remove(self, filter_: Filter, destination: Hashable) -> bool:
+        """Drop one (filter, destination) pair; True when it existed."""
+
+    @abstractmethod
+    def remove_destination(self, destination: Hashable) -> int:
+        """Drop ``destination`` everywhere; returns entries affected."""
+
+    @abstractmethod
+    def match(self, event: Any) -> List[Tuple[Filter, Tuple[Hashable, ...]]]:
+        """Matching ``(filter, ids)`` entries in filter insertion order."""
+
+    @abstractmethod
+    def destinations_for(self, filter_: Filter) -> Tuple[Hashable, ...]:
+        """The ids currently associated with exactly this filter."""
+
+    @abstractmethod
+    def filters(self) -> Iterator[Filter]:
+        """Iterate the distinct stored filters."""
+
+    @abstractmethod
+    def entries(self) -> Iterator[Tuple[Filter, Tuple[Hashable, ...]]]:
+        """Iterate ``(filter, ids)`` pairs."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of distinct filters held."""
+
+    @abstractmethod
+    def __contains__(self, filter_: Filter) -> bool:
+        """Whether this exact filter is stored."""
+
+    def destinations(self, event: Any) -> Set[Hashable]:
+        """Union of ids over all filters matching ``event``."""
+        result: Set[Hashable] = set()
+        for _, ids in self.match(event):
+            result.update(ids)
+        return result
+
+
+def value_key(value: Any) -> Any:
+    """Canonical key separating bools from numbers (1 != True for matching)."""
+    return (type(value) is bool, value)
+
+
+def event_fingerprint(
+    event: Any, relevant: FrozenSet[str]
+) -> Optional[Tuple[Tuple[str, Any], ...]]:
+    """Canonical fingerprint of an event's property set.
+
+    Only attributes in ``relevant`` (those some stored filter constrains)
+    participate; absence is encoded by omission.  Returns ``None`` when a
+    participating value is unhashable — such events bypass the cache.
+    """
+    properties: Mapping[str, Any] = getattr(event, "properties", event)
+    items = [
+        (attribute, value_key(value))
+        for attribute, value in properties.items()
+        if attribute in relevant
+    ]
+    items.sort(key=lambda item: item[0])
+    key = tuple(items)
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+class CachedMatchEngine(MatchEngine):
+    """A :class:`MatchEngine` wrapper memoizing routing decisions.
+
+    ``stats`` may be shared (a node passes its counters' ``CacheStats`` so
+    hit/miss/invalidation totals survive compaction rebuilds); by default
+    the wrapper owns a private one.  The memo is a bounded LRU so a
+    high-cardinality stream cannot grow it without limit.
+    """
+
+    def __init__(
+        self,
+        inner: MatchEngine,
+        stats: Optional[CacheStats] = None,
+        max_entries: int = 8192,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.inner = inner
+        self.stats = stats if stats is not None else CacheStats()
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._relevant: Optional[FrozenSet[str]] = None
+
+    # -- mutation paths (every one invalidates) -------------------------
+
+    def insert(self, filter_: Filter, destination: Hashable) -> None:
+        self.inner.insert(filter_, destination)
+        self._invalidate()
+
+    def remove(self, filter_: Filter, destination: Hashable) -> bool:
+        removed = self.inner.remove(filter_, destination)
+        if removed:
+            self._invalidate()
+        return removed
+
+    def remove_destination(self, destination: Hashable) -> int:
+        removed = self.inner.remove_destination(destination)
+        if removed:
+            self._invalidate()
+        return removed
+
+    def _invalidate(self) -> None:
+        if self._cache:
+            self._cache.clear()
+            self.stats.invalidations += 1
+        self._relevant = None
+
+    # -- the hot path ----------------------------------------------------
+
+    def _relevant_attributes(self) -> FrozenSet[str]:
+        if self._relevant is None:
+            attributes = set()
+            for filter_ in self.inner.filters():
+                for constraint in filter_.constraints:
+                    if constraint.operator is not ALL:
+                        attributes.add(constraint.attribute)
+            self._relevant = frozenset(attributes)
+        return self._relevant
+
+    def match(self, event: Any) -> List[Tuple[Filter, Tuple[Hashable, ...]]]:
+        key = event_fingerprint(event, self._relevant_attributes())
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.stats.hits += 1
+                return list(cached)
+        self.stats.misses += 1
+        result = self.inner.match(event)
+        if key is not None:
+            self._cache[key] = tuple(result)
+            if len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+        return result
+
+    # -- read-only delegation -------------------------------------------
+
+    @property
+    def evaluations(self) -> int:
+        """Constraint probes performed by the inner engine (hits add 0)."""
+        return self.inner.evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.inner.evaluations = value
+
+    def destinations_for(self, filter_: Filter) -> Tuple[Hashable, ...]:
+        return self.inner.destinations_for(filter_)
+
+    def filters(self) -> Iterator[Filter]:
+        return self.inner.filters()
+
+    def entries(self) -> Iterator[Tuple[Filter, Tuple[Hashable, ...]]]:
+        return self.inner.entries()
+
+    def cached_decisions(self) -> int:
+        """Number of fingerprints currently memoized (for tests/reports)."""
+        return len(self._cache)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, filter_: Filter) -> bool:
+        return filter_ in self.inner
+
+    def __repr__(self) -> str:
+        return (
+            f"CachedMatchEngine({self.inner!r}, {len(self._cache)} cached, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -20,9 +20,10 @@ than the number of filters.
 """
 
 import bisect
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Set, Tuple
 
 from repro.filters.constraints import AttributeConstraint
+from repro.filters.engine import MatchEngine, value_key
 from repro.filters.filter import Filter
 from repro.filters.operators import ALL, EQ, EXISTS, GE, GT, LE, LT, values_comparable
 
@@ -127,13 +128,22 @@ class _AttributeIndex:
                 del self.linear[position]
                 return
 
-    def satisfied_by(self, value: Any, counts: Dict[int, int]) -> None:
-        """Increment ``counts`` for every constraint satisfied by ``value``."""
+    def satisfied_by(self, value: Any, counts: Dict[int, int]) -> int:
+        """Increment ``counts`` for every constraint satisfied by ``value``.
+
+        Returns the number of constraint probes actually performed: one
+        per satisfied constraint harvested from the hash/sorted/exists
+        sub-indexes, plus one per linear-fallback constraint evaluated
+        (satisfied or not).  The structural lookups themselves (one hash
+        probe, O(log n) bisects) are bookkeeping, not constraint work.
+        """
+        probes = len(self.exists)
         for handle in self.exists:
             counts[handle] = counts.get(handle, 0) + 1
         if _hashable(value):
             for handle in self.eq.get(_eq_key(value), ()):  # equality probe
                 counts[handle] = counts.get(handle, 0) + 1
+                probes += 1
         if not isinstance(value, bool):
             for structure, probe in (
                 (self.lt, _SortedOperands.satisfied_lt),
@@ -144,9 +154,12 @@ class _AttributeIndex:
                 if structure.operands and structure.comparable_with(value):
                     for handle in probe(structure, value):
                         counts[handle] = counts.get(handle, 0) + 1
+                        probes += 1
+        probes += len(self.linear)
         for constraint, handle in self.linear:
             if constraint.matches_value(value, present=True):
                 counts[handle] = counts.get(handle, 0) + 1
+        return probes
 
     def is_empty(self) -> bool:
         return not (
@@ -168,16 +181,17 @@ def _hashable(value: Any) -> bool:
     return True
 
 
-def _eq_key(value: Any) -> Any:
-    """Key that separates bools from numbers (1 != True for matching)."""
-    return (type(value) is bool, value)
+#: Key that separates bools from numbers (1 != True for matching); the
+#: same canonicalization the routing cache fingerprints values with.
+_eq_key = value_key
 
 
-class CountingIndex:
+class CountingIndex(MatchEngine):
     """Drop-in alternative to :class:`~repro.filters.table.FilterTable`.
 
     Exposes the same ``insert`` / ``remove`` / ``match`` / ``destinations``
-    surface so broker nodes can use either engine.
+    surface (:class:`~repro.filters.engine.MatchEngine`) so broker nodes
+    can use either engine.
     """
 
     def __init__(self) -> None:
@@ -268,14 +282,21 @@ class CountingIndex:
         del self._required[handle]
 
     def match(self, event: Any) -> List[Tuple[Filter, Tuple[Hashable, ...]]]:
-        """Matching entries, ordered by filter insertion (handle) order."""
+        """Matching entries, ordered by filter insertion (handle) order.
+
+        ``evaluations`` grows by the constraint probes actually performed
+        (see :meth:`_AttributeIndex.satisfied_by`) — proportional to the
+        satisfied constraints, not the filter population — so LC-style
+        work accounting is comparable with ``FilterTable``'s per-filter
+        evaluation counting: both measure work done, and a cached hit
+        upstream costs ~0.
+        """
         properties = getattr(event, "properties", event)
         counts: Dict[int, int] = {}
         for attribute, value in properties.items():
             index = self._attributes.get(attribute)
             if index is not None:
-                index.satisfied_by(value, counts)
-        self.evaluations += len(self._filters)
+                self.evaluations += index.satisfied_by(value, counts)
         matched = [
             handle
             for handle, count in counts.items()
@@ -286,12 +307,6 @@ class CountingIndex:
         return [
             (self._by_handle[handle], tuple(self._ids[handle])) for handle in matched
         ]
-
-    def destinations(self, event: Any) -> Set[Hashable]:
-        result: Set[Hashable] = set()
-        for _, ids in self.match(event):
-            result.update(ids)
-        return result
 
     def __repr__(self) -> str:
         return f"CountingIndex({len(self)} filters, {len(self._attributes)} attributes)"

@@ -9,12 +9,13 @@ clarity" in Figure 6.  The production engine is
 correctness oracle for it in the test suite.
 """
 
-from typing import Any, Dict, Hashable, Iterator, List, Set, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Tuple
 
+from repro.filters.engine import MatchEngine
 from repro.filters.filter import Filter
 
 
-class FilterTable:
+class FilterTable(MatchEngine):
     """Insertion-ordered map from filter to interested destination ids.
 
     Implements both "upon receiving a <filter, ID> pair" clauses of
@@ -73,13 +74,6 @@ class FilterTable:
             if filter_.matches(event):
                 matches.append((filter_, tuple(ids)))
         return matches
-
-    def destinations(self, event: Any) -> Set[Hashable]:
-        """Union of ids over all filters matching ``event``."""
-        result: Set[Hashable] = set()
-        for _, ids in self.match(event):
-            result.update(ids)
-        return result
 
     def filters(self) -> Iterator[Filter]:
         return iter(self._entries)

@@ -11,6 +11,38 @@ from typing import Dict
 
 
 @dataclass
+class CacheStats:
+    """Routing-decision cache counters for one filtering location.
+
+    Shared by reference between a :class:`NodeCounters` and the node's
+    :class:`~repro.filters.engine.CachedMatchEngine` instances, so the
+    stats survive compaction rebuilds of the underlying engine.
+    """
+
+    #: Match calls answered from the memo (≈ zero constraint probes).
+    hits: int = 0
+    #: Match calls that ran the full engine probe.
+    misses: int = 0
+    #: Cache flushes caused by a table mutation (insert/remove/expiry).
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of match calls served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
 class NodeCounters:
     """Counters for one filtering location."""
 
@@ -31,6 +63,14 @@ class NodeCounters:
     max_filters_held: int = 0
     #: Control-plane messages processed (subscriptions, renewals, ...).
     control_messages: int = 0
+    #: Routing-decision cache stats (shared with the node's match engines).
+    cache: CacheStats = field(default_factory=CacheStats)
+    #: Dispatch wakeups that processed at least one event.
+    batches: int = 0
+    #: Events processed across all batches (= events_received for brokers).
+    batched_events: int = 0
+    #: Largest run of events processed in a single wakeup.
+    max_batch_size: int = 0
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -39,6 +79,16 @@ class NodeCounters:
             self.events_matched += 1
         self.events_forwarded += forwarded_to
         self.filter_evaluations += evaluations
+
+    def on_batch(self, size: int) -> None:
+        """Record one dispatch wakeup processing a run of ``size`` events."""
+        self.batches += 1
+        self.batched_events += size
+        if size > self.max_batch_size:
+            self.max_batch_size = size
+
+    def average_batch_size(self) -> float:
+        return self.batched_events / self.batches if self.batches else 0.0
 
     def set_filters_held(self, count: int) -> None:
         self.filters_held = count
@@ -56,4 +106,10 @@ class NodeCounters:
             "filters_held": self.filters_held,
             "max_filters_held": self.max_filters_held,
             "control_messages": self.control_messages,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_invalidations": self.cache.invalidations,
+            "batches": self.batches,
+            "batched_events": self.batched_events,
+            "max_batch_size": self.max_batch_size,
         }

@@ -2,9 +2,13 @@
 
 The benchmark harness prints the same rows/series the paper reports; a
 couple of small formatters keep that output consistent everywhere.
+:func:`render_cache_summary` surfaces the routing-decision cache and
+batched-dispatch counters the hot-path optimisations add.
 """
 
 from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.metrics.counters import NodeCounters
 
 
 def format_number(value: Any) -> str:
@@ -39,6 +43,85 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
     out = [line(list(headers)), line(["-" * w for w in widths])]
     out.extend(line(row) for row in formatted_rows)
     return "\n".join(out)
+
+
+def aggregate_cache_counters(
+    counters: Iterable[NodeCounters],
+) -> dict:
+    """Fold per-node cache/batch counters into system-wide totals."""
+    totals = {
+        "hits": 0,
+        "misses": 0,
+        "invalidations": 0,
+        "batches": 0,
+        "batched_events": 0,
+        "max_batch_size": 0,
+    }
+    for counter in counters:
+        totals["hits"] += counter.cache.hits
+        totals["misses"] += counter.cache.misses
+        totals["invalidations"] += counter.cache.invalidations
+        totals["batches"] += counter.batches
+        totals["batched_events"] += counter.batched_events
+        totals["max_batch_size"] = max(
+            totals["max_batch_size"], counter.max_batch_size
+        )
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    totals["avg_batch_size"] = (
+        totals["batched_events"] / totals["batches"] if totals["batches"] else 0.0
+    )
+    return totals
+
+
+def render_cache_summary(
+    named_counters: Iterable[Tuple[str, NodeCounters]],
+    title: str = "Routing cache / batched dispatch",
+) -> str:
+    """Per-location cache and batch counters, plus a totals row."""
+    rows: List[List[Any]] = []
+    all_counters: List[NodeCounters] = []
+    for name, counter in named_counters:
+        all_counters.append(counter)
+        rows.append(
+            [
+                name,
+                counter.cache.hits,
+                counter.cache.misses,
+                counter.cache.hit_rate(),
+                counter.cache.invalidations,
+                counter.batches,
+                counter.average_batch_size(),
+                counter.max_batch_size,
+            ]
+        )
+    totals = aggregate_cache_counters(all_counters)
+    rows.append(
+        [
+            "TOTAL",
+            totals["hits"],
+            totals["misses"],
+            totals["hit_rate"],
+            totals["invalidations"],
+            totals["batches"],
+            totals["avg_batch_size"],
+            totals["max_batch_size"],
+        ]
+    )
+    table = render_table(
+        [
+            "Location",
+            "Hits",
+            "Misses",
+            "Hit rate",
+            "Invalidations",
+            "Batches",
+            "Avg batch",
+            "Max batch",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}"
 
 
 def render_series(

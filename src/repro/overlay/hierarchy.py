@@ -71,6 +71,8 @@ def build_hierarchy(
     link_latency: float = 0.001,
     wildcard_routing: bool = True,
     compact: bool = False,
+    cache: bool = True,
+    batch: bool = True,
 ) -> Hierarchy:
     """Build a balanced broker tree.
 
@@ -103,6 +105,8 @@ def build_hierarchy(
                 trace=trace,
                 wildcard_routing=wildcard_routing,
                 compact=compact,
+                cache=cache,
+                batch=batch,
             )
             for i in range(size)
         ]

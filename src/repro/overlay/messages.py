@@ -109,3 +109,20 @@ class Publish:
     """An event on its way down the hierarchy (or into a subscriber)."""
 
     envelope: Envelope
+
+
+@dataclass(frozen=True)
+class PublishBatch:
+    """A run of events coalesced onto one link (batched dispatch).
+
+    A broker that processed a run of events in one wakeup forwards the
+    events bound for the same destination as a single message: one
+    scheduling round and one ``receive`` call instead of ``len(publishes)``.
+    Receivers process the contained events in order, so per-destination
+    delivery order is exactly that of the equivalent unbatched sends.
+    """
+
+    publishes: tuple  # Tuple[Publish, ...]
+
+    def __len__(self) -> int:
+        return len(self.publishes)

@@ -20,11 +20,12 @@ Behaviour implemented here, with the paper's names:
 
 import random
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.advertisement import AdvertisementRegistry
 from repro.core.subscription import DEFAULT_EXPIRY_FACTOR, LeaseTable
 from repro.core.weakening import merge_covering, weaken_filter
+from repro.filters.engine import CachedMatchEngine, MatchEngine
 from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.standard import most_general_wildcard, wildcard_attributes
@@ -36,6 +37,7 @@ from repro.overlay.messages import (
     Disconnect,
     JoinAt,
     Publish,
+    PublishBatch,
     Reconnect,
     Renewal,
     ReqInsert,
@@ -45,8 +47,6 @@ from repro.overlay.messages import (
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
 from repro.sim.trace import TraceRecorder
-
-MatchEngine = Union[FilterTable, CountingIndex]
 
 #: Renew halfway through the TTL ("before the expiry of each TTL").
 RENEW_FRACTION = 0.5
@@ -69,6 +69,8 @@ class BrokerNode(Process):
         wildcard_routing: bool = True,
         compact: bool = False,
         offline_buffer_limit: int = 1000,
+        cache: bool = True,
+        batch: bool = True,
     ):
         super().__init__(sim, name)
         if stage < 1:
@@ -78,10 +80,15 @@ class BrokerNode(Process):
         self.ttl = ttl
         self.parent: Optional["BrokerNode"] = None
         self.broker_children: List["BrokerNode"] = []
-        self.table: MatchEngine = engine_factory()
         self.leases = LeaseTable(ttl, expiry_factor)
         self.advertisements = AdvertisementRegistry()
         self.counters = NodeCounters()
+        #: Routing-decision cache (per-node match memo) toggle.
+        self.cache_enabled = cache
+        #: Batched dispatch (runs of events per wakeup) toggle.
+        self.batch_enabled = batch
+        self._engine_factory = engine_factory
+        self.table: MatchEngine = self._new_engine()
         self.rng = rng or random.Random(0)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         #: Whether HANDLE-WILDCARD-SUBS is active (ablation toggle, §4.4).
@@ -90,7 +97,6 @@ class BrokerNode(Process):
         #: (the g1-covers-f1,f2 collapse of §4; ablation toggle).
         self.compact = compact
         self.offline_buffer_limit = offline_buffer_limit
-        self._engine_factory = engine_factory
         self._filter_class: Dict[Filter, str] = {}
         self._maintenance_handles: Dict[str, Any] = {}
         # Durable-subscription state (§2.1): offline destinations and the
@@ -100,6 +106,22 @@ class BrokerNode(Process):
         # Compacted match engine, rebuilt lazily after table changes.
         self._compacted: Optional[MatchEngine] = None
         self._compacted_dirty = True
+        # Batched dispatch: same-instant publishes queue here and drain in
+        # one deferred wakeup (or earlier, if a control message arrives).
+        self._publish_queue: Deque[Publish] = deque()
+        self._drain_handle: Optional[Any] = None
+
+    def _new_engine(self) -> MatchEngine:
+        """A fresh match engine, cache-wrapped when caching is on.
+
+        The cache stats object is shared with this node's counters so
+        hit/miss/invalidation totals survive compaction rebuilds (which
+        construct a fresh wrapped engine each time).
+        """
+        engine = self._engine_factory()
+        if self.cache_enabled:
+            engine = CachedMatchEngine(engine, stats=self.counters.cache)
+        return engine
 
     # ------------------------------------------------------------------
     # Topology wiring (done by hierarchy builder / engine)
@@ -125,8 +147,15 @@ class BrokerNode(Process):
 
     def receive(self, message: Any, sender: Process) -> None:
         if isinstance(message, Publish):
-            self._on_publish(message)
+            self._accept_publishes((message,))
             return
+        if isinstance(message, PublishBatch):
+            self._accept_publishes(message.publishes)
+            return
+        # Control messages mutate routing state; flush any queued events
+        # first so the batch observes exactly the tables it would have
+        # seen unbatched (arrival order is preserved bit-for-bit).
+        self._flush_publishes()
         self.counters.control_messages += 1
         if isinstance(message, SubscriptionRequest):
             self._on_subscription_request(message)
@@ -342,6 +371,10 @@ class BrokerNode(Process):
 
     def _purge_task(self, interval: float) -> None:
         """REMOVE INVALID FILTERS: drop pairs silent for 3xTTL."""
+        # The purge mutates the table outside the message path: drain any
+        # queued events first so they match against pre-purge state, as
+        # they would have unbatched.
+        self._flush_publishes()
         for filter_, destination in self.leases.expired(self.sim.now):
             self.table.remove(filter_, destination)
             self.leases.forget(filter_, destination)
@@ -410,12 +443,19 @@ class BrokerNode(Process):
         if not self.compact:
             return self.table
         if self._compacted_dirty or self._compacted is None:
+            # A rebuild discards the previous compacted engine together
+            # with its memoized decisions: account the flush.
+            if (
+                isinstance(self._compacted, CachedMatchEngine)
+                and self._compacted.cached_decisions()
+            ):
+                self.counters.cache.invalidations += 1
             groups: Dict[Tuple[int, ...], Tuple[List[Filter], Tuple]] = {}
             for filter_, ids in self.table.entries():
                 key = tuple(sorted(id(destination) for destination in ids))
                 group = groups.setdefault(key, ([], ids))
                 group[0].append(filter_)
-            compacted = self._engine_factory()
+            compacted = self._new_engine()
             for filters, ids in groups.values():
                 for merged in merge_covering(filters):
                     for destination in ids:
@@ -426,32 +466,80 @@ class BrokerNode(Process):
         return self._compacted
 
     # ------------------------------------------------------------------
-    # Event filtering and forwarding (Figure 6)
+    # Event filtering and forwarding (Figure 6, batched)
     # ------------------------------------------------------------------
 
-    def _on_publish(self, message: Publish) -> None:
+    def _accept_publishes(self, publishes: Sequence[Publish]) -> None:
+        """Entry point for event traffic (single messages or batches).
+
+        With batching on, publishes queue up and a single drain wakeup —
+        deferred to the end of the current instant — processes the whole
+        run; control messages arriving in between flush the queue first,
+        so processing order is identical to the unbatched schedule.
+        """
+        if not self.batch_enabled:
+            self._process_batch(tuple(publishes))
+            return
+        self._publish_queue.extend(publishes)
+        if self._drain_handle is None:
+            self._drain_handle = self.sim.defer(self._drain_publishes)
+
+    def _drain_publishes(self) -> None:
+        self._drain_handle = None
+        self._flush_publishes()
+
+    def _flush_publishes(self) -> None:
+        if not self._publish_queue:
+            return
+        batch = tuple(self._publish_queue)
+        self._publish_queue.clear()
+        self._process_batch(batch)
+
+    def _process_batch(self, batch: Sequence[Publish]) -> None:
+        """Match and forward a run of events in one wakeup.
+
+        Events bound for the same destination coalesce into a single
+        :class:`PublishBatch` send (one scheduling round downstream);
+        per-destination event order is the batch order, i.e. exactly the
+        unbatched delivery order.
+        """
+        self.counters.on_batch(len(batch))
         engine = self._match_engine()
-        matches = engine.match(message.envelope.metadata)
-        destinations: List[Process] = []
-        seen = set()
-        for _, ids in matches:
-            for destination in ids:
-                if id(destination) not in seen:
-                    seen.add(id(destination))
-                    destinations.append(destination)
-        self.counters.on_event(
-            matched=bool(matches),
-            forwarded_to=len(destinations),
-            evaluations=len(engine),
-        )
-        for destination in destinations:
-            offline = self._offline.get(id(destination))
-            if offline is not None:
-                _, durable = offline
-                if durable:
-                    self._buffers[id(destination)].append(message)
-                continue
-            self.network.send(self, destination, message)
+        runs: Dict[int, List[Publish]] = {}
+        run_order: List[Process] = []
+        for message in batch:
+            probes_before = engine.evaluations
+            matches = engine.match(message.envelope.metadata)
+            destinations: List[Process] = []
+            seen = set()
+            for _, ids in matches:
+                for destination in ids:
+                    if id(destination) not in seen:
+                        seen.add(id(destination))
+                        destinations.append(destination)
+            self.counters.on_event(
+                matched=bool(matches),
+                forwarded_to=len(destinations),
+                evaluations=engine.evaluations - probes_before,
+            )
+            for destination in destinations:
+                offline = self._offline.get(id(destination))
+                if offline is not None:
+                    _, durable = offline
+                    if durable:
+                        self._buffers[id(destination)].append(message)
+                    continue
+                run = runs.get(id(destination))
+                if run is None:
+                    run = runs[id(destination)] = []
+                    run_order.append(destination)
+                run.append(message)
+        for destination in run_order:
+            run = runs[id(destination)]
+            if len(run) == 1:
+                self.network.send(self, destination, run[0])
+            else:
+                self.network.send(self, destination, PublishBatch(tuple(run)))
 
     def __repr__(self) -> str:
         return f"BrokerNode({self.name}, stage={self.stage}, filters={len(self.table)})"

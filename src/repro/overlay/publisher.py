@@ -7,13 +7,13 @@ covering meta-data and sealed into an opaque envelope — after this point
 no broker ever touches application code.
 """
 
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from repro.core.advertisement import Advertisement
 from repro.events.hierarchy import TypeRegistry
 from repro.events.serialization import marshal
 from repro.metrics.counters import NodeCounters
-from repro.overlay.messages import Advertise, Publish
+from repro.overlay.messages import Advertise, Publish, PublishBatch
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
 
@@ -48,6 +48,29 @@ class PublisherRuntime(Process):
         type registry's registered name (when available) or the Python
         class name is used.
         """
+        self.network.send(self, self.root, self._marshal(event, event_class))
+
+    def publish_batch(
+        self, events: Iterable[Any], event_class: Optional[str] = None
+    ) -> int:
+        """Publish a run of events as one batched injection.
+
+        The whole run travels to the root in a single
+        :class:`PublishBatch` message (one scheduling round, one receive)
+        and is delivered downstream in publish order — the batched
+        counterpart of calling :meth:`publish` per event.  Returns the
+        number of events published.
+        """
+        publishes = tuple(self._marshal(event, event_class) for event in events)
+        if not publishes:
+            return 0
+        if len(publishes) == 1:
+            self.network.send(self, self.root, publishes[0])
+        else:
+            self.network.send(self, self.root, PublishBatch(publishes))
+        return len(publishes)
+
+    def _marshal(self, event: Any, event_class: Optional[str]) -> Publish:
         if event_class is None and self.types is not None:
             if self.types.is_registered(type(event)):
                 event_class = self.types.name_of(type(event))
@@ -58,7 +81,7 @@ class PublisherRuntime(Process):
             event_id=(self.name, self.events_published),
         )
         self.events_published += 1
-        self.network.send(self, self.root, Publish(envelope))
+        return Publish(envelope)
 
     def receive(self, message: Any, sender: Process) -> None:
         raise TypeError(f"publisher {self.name} received unexpected {message!r}")

@@ -21,6 +21,7 @@ from repro.overlay.messages import (
     Disconnect,
     JoinAt,
     Publish,
+    PublishBatch,
     Reconnect,
     Renewal,
     SubscriptionRequest,
@@ -189,6 +190,11 @@ class SubscriberRuntime(Process):
     def receive(self, message: Any, sender: Process) -> None:
         if isinstance(message, Publish):
             self._on_publish(message.envelope, sender)
+        elif isinstance(message, PublishBatch):
+            # A coalesced run from the home node: deliver in batch order,
+            # which is exactly the unbatched per-destination send order.
+            for publish in message.publishes:
+                self._on_publish(publish.envelope, sender)
         elif isinstance(message, JoinAt):
             self.counters.control_messages += 1
             state = self._states.get(message.subscription_id)

@@ -92,6 +92,16 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         return self.schedule_at(self._now + delay, callback, *args)
 
+    def defer(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the *current* instant, after
+        every event already queued for it.
+
+        This is the batched-dispatch primitive: a node receiving a run of
+        same-instant messages defers one drain callback and processes the
+        whole run in a single wakeup instead of one per scheduling round.
+        """
+        return self.schedule_at(self._now, callback, *args)
+
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
         if time < self._now:

@@ -1,0 +1,155 @@
+"""Differential stateful testing: every match engine against the oracle.
+
+A hypothesis state machine drives random interleavings of ``insert`` /
+``remove`` / ``remove_destination`` / ``match`` simultaneously against
+
+- the Figure-6 :class:`FilterTable` (the paper's algorithm — the oracle),
+- a plain :class:`CountingIndex`,
+- :class:`CachedMatchEngine` wrapping each of the above,
+
+and asserts after every step that all four return identical *ordered*
+match results (both engines yield filter-insertion order) and identical
+introspection state.  This is the harness that keeps the routing-decision
+cache honest: any unsound memoization or missed invalidation shows up as
+a divergence from the uncached oracle within a few dozen random steps.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.engine import CachedMatchEngine
+from repro.filters.filter import Filter
+from repro.filters.index import CountingIndex
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+)
+from repro.filters.table import FilterTable
+
+ATTRIBUTES = ["a", "b", "c"]
+DESTINATIONS = ["n1", "n2", "n3"]
+
+values = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.sampled_from([0.5, 1.5]),
+    st.sampled_from(["", "v", "va", "w"]),
+    st.booleans(),
+)
+
+
+@st.composite
+def constraints(draw):
+    attr = draw(st.sampled_from(ATTRIBUTES))
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return AttributeConstraint(attr, draw(st.sampled_from([EXISTS, ALL])))
+    if kind == 1:
+        return AttributeConstraint(
+            attr,
+            draw(st.sampled_from([PREFIX, CONTAINS])),
+            draw(st.sampled_from(["v", "va", "w", ""])),
+        )
+    return AttributeConstraint(
+        attr, draw(st.sampled_from([EQ, NE, LT, LE, GT, GE])), draw(values)
+    )
+
+
+filters = st.lists(constraints(), min_size=1, max_size=3).map(Filter)
+
+events = st.dictionaries(
+    st.sampled_from(ATTRIBUTES), values, min_size=0, max_size=3
+)
+
+
+class EngineDifferential(RuleBasedStateMachine):
+    """Apply identical operations everywhere; the oracle arbitrates."""
+
+    def __init__(self):
+        super().__init__()
+        self.oracle = FilterTable()
+        self.others = [
+            CountingIndex(),
+            CachedMatchEngine(FilterTable()),
+            CachedMatchEngine(CountingIndex()),
+        ]
+        #: (filter, destination) pairs currently stored, for removals that
+        #: actually hit (pure misses exercise nothing after the first one).
+        self.live = []
+
+    def engines(self):
+        return [self.oracle] + self.others
+
+    @rule(filter_=filters, destination=st.sampled_from(DESTINATIONS))
+    def insert(self, filter_, destination):
+        if filter_.matches_nothing:
+            return  # engines reject fF uniformly; not interesting here
+        for engine in self.engines():
+            engine.insert(filter_, destination)
+        if (filter_, destination) not in self.live:
+            self.live.append((filter_, destination))
+
+    @rule(data=st.data())
+    def remove_live_pair(self, data):
+        if not self.live:
+            return
+        filter_, destination = data.draw(
+            st.sampled_from(self.live), label="live pair"
+        )
+        results = {engine.remove(filter_, destination) for engine in self.engines()}
+        assert results == {True}
+        self.live.remove((filter_, destination))
+
+    @rule(filter_=filters, destination=st.sampled_from(DESTINATIONS))
+    def remove_arbitrary_pair(self, filter_, destination):
+        results = {engine.remove(filter_, destination) for engine in self.engines()}
+        assert len(results) == 1  # all agree, hit or miss
+        if results == {True} and (filter_, destination) in self.live:
+            self.live.remove((filter_, destination))
+
+    @rule(destination=st.sampled_from(DESTINATIONS))
+    def remove_destination(self, destination):
+        counts = {engine.remove_destination(destination) for engine in self.engines()}
+        assert len(counts) == 1
+        self.live = [pair for pair in self.live if pair[1] != destination]
+
+    @rule(event=events)
+    def match(self, event):
+        expected = self.oracle.match(event)
+        for engine in self.others:
+            assert engine.match(event) == expected, (
+                f"{engine!r} diverged from oracle on {event}"
+            )
+
+    @rule(event=events)
+    def match_twice(self, event):
+        """Back-to-back matches force the cached engines onto the hit path."""
+        expected = self.oracle.match(event)
+        for engine in self.others:
+            engine.match(event)
+            assert engine.match(event) == expected
+
+    @invariant()
+    def same_population(self):
+        expected = sorted(
+            (repr(f), tuple(ids)) for f, ids in self.oracle.entries()
+        )
+        for engine in self.others:
+            actual = sorted((repr(f), tuple(ids)) for f, ids in engine.entries())
+            assert actual == expected
+            assert len(engine) == len(self.oracle)
+
+
+EngineDifferential.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestEngineDifferential = EngineDifferential.TestCase

@@ -132,6 +132,53 @@ def test_match_order_is_insertion_order():
     assert [f for f, _ in index.match(EVENT)] == [first, second]
 
 
+def test_evaluations_count_actual_probes():
+    """Pin the probe-accounting semantics of ``CountingIndex.match``.
+
+    ``evaluations`` counts the constraint probes actually performed — one
+    per satisfied constraint harvested from the hash/sorted/exists
+    sub-indexes, plus one per linear-fallback constraint tested — NOT one
+    per stored filter.  The FilterTable comparator would charge 4 here
+    (one evaluation per filter).
+    """
+    index = CountingIndex()
+    index.insert(parse_filter('symbol = "Foo"'), "foo")
+    index.insert(parse_filter('symbol = "Bar"'), "bar")
+    index.insert(parse_filter("price < 10 and price > 1"), "band")
+    index.insert(Filter([AttributeConstraint("name", NE, "x")]), "lin")
+
+    index.match({"symbol": "Foo", "price": 5})
+    # symbol eq-bucket harvest: 1 probe ("Bar" bucket never touched);
+    # price sorted arrays: lt(10) + gt(1) both satisfied: 2 probes;
+    # "name" linear list: event has no "name", so never consulted.
+    assert index.evaluations == 3
+
+    index.match({"symbol": "Foo", "price": 5})
+    assert index.evaluations == 6  # probes accrue per match call
+
+    # Linear-fallback constraints are charged whether or not they pass.
+    index.match({"name": "x"})
+    assert index.evaluations == 7
+
+    # An event touching no indexed attribute performs no probes at all.
+    index.match({"volume": 100})
+    assert index.evaluations == 7
+
+
+def test_cached_engine_hits_cost_zero_probes():
+    """A routing-cache hit must not advance the probe counter."""
+    from repro.filters.engine import CachedMatchEngine
+
+    engine = CachedMatchEngine(CountingIndex())
+    engine.insert(parse_filter('symbol = "Foo"'), "foo")
+    event = {"symbol": "Foo", "price": 5}
+    engine.match(event)
+    after_miss = engine.evaluations
+    assert after_miss > 0
+    engine.match(event)  # cache hit: no probes
+    assert engine.evaluations == after_miss
+
+
 def _random_filter(rng: random.Random) -> Filter:
     attributes = ["a", "b", "c"]
     operators = [EQ, NE, LT, LE, GT, GE, EXISTS, ALL, PREFIX, CONTAINS]
