@@ -74,7 +74,12 @@ def _run_bounded_cluster_scenario(compact):
     generator = SubscriptionGenerator(
         [("class", 1), ("category", 12)], numeric_attribute="price"
     )
-    system = MultiStageEventSystem(stage_sizes=(10, 3, 1), seed=5, compact=compact)
+    # Covering aggregation is pinned off: it would keep the redundant
+    # price bounds from ever reaching stage 2, leaving the compaction
+    # merge under test nothing to collapse.
+    system = MultiStageEventSystem(
+        stage_sizes=(10, 3, 1), seed=5, compact=compact, aggregate=False
+    )
     system.advertise(
         "Deal", schema=("class", "category", "price"),
         stage_prefixes=[3, 3, 3, 1],

@@ -1,0 +1,131 @@
+"""Micro-benchmark: covering-index subsumption vs naive pairwise.
+
+The broker control plane answers "is this filter covered?" and "which
+filters does it cover?" on every uplink change.  Naively that is O(n)
+full ``Filter.covers`` implication checks per query; the
+:class:`~repro.filters.covering_index.CoveringIndex` prunes candidates
+with equality buckets and bisected ordering bounds first.  This bench
+measures both on the same clustered population and gates the speedup —
+with a correctness assertion, because a fast wrong answer is worthless.
+"""
+
+import random
+import time
+
+from repro.filters.covering_index import CoveringIndex
+from repro.workloads.subscriptions import SubscriptionGenerator
+
+GENERATOR = SubscriptionGenerator(
+    [("class", 5), ("category", 40), ("vendor", 200)],
+    numeric_attribute="price",
+)
+
+POPULATION_SIZE = 5000
+PROBE_COUNT = 80
+
+
+def build_population(count, seed=23):
+    rng = random.Random(seed)
+    return GENERATOR.clustered_population(
+        rng, cluster_count=count // 20, cluster_size=20
+    )
+
+
+def naive_covered_by(pool, probe):
+    return [g for g in pool if g.covers(probe)]
+
+
+def naive_covers_of(pool, probe):
+    return [g for g in pool if probe.covers(g)]
+
+
+def test_covering_index_speedup(report):
+    """Acceptance gate: >=5x over naive pairwise at 5000 filters."""
+    population = build_population(POPULATION_SIZE)
+    assert len(population) == POPULATION_SIZE
+
+    index = CoveringIndex()
+    build_start = time.perf_counter()
+    for filter_ in population:
+        index.add(filter_)
+    build_time = time.perf_counter() - build_start
+    pool = list(index.filters())  # deduplicated stored set
+
+    rng = random.Random(31)
+    probes = rng.sample(population, PROBE_COUNT // 2) + build_population(
+        PROBE_COUNT // 2, seed=47
+    )[: PROBE_COUNT // 2]
+
+    # Warm-up + correctness: the pruned answers must equal naive pairwise.
+    for probe in probes[:10]:
+        assert index.covered_by(probe) == naive_covered_by(pool, probe)
+        assert index.covers_of(probe) == naive_covers_of(pool, probe)
+
+    index.covers_checks = 0
+    index_start = time.perf_counter()
+    index_results = [
+        (index.covered_by(probe), index.covers_of(probe)) for probe in probes
+    ]
+    index_time = time.perf_counter() - index_start
+    checks = index.covers_checks
+
+    naive_start = time.perf_counter()
+    naive_results = [
+        (naive_covered_by(pool, probe), naive_covers_of(pool, probe))
+        for probe in probes
+    ]
+    naive_time = time.perf_counter() - naive_start
+
+    assert index_results == naive_results
+    naive_checks = 2 * len(pool) * len(probes)
+
+    speedup = naive_time / index_time
+    report()
+    report(
+        f"=== Covering index vs naive pairwise "
+        f"({len(pool)} filters, {len(probes)} probes) ==="
+    )
+    report(
+        f"build: {build_time * 1e3:.1f} ms; query: naive {naive_time * 1e3:.1f} ms, "
+        f"indexed {index_time * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    report(
+        f"pairwise covers checks: naive {naive_checks}, indexed {checks} "
+        f"(pruning factor {naive_checks / max(1, checks):.0f}x)"
+    )
+    assert speedup >= 5.0, (
+        f"covering index must be >=5x naive pairwise at "
+        f"{POPULATION_SIZE} filters, got {speedup:.2f}x"
+    )
+
+
+def test_incremental_maximal_under_churn(report):
+    """The maximal set stays exact across removals (uncover bookkeeping)."""
+    population = build_population(1000, seed=5)
+    index = CoveringIndex()
+    for filter_ in population:
+        index.add(filter_)
+    pool = list(index.filters())
+
+    rng = random.Random(9)
+    removed = rng.sample(pool, len(pool) // 3)
+    churn_start = time.perf_counter()
+    for filter_ in removed:
+        index.discard(filter_)
+    churn_time = time.perf_counter() - churn_start
+
+    removed_set = set(removed)
+    live = [f for f in pool if f not in removed_set]
+    expected = [
+        f
+        for f in live
+        if not any(g.covers(f) and not f.covers(g) for g in live)
+    ]
+    assert index.maximal() == expected
+    report()
+    report(
+        f"=== Incremental maximal set under churn ===\n"
+        f"removed {len(removed)}/{len(pool)} filters in "
+        f"{churn_time * 1e3:.1f} ms; maximal set exact "
+        f"({len(expected)} filters)"
+    )

@@ -5,10 +5,18 @@ peak broker Load Complexity must grow sub-linearly in the subscription
 count, while the centralized server's LC grows linearly by definition.
 The root's LC should barely move at all — its filter table collapses to
 the most-general filters regardless of how many subscribers exist.
+
+The aggregation ablation compares covering-based uplink aggregation on
+vs off at the top of the sweep: upper-stage tables and ``req-Insert``
+control traffic must shrink substantially while every subscriber's
+delivery trace stays identical (soundness via Proposition 1,
+completeness via the withdraw-last ordering).
 """
 
+from dataclasses import replace
+
 from repro.experiments import scalability
-from repro.experiments.common import ScenarioConfig
+from repro.experiments.common import ScenarioConfig, run_bibliographic
 
 BASE = ScenarioConfig(
     stage_sizes=(50, 10, 1),
@@ -49,3 +57,50 @@ def test_scalability_sweep(benchmark, once, report):
         points[-1].max_lc_by_stage[top]
         <= points[0].max_lc_by_stage[top] * 2
     )
+
+
+def test_aggregation_ablation_at_scale(report):
+    """Acceptance gate: covering aggregation at 1000 subscribers.
+
+    Stage-2/3 filters held and total ``req-Insert`` messages must drop by
+    at least 40% with aggregation on, and per-subscriber delivery traces
+    must be identical between the two arms.  A quarter of subscriptions
+    wildcard the full schema (``wildcard_attribute="year"`` blanks the
+    most general attribute and everything below it), so most stage-1
+    nodes hold an everything-filter that covers their whole uplink.
+    """
+    config = replace(
+        BASE,
+        n_subscribers=COUNTS[-1],
+        wildcard_rate=0.25,
+        wildcard_attribute="year",
+    )
+    on = run_bibliographic(replace(config, aggregate=True))
+    off = run_bibliographic(replace(config, aggregate=False))
+
+    assert on.deliveries == off.deliveries, (
+        "aggregation must not change any subscriber's delivery trace"
+    )
+    assert on.deliveries and sum(len(t) for t in on.deliveries.values()) > 0
+
+    filters_on = on.filters_per_stage()
+    filters_off = off.filters_per_stage()
+    req_on = on.aggregation_totals()["req_inserts_sent"]
+    req_off = off.aggregation_totals()["req_inserts_sent"]
+
+    report()
+    report("=== Covering aggregation on/off (1000 subscribers) ===")
+    report(f"filters held by stage: on={filters_on}, off={filters_off}")
+    report(
+        f"req-Inserts: on={req_on}, off={req_off} "
+        f"(suppressed={on.aggregation_totals()['propagations_suppressed']})"
+    )
+    for stage in (2, 3):
+        drop = 1.0 - filters_on[stage] / filters_off[stage]
+        report(f"stage-{stage} filters drop: {drop:.0%}")
+        assert drop >= 0.40, (
+            f"stage-{stage} filters must drop >=40%, got {drop:.0%}"
+        )
+    req_drop = 1.0 - req_on / req_off
+    report(f"req-Insert drop: {req_drop:.0%}")
+    assert req_drop >= 0.40, f"req-Inserts must drop >=40%, got {req_drop:.0%}"

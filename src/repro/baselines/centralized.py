@@ -8,7 +8,7 @@ matched, so edge matching rates are 1 by construction (the server did
 the perfect filtering for them).
 """
 
-from typing import Any, Callable, List, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.baselines.common import (
     BaselineSystem,

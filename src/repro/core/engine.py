@@ -81,6 +81,7 @@ class MultiStageEventSystem:
         compact: bool = False,
         cache: bool = True,
         batch: bool = True,
+        aggregate: bool = True,
     ):
         if engine not in ("index", "table"):
             raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
@@ -102,6 +103,7 @@ class MultiStageEventSystem:
             compact=compact,
             cache=cache,
             batch=batch,
+            aggregate=aggregate,
         )
         self.ttl = ttl
         self.types = TypeRegistry()

@@ -17,13 +17,13 @@ representation; :func:`weaken_event` mirrors :func:`weaken_filter` so
 that transformed events cover originals for every transformed filter.
 """
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.stages import AttributeStageAssociation
 from repro.events.base import PropertyEvent
 from repro.filters.constraints import AttributeConstraint
 from repro.filters.filter import Filter
-from repro.filters.operators import ALL, GE, GT, LE, LT
+from repro.filters.operators import GE, GT, LE, LT
 from repro.filters.standard import standardize
 
 

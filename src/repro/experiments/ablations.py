@@ -14,7 +14,7 @@
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic
 from repro.metrics.report import render_table

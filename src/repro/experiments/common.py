@@ -48,6 +48,9 @@ class ScenarioConfig:
     cache: bool = True
     #: Batched dispatch: nodes drain runs of publishes per wakeup.
     batch: bool = True
+    #: Covering-based subscription aggregation on the broker uplinks
+    #: (suppress propagation of covered filters; §4, Prop. 1).
+    aggregate: bool = True
     # Workload domain sizes (unpublished in the paper; see EXPERIMENTS.md).
     n_years: int = 12
     n_conferences: int = 30
@@ -77,6 +80,10 @@ class ScenarioResult:
     counters_by_stage: Dict[int, List[Tuple[str, NodeCounters]]] = field(
         default_factory=dict
     )
+    #: Per-subscriber delivery trace: {subscriber name: [titles in the
+    #: order delivered]}.  Per-subscriber order is deterministic and, by
+    #: the covering argument, invariant under the aggregation ablation.
+    deliveries: Dict[str, List[str]] = field(default_factory=dict)
 
     def stages(self) -> List[int]:
         return sorted(self.counters_by_stage)
@@ -139,6 +146,17 @@ class ScenarioResult:
             for _, counters in self.counters_by_stage[stage]
         )
 
+    def aggregation_totals(self) -> Dict[str, float]:
+        """System-wide covering-aggregation counters (broker stages)."""
+        from repro.metrics.report import aggregate_aggregation_counters
+
+        return aggregate_aggregation_counters(
+            counters
+            for stage in self.stages()
+            if stage >= 1
+            for _, counters in self.counters_by_stage[stage]
+        )
+
 
 def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
     """Run the §5.2 simulation pipeline and collect all counters."""
@@ -153,6 +171,7 @@ def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult
         compact=config.compact,
         cache=config.cache,
         batch=config.batch,
+        aggregate=config.aggregate,
     )
     workload = BibliographicWorkload(
         rngs.stream("workload/records"),
@@ -175,6 +194,16 @@ def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult
     subscription_rng = rngs.stream("workload/subscriptions")
     placement_rng = rngs.stream("placement")
     stage1_nodes = system.hierarchy.stage1_nodes()
+    deliveries: Dict[str, List[str]] = {}
+
+    def recorder(name: str):
+        log = deliveries.setdefault(name, [])
+
+        def handler(event, metadata, subscription):
+            log.append(getattr(metadata, "properties", metadata)["title"])
+
+        return handler
+
     for index in range(config.n_subscribers):
         subscriber = system.create_subscriber(f"sub-{index}")
         filter_ = workload.sample_subscription(
@@ -186,7 +215,11 @@ def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult
         if config.placement == "random":
             at_node = placement_rng.choice(stage1_nodes)
         system.subscribe(
-            subscriber, filter_, event_class=BIB_EVENT_CLASS, at_node=at_node
+            subscriber,
+            filter_,
+            event_class=BIB_EVENT_CLASS,
+            handler=recorder(subscriber.name),
+            at_node=at_node,
         )
         # Sequential joins: each subscription sees the filters installed by
         # the previous ones, which is what lets similarity placement work.
@@ -205,4 +238,5 @@ def run_bibliographic(config: Optional[ScenarioConfig] = None) -> ScenarioResult
         total_events=publisher.events_published,
         total_subscriptions=system.total_subscriptions(),
         counters_by_stage=system.counters_by_stage(),
+        deliveries=deliveries,
     )

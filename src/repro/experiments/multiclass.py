@@ -13,7 +13,6 @@ recovers.  Expected ordering of events-per-subscriber::
 with identical deliveries everywhere (the soundness invariant).
 """
 
-import random
 from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple

@@ -13,7 +13,7 @@ stage, against the centralized server whose LC grows linearly by
 definition.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import ScenarioConfig, run_bibliographic
@@ -33,6 +33,13 @@ class ScalabilityPoint:
     subscriber_mr: float
     #: System-wide routing-cache hit rate over the broker stages.
     cache_hit_rate: float = 0.0
+    #: Distinct filters held per broker stage (covering aggregation
+    #: keeps the upper stages maximal-only).
+    filters_by_stage: Dict[int, int] = field(default_factory=dict)
+    #: Total ``req-Insert`` control messages sent across brokers.
+    req_inserts: int = 0
+    #: Upward propagations suppressed by covering aggregation.
+    suppressed: int = 0
 
     def max_broker_lc(self) -> float:
         return max(
@@ -58,6 +65,7 @@ def run_scalability(
                 load_complexity(counters)
                 for _, counters in result.counters_by_stage[stage]
             )
+        aggregation = result.aggregation_totals()
         points.append(
             ScalabilityPoint(
                 n_subscribers=count,
@@ -65,6 +73,9 @@ def run_scalability(
                 centralized_lc=float(result.total_events) * count,
                 subscriber_mr=result.subscriber_average_mr(),
                 cache_hit_rate=result.cache_totals()["hit_rate"],
+                filters_by_stage=result.filters_per_stage(),
+                req_inserts=aggregation["req_inserts_sent"],
+                suppressed=aggregation["propagations_suppressed"],
             )
         )
     return points
@@ -72,17 +83,25 @@ def run_scalability(
 
 def render(points: List[ScalabilityPoint]) -> str:
     stages = sorted(points[0].max_lc_by_stage) if points else []
-    headers = ["Subscribers"] + [f"Max LC stage {s}" for s in stages] + [
-        "Centralized LC",
-        "Subscriber MR",
-        "Cache hit rate",
-    ]
+    headers = (
+        ["Subscribers"]
+        + [f"Max LC stage {s}" for s in stages]
+        + [
+            "Centralized LC",
+            "Subscriber MR",
+            "Cache hit rate",
+        ]
+        + [f"Filters stage {s}" for s in stages]
+        + ["ReqInsert", "Suppressed"]
+    )
     rows = []
     for point in points:
         rows.append(
             [point.n_subscribers]
             + [point.max_lc_by_stage[s] for s in stages]
             + [point.centralized_lc, point.subscriber_mr, point.cache_hit_rate]
+            + [point.filters_by_stage.get(s, 0) for s in stages]
+            + [point.req_inserts, point.suppressed]
         )
     return render_table(headers, rows)
 

@@ -18,7 +18,10 @@ paper's overlay nodes evaluate and weaken.  This package provides:
 - :mod:`~repro.filters.index` — a counting-based matching index;
 - :mod:`~repro.filters.engine` — the shared :class:`MatchEngine`
   interface both implement, plus :class:`CachedMatchEngine`, a
-  fingerprint-keyed routing-decision cache for the broker hot path.
+  fingerprint-keyed routing-decision cache for the broker hot path;
+- :mod:`~repro.filters.covering_index` — :class:`CoveringIndex`, a
+  candidate-pruned subsumption structure the broker control plane uses
+  to aggregate subscriptions along the covering relation.
 
 Covering here is *sound but not complete*: ``f.covers(g)`` returning True
 guarantees every event matching ``g`` matches ``f`` (what Proposition 1
@@ -26,6 +29,7 @@ needs); False may simply mean "could not prove it".
 """
 
 from repro.filters.constraints import AttributeConstraint
+from repro.filters.covering_index import CoveringIndex, filter_shape
 from repro.filters.disjunction import Disjunction
 from repro.filters.engine import CachedMatchEngine, MatchEngine, event_fingerprint
 from repro.filters.filter import Filter, event_covers
@@ -54,6 +58,8 @@ __all__ = [
     "CONTAINS",
     "CachedMatchEngine",
     "CountingIndex",
+    "CoveringIndex",
+    "filter_shape",
     "Disjunction",
     "EQ",
     "EXISTS",

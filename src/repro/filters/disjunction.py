@@ -8,7 +8,7 @@ class still implements matching and a sound covering relation so it can
 be used directly for local (stage-0 / baseline) evaluation.
 """
 
-from typing import Any, Iterable, List, Tuple, Union
+from typing import Any, Iterable, List, Union
 
 from repro.filters.filter import Filter
 

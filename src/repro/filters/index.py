@@ -20,6 +20,7 @@ than the number of filters.
 """
 
 import bisect
+from collections import defaultdict
 from typing import Any, Dict, Hashable, List, Set, Tuple
 
 from repro.filters.constraints import AttributeConstraint
@@ -139,10 +140,10 @@ class _AttributeIndex:
         """
         probes = len(self.exists)
         for handle in self.exists:
-            counts[handle] = counts.get(handle, 0) + 1
+            counts[handle] += 1
         if _hashable(value):
             for handle in self.eq.get(_eq_key(value), ()):  # equality probe
-                counts[handle] = counts.get(handle, 0) + 1
+                counts[handle] += 1
                 probes += 1
         if not isinstance(value, bool):
             for structure, probe in (
@@ -153,12 +154,12 @@ class _AttributeIndex:
             ):
                 if structure.operands and structure.comparable_with(value):
                     for handle in probe(structure, value):
-                        counts[handle] = counts.get(handle, 0) + 1
+                        counts[handle] += 1
                         probes += 1
         probes += len(self.linear)
         for constraint, handle in self.linear:
             if constraint.matches_value(value, present=True):
-                counts[handle] = counts.get(handle, 0) + 1
+                counts[handle] += 1
         return probes
 
     def is_empty(self) -> bool:
@@ -198,11 +199,18 @@ class CountingIndex(MatchEngine):
         self._attributes: Dict[str, _AttributeIndex] = {}
         self._filters: Dict[Filter, int] = {}
         self._by_handle: Dict[int, Filter] = {}
-        self._ids: Dict[int, List[Hashable]] = {}
+        #: handle -> insertion-ordered destination set.
+        self._ids: Dict[int, Dict[Hashable, None]] = {}
+        #: Reverse map: destination -> handles it appears under, so
+        #: ``remove_destination`` (disconnect / lease-expiry churn) walks
+        #: only that destination's filters instead of the whole index.
+        self._dests: Dict[Hashable, Set[int]] = {}
         self._required: Dict[int, int] = {}
         #: Filters with zero countable constraints (fT / all-wildcard).
         self._always: Set[int] = set()
         self._next_handle = 0
+        #: Scratch counter dict reused across ``match`` calls.
+        self._counts: Dict[int, int] = defaultdict(int)
         self.evaluations = 0
 
     def __len__(self) -> int:
@@ -233,7 +241,7 @@ class CountingIndex(MatchEngine):
             self._next_handle += 1
             self._filters[filter_] = handle
             self._by_handle[handle] = filter_
-            self._ids[handle] = []
+            self._ids[handle] = {}
             countable = [c for c in filter_.constraints if c.operator is not ALL]
             self._required[handle] = len(countable)
             if not countable:
@@ -245,7 +253,8 @@ class CountingIndex(MatchEngine):
                 index.insert(constraint, handle)
         ids = self._ids[handle]
         if destination not in ids:
-            ids.append(destination)
+            ids[destination] = None
+            self._dests.setdefault(destination, set()).add(handle)
 
     def remove(self, filter_: Filter, destination: Hashable) -> bool:
         handle = self._filters.get(filter_)
@@ -254,15 +263,22 @@ class CountingIndex(MatchEngine):
         ids = self._ids[handle]
         if destination not in ids:
             return False
-        ids.remove(destination)
+        del ids[destination]
+        handles = self._dests[destination]
+        handles.discard(handle)
+        if not handles:
+            del self._dests[destination]
         if not ids:
             self._unregister(filter_, handle)
         return True
 
     def remove_destination(self, destination: Hashable) -> int:
+        handles = self._dests.get(destination)
+        if not handles:
+            return 0
         removed = 0
-        for filter_ in list(self._filters):
-            if self.remove(filter_, destination):
+        for handle in sorted(handles):
+            if self.remove(self._by_handle[handle], destination):
                 removed += 1
         return removed
 
@@ -291,17 +307,22 @@ class CountingIndex(MatchEngine):
         evaluation counting: both measure work done, and a cached hit
         upstream costs ~0.
         """
+        if not self._filters:
+            return []
         properties = getattr(event, "properties", event)
-        counts: Dict[int, int] = {}
+        counts = self._counts
         for attribute, value in properties.items():
             index = self._attributes.get(attribute)
             if index is not None:
                 self.evaluations += index.satisfied_by(value, counts)
+        if not counts and not self._always:
+            return []
         matched = [
             handle
             for handle, count in counts.items()
             if count == self._required[handle]
         ]
+        counts.clear()
         matched.extend(self._always)
         matched.sort()
         return [

@@ -68,6 +68,8 @@ class FilterTable(MatchEngine):
 
         Returns the matching ``(filter, ids)`` entries in table order.
         """
+        if not self._entries:
+            return []
         matches = []
         for filter_, ids in self._entries.items():
             self.evaluations += 1

@@ -71,6 +71,18 @@ class NodeCounters:
     batched_events: int = 0
     #: Largest run of events processed in a single wakeup.
     max_batch_size: int = 0
+    #: ``req-Insert`` control messages sent to the parent.
+    req_inserts_sent: int = 0
+    #: ``Withdraw`` control messages sent to the parent.
+    withdrawals_sent: int = 0
+    #: Upward propagations suppressed because a propagated filter
+    #: already covered the new weakened filter (covering aggregation).
+    propagations_suppressed: int = 0
+    #: Covered filters re-propagated when their cover died (uncover).
+    uncover_repropagations: int = 0
+    #: Current number of filters propagated to the parent (the maximal
+    #: set under covering); a gauge like ``filters_held``.
+    propagated_filters: int = 0
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -112,4 +124,9 @@ class NodeCounters:
             "batches": self.batches,
             "batched_events": self.batched_events,
             "max_batch_size": self.max_batch_size,
+            "req_inserts_sent": self.req_inserts_sent,
+            "withdrawals_sent": self.withdrawals_sent,
+            "propagations_suppressed": self.propagations_suppressed,
+            "uncover_repropagations": self.uncover_repropagations,
+            "propagated_filters": self.propagated_filters,
         }

@@ -124,6 +124,77 @@ def render_cache_summary(
     return f"{title}\n{table}"
 
 
+def aggregate_aggregation_counters(
+    counters: Iterable[NodeCounters],
+) -> dict:
+    """Fold per-node covering-aggregation counters into totals."""
+    totals = {
+        "req_inserts_sent": 0,
+        "withdrawals_sent": 0,
+        "propagations_suppressed": 0,
+        "uncover_repropagations": 0,
+        "propagated_filters": 0,
+    }
+    for counter in counters:
+        totals["req_inserts_sent"] += counter.req_inserts_sent
+        totals["withdrawals_sent"] += counter.withdrawals_sent
+        totals["propagations_suppressed"] += counter.propagations_suppressed
+        totals["uncover_repropagations"] += counter.uncover_repropagations
+        totals["propagated_filters"] += counter.propagated_filters
+    attempts = totals["req_inserts_sent"] + totals["propagations_suppressed"]
+    totals["suppression_rate"] = (
+        totals["propagations_suppressed"] / attempts if attempts else 0.0
+    )
+    return totals
+
+
+def render_aggregation_summary(
+    named_counters: Iterable[Tuple[str, NodeCounters]],
+    title: str = "Covering aggregation (control plane)",
+) -> str:
+    """Per-location covering-aggregation counters, plus a totals row."""
+    rows: List[List[Any]] = []
+    all_counters: List[NodeCounters] = []
+    for name, counter in named_counters:
+        all_counters.append(counter)
+        rows.append(
+            [
+                name,
+                counter.filters_held,
+                counter.propagated_filters,
+                counter.req_inserts_sent,
+                counter.propagations_suppressed,
+                counter.withdrawals_sent,
+                counter.uncover_repropagations,
+            ]
+        )
+    totals = aggregate_aggregation_counters(all_counters)
+    rows.append(
+        [
+            "TOTAL",
+            sum(c.filters_held for c in all_counters),
+            totals["propagated_filters"],
+            totals["req_inserts_sent"],
+            totals["propagations_suppressed"],
+            totals["withdrawals_sent"],
+            totals["uncover_repropagations"],
+        ]
+    )
+    table = render_table(
+        [
+            "Location",
+            "Held",
+            "Propagated",
+            "ReqInsert",
+            "Suppressed",
+            "Withdrawn",
+            "Uncovered",
+        ],
+        rows,
+    )
+    return f"{title}\n{table}"
+
+
 def render_series(
     title: str, series: Sequence[Tuple[str, Sequence[float]]], width: int = 60
 ) -> str:

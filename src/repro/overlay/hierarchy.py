@@ -6,7 +6,6 @@ counts, distributing children round-robin so the tree stays balanced.
 Node names follow the paper's ``N<stage>.<index>`` convention.
 """
 
-import random
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.filters.index import CountingIndex
@@ -73,6 +72,7 @@ def build_hierarchy(
     compact: bool = False,
     cache: bool = True,
     batch: bool = True,
+    aggregate: bool = True,
 ) -> Hierarchy:
     """Build a balanced broker tree.
 
@@ -107,6 +107,7 @@ def build_hierarchy(
                 compact=compact,
                 cache=cache,
                 batch=batch,
+                aggregate=aggregate,
             )
             for i in range(size)
         ]

@@ -6,8 +6,8 @@ equivalent of a node id); names match the paper's vocabulary:
 renewal messages, advertisements, and event publication.
 """
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.advertisement import Advertisement
 from repro.events.serialization import Envelope
@@ -60,6 +60,24 @@ class AcceptedAt:
 @dataclass(frozen=True)
 class ReqInsert:
     """``req-Insert(fc, idc)``: child asks parent to route ``fc`` to it."""
+
+    filter: Filter
+    event_class: str
+    child: "Process"
+
+
+@dataclass(frozen=True)
+class Withdraw:
+    """Child retracts a previously ``req-Insert``-ed filter at its parent.
+
+    Emitted by covering-based aggregation when a propagated filter
+    becomes redundant (demoted under a more general cover) or dies
+    (unsubscribed / expired / disconnected).  Senders order any
+    replacement ``ReqInsert`` *before* the ``Withdraw`` so the parent's
+    table covers the union of the child's filters at every instant —
+    events may over-approximate briefly (sound by Proposition 1) but are
+    never lost.
+    """
 
     filter: Filter
     event_class: str

@@ -12,6 +12,13 @@ Behaviour implemented here, with the paper's names:
   or descend to a random child; insert at stage 1;
 - ``INSERT-SUBSCRIBER`` / ``req-Insert``: store weakened filters and
   propagate further-weakened forms toward the root;
+- covering-based subscription aggregation (the Definition 2 / Proposition
+  1 trade): a per-class :class:`_UpLink` keeps a
+  :class:`~repro.filters.covering_index.CoveringIndex` over the weakened
+  forms, suppresses ``req-Insert`` when a propagated form already covers
+  the new one, and on the death of a cover re-propagates its still-live
+  covered forms *before* withdrawing it — the parent's table covers the
+  union of the child's filters at every instant;
 - ``HANDLE-WILDCARD-SUBS``: attach wildcard subscriptions at the stage
   just above the topmost stage using the wildcarded attribute;
 - the TTL tasks (renew own filters at the parent, purge silent ones);
@@ -25,11 +32,11 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.core.advertisement import AdvertisementRegistry
 from repro.core.subscription import DEFAULT_EXPIRY_FACTOR, LeaseTable
 from repro.core.weakening import merge_covering, weaken_filter
+from repro.filters.covering_index import CoveringIndex
 from repro.filters.engine import CachedMatchEngine, MatchEngine
 from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.standard import most_general_wildcard, wildcard_attributes
-from repro.filters.table import FilterTable
 from repro.metrics.counters import NodeCounters
 from repro.overlay.messages import (
     AcceptedAt,
@@ -43,6 +50,7 @@ from repro.overlay.messages import (
     ReqInsert,
     SubscriptionRequest,
     Unsubscribe,
+    Withdraw,
 )
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
@@ -50,6 +58,33 @@ from repro.sim.trace import TraceRecorder
 
 #: Renew halfway through the TTL ("before the expiry of each TTL").
 RENEW_FRACTION = 0.5
+
+
+class _UpLink:
+    """Covering-aggregation state for one (node, event class) uplink.
+
+    ``forms`` refcounts the stage-``s+1`` weakened *forms* of the filters
+    stored locally (several stored filters can weaken to the same form);
+    ``index`` holds the live forms for fast subsumption queries.  A live
+    form is either *propagated* (sent to the parent via ``req-Insert``)
+    or *suppressed* under exactly one propagated ``cover_of`` it is
+    covered by; ``covered`` is the reverse map.  The propagated set is
+    kept an antichain — maximal forms only — by demotion on insert and
+    promotion (uncover re-propagation) on removal.
+
+    All containers are insertion-ordered dicts, never plain sets of
+    filters: iteration order feeds message emission, and ``str``-hash
+    randomization must not leak into traces.
+    """
+
+    __slots__ = ("forms", "index", "propagated", "cover_of", "covered")
+
+    def __init__(self) -> None:
+        self.forms: Dict[Filter, int] = {}
+        self.index = CoveringIndex()
+        self.propagated: Dict[Filter, None] = {}
+        self.cover_of: Dict[Filter, Filter] = {}
+        self.covered: Dict[Filter, Dict[Filter, None]] = {}
 
 
 class BrokerNode(Process):
@@ -71,6 +106,7 @@ class BrokerNode(Process):
         offline_buffer_limit: int = 1000,
         cache: bool = True,
         batch: bool = True,
+        aggregate: bool = True,
     ):
         super().__init__(sim, name)
         if stage < 1:
@@ -87,6 +123,10 @@ class BrokerNode(Process):
         self.cache_enabled = cache
         #: Batched dispatch (runs of events per wakeup) toggle.
         self.batch_enabled = batch
+        #: Covering-based subscription aggregation toggle (§4, Prop. 1).
+        self.aggregate_enabled = aggregate
+        #: Per-event-class uplink aggregation state (empty at the root).
+        self._uplinks: Dict[str, _UpLink] = {}
         self._engine_factory = engine_factory
         self.table: MatchEngine = self._new_engine()
         self.rng = rng or random.Random(0)
@@ -167,6 +207,8 @@ class BrokerNode(Process):
             self._on_advertise(message)
         elif isinstance(message, Unsubscribe):
             self._on_unsubscribe(message)
+        elif isinstance(message, Withdraw):
+            self._on_withdraw(message)
         elif isinstance(message, Disconnect):
             self._on_disconnect(message, sender)
         elif isinstance(message, Reconnect):
@@ -285,7 +327,7 @@ class BrokerNode(Process):
     def _insert_subscriber(self, request: SubscriptionRequest) -> None:
         association = self._association_for(request.event_class)
         stored = weaken_filter(request.filter, association, self.stage)
-        self._store(stored, request.subscriber, request.event_class)
+        newly_known = self._store(stored, request.subscriber, request.event_class)
         self.network.send(
             self,
             request.subscriber,
@@ -295,19 +337,29 @@ class BrokerNode(Process):
             self.sim.now, "subscriber-insert", self.name,
             subscriber=request.subscriber.name, filter=str(stored),
         )
-        self._propagate_up(request.filter, request.event_class)
+        if self.aggregate_enabled:
+            if newly_known:
+                self._up_insert(stored, request.event_class)
+        else:
+            self._propagate_up(request.filter, request.event_class)
 
     def _on_req_insert(self, message: ReqInsert) -> None:
-        was_known = message.filter in self.table
-        self._store(message.filter, message.child, message.event_class)
-        if not was_known:
+        newly_known = self._store(message.filter, message.child, message.event_class)
+        if not newly_known:
+            return
+        if self.aggregate_enabled:
+            self._up_insert(message.filter, message.event_class)
+        else:
             self._propagate_up(message.filter, message.event_class)
 
-    def _store(self, filter_: Filter, destination: Process, event_class: str) -> None:
+    def _store(self, filter_: Filter, destination: Process, event_class: str) -> bool:
+        """Insert one pair; True when the *filter* was not stored before."""
+        newly_known = filter_ not in self.table
         self.table.insert(filter_, destination)
         self.leases.touch(filter_, destination, self.sim.now)
         self._filter_class[filter_] = event_class
         self._table_changed()
+        return newly_known
 
     def _propagate_up(self, filter_: Filter, event_class: str) -> None:
         """Send the next-stage weakening of ``filter_`` to the parent."""
@@ -315,14 +367,18 @@ class BrokerNode(Process):
             return
         association = self._association_for(event_class)
         weakened = weaken_filter(filter_, association, self.stage + 1)
+        self.counters.req_inserts_sent += 1
         self.network.send(self, self.parent, ReqInsert(weakened, event_class, self))
 
     def _on_renewal(self, message: Renewal, sender: Process) -> None:
         """Refresh-or-restore each renewed pair (see :class:`Renewal`)."""
         for filter_, event_class in message.items:
-            was_known = filter_ in self.table
-            self._store(filter_, sender, event_class)
-            if not was_known:
+            newly_known = self._store(filter_, sender, event_class)
+            if not newly_known:
+                continue
+            if self.aggregate_enabled:
+                self._up_insert(filter_, event_class)
+            else:
                 self._propagate_up(filter_, event_class)
 
     def _on_unsubscribe(self, message: Unsubscribe) -> None:
@@ -330,7 +386,162 @@ class BrokerNode(Process):
         (stage-weakened) filter the subscriber learned from accepted-At."""
         if self.table.remove(message.filter, message.subscriber):
             self.leases.forget(message.filter, message.subscriber)
+            if message.filter not in self.table:
+                self._filter_removed(message.filter)
             self._table_changed()
+
+    def _on_withdraw(self, message: Withdraw) -> None:
+        """A child retracted a propagated filter (covering aggregation)."""
+        if self.table.remove(message.filter, message.child):
+            self.leases.forget(message.filter, message.child)
+            if message.filter not in self.table:
+                self._filter_removed(message.filter)
+            self._table_changed()
+
+    # ------------------------------------------------------------------
+    # Covering-based uplink aggregation (§4, Definition 2 / Proposition 1)
+    # ------------------------------------------------------------------
+    #
+    # Soundness is free: a propagated cover is weaker than the forms it
+    # suppresses, so the parent routes a superset of the needed events
+    # (over-approximation, filtered exactly one stage below).  Complete-
+    # ness is an ordering discipline: any replacement ``req-Insert`` is
+    # sent *before* the ``Withdraw`` of the form it replaces, so at no
+    # instant does the parent's table stop covering the union of this
+    # node's stored filters.
+
+    def _up_insert(self, stored: Filter, event_class: str) -> None:
+        """A newly stored filter: refcount its weakened form; on the first
+        occurrence either suppress it under a propagated cover or
+        propagate it (demoting forms it strictly covers)."""
+        if self.parent is None:
+            return
+        association = self._association_for(event_class)
+        form = weaken_filter(stored, association, self.stage + 1)
+        link = self._uplinks.get(event_class)
+        if link is None:
+            link = self._uplinks[event_class] = _UpLink()
+        count = link.forms.get(form, 0)
+        link.forms[form] = count + 1
+        if count:
+            return  # form already live: propagated or suppressed
+        link.index.add(form)
+        cover = next(
+            (
+                g
+                for g in link.index.covered_by(form)
+                if g != form and g in link.propagated
+            ),
+            None,
+        )
+        if cover is not None:
+            link.cover_of[form] = cover
+            link.covered.setdefault(cover, {})[form] = None
+            self.counters.propagations_suppressed += 1
+            self.trace.record(
+                self.sim.now, "propagation-suppressed", self.name,
+                filter=str(form), cover=str(cover),
+            )
+        else:
+            self._propagate_form(link, form, event_class)
+        self._uplinks_changed()
+
+    def _propagate_form(self, link: _UpLink, form: Filter, event_class: str) -> None:
+        """``req-Insert`` one form, then demote propagated forms it
+        strictly covers (withdrawn only *after* the replacement is up)."""
+        link.propagated[form] = None
+        self.counters.req_inserts_sent += 1
+        self.network.send(self, self.parent, ReqInsert(form, event_class, self))
+        for other in link.index.covers_of(form):
+            if other == form or other not in link.propagated:
+                continue
+            if other.covers(form):
+                continue  # equivalent, not strictly covered
+            for child_form in link.covered.pop(other, {}):
+                link.cover_of[child_form] = form
+                link.covered.setdefault(form, {})[child_form] = None
+            del link.propagated[other]
+            link.cover_of[other] = form
+            link.covered.setdefault(form, {})[other] = None
+            self.counters.withdrawals_sent += 1
+            self.network.send(self, self.parent, Withdraw(other, event_class, self))
+            self.trace.record(
+                self.sim.now, "propagation-demoted", self.name,
+                filter=str(other), cover=str(form),
+            )
+
+    def _filter_removed(self, filter_: Filter) -> None:
+        """``filter_`` no longer has any destination in the table."""
+        event_class = self._filter_class.pop(filter_, None)
+        if event_class is not None and self.aggregate_enabled:
+            self._up_remove(filter_, event_class)
+
+    def _up_remove(self, stored: Filter, event_class: str) -> None:
+        """Drop one refcount of the stored filter's weakened form; when the
+        form dies, either detach it (suppressed) or run uncover
+        re-propagation and withdraw it (propagated)."""
+        if self.parent is None:
+            return
+        link = self._uplinks.get(event_class)
+        if link is None:
+            return
+        association = self._association_for(event_class)
+        form = weaken_filter(stored, association, self.stage + 1)
+        count = link.forms.get(form)
+        if count is None:
+            return
+        if count > 1:
+            link.forms[form] = count - 1
+            return
+        del link.forms[form]
+        link.index.discard(form)
+        if form in link.propagated:
+            self._form_removed(link, form, event_class)
+        else:
+            cover = link.cover_of.pop(form, None)
+            if cover is not None:
+                children = link.covered.get(cover)
+                if children is not None:
+                    children.pop(form, None)
+                    if not children:
+                        del link.covered[cover]
+        self._uplinks_changed()
+
+    def _form_removed(self, link: _UpLink, form: Filter, event_class: str) -> None:
+        """Uncover re-propagation: re-home or re-propagate every form the
+        dying cover suppressed, *then* withdraw the cover."""
+        del link.propagated[form]
+        orphans = list(link.covered.pop(form, {}))
+        # Most-general first: an early promoted orphan can re-home the
+        # rest, minimizing re-propagations.
+        orphans.sort(key=lambda g: (len(g.constraints), str(g)))
+        for orphan in orphans:
+            link.cover_of.pop(orphan, None)
+            new_cover = next(
+                (
+                    g
+                    for g in link.index.covered_by(orphan)
+                    if g != orphan and g in link.propagated
+                ),
+                None,
+            )
+            if new_cover is not None:
+                link.cover_of[orphan] = new_cover
+                link.covered.setdefault(new_cover, {})[orphan] = None
+            else:
+                self.counters.uncover_repropagations += 1
+                self.trace.record(
+                    self.sim.now, "uncover-repropagate", self.name,
+                    filter=str(orphan), cover=str(form),
+                )
+                self._propagate_form(link, orphan, event_class)
+        self.counters.withdrawals_sent += 1
+        self.network.send(self, self.parent, Withdraw(form, event_class, self))
+
+    def _uplinks_changed(self) -> None:
+        self.counters.propagated_filters = sum(
+            len(link.propagated) for link in self._uplinks.values()
+        )
 
     # ------------------------------------------------------------------
     # TTL maintenance (§4.3)
@@ -356,13 +567,20 @@ class BrokerNode(Process):
         """EXTEND THE VALIDITY OF FILTERS: renew own filters at the parent."""
         if self.parent is not None:
             items = {}
-            for filter_ in self.table.filters():
-                event_class = self._filter_class.get(filter_)
-                if event_class is None:
-                    continue
-                association = self._association_for(event_class)
-                weakened = weaken_filter(filter_, association, self.stage + 1)
-                items[(weakened, event_class)] = None
+            if self.aggregate_enabled:
+                # Renewals piggyback only the maximal (propagated) forms:
+                # suppressed forms have no lease upstream to keep alive.
+                for event_class, link in self._uplinks.items():
+                    for form in link.propagated:
+                        items[(form, event_class)] = None
+            else:
+                for filter_ in self.table.filters():
+                    event_class = self._filter_class.get(filter_)
+                    if event_class is None:
+                        continue
+                    association = self._association_for(event_class)
+                    weakened = weaken_filter(filter_, association, self.stage + 1)
+                    items[(weakened, event_class)] = None
             if items:
                 self.network.send(self, self.parent, Renewal(tuple(items)))
         self._maintenance_handles["renew"] = self.sim.schedule(
@@ -376,14 +594,16 @@ class BrokerNode(Process):
         # they would have unbatched.
         self._flush_publishes()
         for filter_, destination in self.leases.expired(self.sim.now):
-            self.table.remove(filter_, destination)
+            removed = self.table.remove(filter_, destination)
             self.leases.forget(filter_, destination)
+            if removed and filter_ not in self.table:
+                self._filter_removed(filter_)
             self.trace.record(
                 self.sim.now, "lease-expired", self.name,
                 destination=getattr(destination, "name", destination),
             )
         for stale in [f for f in self._filter_class if f not in self.table]:
-            del self._filter_class[stale]
+            self._filter_removed(stale)
         # Offline/buffer state for destinations that no longer hold any
         # lease here is garbage (the durable window closed with the lease).
         live_ids = {id(destination) for _, destination in self.leases.pairs()}

@@ -9,7 +9,7 @@ only weakened filters and meta-data.
 """
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.subscription import Subscription

@@ -11,7 +11,7 @@ exactly Example 6's five-attribute ``G_Auction`` with stage prefixes
 """
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.advertisement import Advertisement
 from repro.core.stages import AttributeStageAssociation

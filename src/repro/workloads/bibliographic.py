@@ -17,7 +17,7 @@ unpublished; see EXPERIMENTS.md).
 """
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.advertisement import Advertisement
 from repro.core.stages import AttributeStageAssociation

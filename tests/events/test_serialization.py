@@ -1,7 +1,7 @@
 """Unit tests for envelopes and (un)marshaling."""
 
 from repro.events.base import PropertyEvent
-from repro.events.serialization import Envelope, marshal, unmarshal
+from repro.events.serialization import marshal, unmarshal
 
 
 class Order:

@@ -1,0 +1,185 @@
+"""Tests for the covering index (pruned subsumption queries).
+
+The index's contract is exactness: every query must return precisely
+what a naive pairwise ``Filter.covers`` scan over the stored set would —
+the candidate pruning is a speedup, never an approximation.  The
+property test drives random pools through inserts *and* removals and
+compares all three query surfaces against the naive answer.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.covering_index import CoveringIndex, filter_shape
+from repro.filters.filter import Filter
+from repro.filters.operators import (
+    ALL,
+    CONTAINS,
+    EQ,
+    EXISTS,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PREFIX,
+)
+from repro.filters.parser import parse_filter
+
+ATTRIBUTES = ["a", "b", "c"]
+
+values = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.sampled_from([0.5, 1.5, 2.5]),
+    st.sampled_from(["", "v", "va", "vab", "w"]),
+    st.booleans(),
+)
+
+nullary_ops = st.sampled_from([EXISTS, ALL])
+value_ops = st.sampled_from([EQ, NE, LT, LE, GT, GE])
+string_ops = st.sampled_from([PREFIX, CONTAINS])
+
+
+@st.composite
+def constraints(draw, attribute=None):
+    attr = attribute or draw(st.sampled_from(ATTRIBUTES))
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return AttributeConstraint(attr, draw(nullary_ops))
+    if kind == 1:
+        return AttributeConstraint(
+            attr, draw(string_ops), draw(st.sampled_from(["v", "va", "w", ""]))
+        )
+    return AttributeConstraint(attr, draw(value_ops), draw(values))
+
+
+filters = st.lists(constraints(), min_size=0, max_size=4).map(Filter)
+
+
+def naive_covered_by(pool, probe):
+    return [g for g in pool if g.covers(probe)]
+
+
+def naive_covers_of(pool, probe):
+    return [g for g in pool if probe.covers(g)]
+
+
+def naive_maximal(pool):
+    return [
+        f
+        for f in pool
+        if not any(g.covers(f) and not f.covers(g) for g in pool)
+    ]
+
+
+@given(
+    pool=st.lists(filters, min_size=0, max_size=12),
+    removals=st.lists(st.integers(min_value=0, max_value=11), max_size=6),
+    probes=st.lists(filters, min_size=1, max_size=4),
+)
+@settings(max_examples=120)
+def test_queries_agree_with_naive_pairwise(pool, removals, probes):
+    index = CoveringIndex()
+    stored = []
+    for f in pool:
+        if index.add(f):
+            stored.append(f)
+    for position in removals:
+        if position < len(stored):
+            removed = stored.pop(position)
+            assert index.discard(removed)
+    # Stored copies of the probes exercise the reflexive case too.
+    for probe in probes + stored[:2]:
+        assert index.covered_by(probe) == naive_covered_by(stored, probe)
+        assert index.covers_of(probe) == naive_covers_of(stored, probe)
+    assert index.maximal() == naive_maximal(stored)
+    for f in stored:
+        assert index.is_maximal(f) == (f in naive_maximal(stored))
+
+
+def test_results_come_back_in_insertion_order():
+    index = CoveringIndex()
+    broad = parse_filter("a > 0")
+    narrow = parse_filter("a > 2 and b = 1")
+    narrower = parse_filter("a > 3 and b = 1 and c = 2")
+    for f in (narrow, broad, narrower):
+        index.add(f)
+    assert index.covered_by(narrower) == [narrow, broad, narrower]
+    assert index.covers_of(broad) == [narrow, broad, narrower]
+    assert index.maximal() == [broad]
+
+
+def test_bottom_filter_edges():
+    index = CoveringIndex()
+    bottom = Filter.bottom()
+    assert bottom.matches_nothing
+    top = Filter([])
+    assert index.add(bottom)
+    assert index.add(top)
+    # Everything covers fF; fF covers only fF.
+    assert index.covered_by(bottom) == [bottom, top]
+    assert index.covers_of(bottom) == [bottom]
+    # fF never covers a satisfiable filter, so it is not among top's
+    # covers; top covers both.
+    assert index.covered_by(top) == [top]
+    assert index.covers_of(top) == [bottom, top]
+    assert index.maximal() == [top]
+    assert index.discard(bottom)
+    assert index.maximal() == [top]
+
+
+def test_add_and_discard_are_idempotent():
+    index = CoveringIndex()
+    f = parse_filter('a = "x"')
+    assert index.add(f)
+    assert not index.add(f)
+    assert len(index) == 1
+    assert f in index
+    assert index.discard(f)
+    assert not index.discard(f)
+    assert f not in index
+    assert index.maximal() == []
+
+
+def test_is_maximal_requires_membership():
+    index = CoveringIndex()
+    with pytest.raises(KeyError):
+        index.is_maximal(parse_filter("a = 1"))
+
+
+def test_maximal_keeps_equivalent_filters():
+    """Mutually covering filters are both maximal (no strict cover)."""
+    index = CoveringIndex()
+    f = parse_filter("a = 1")
+    g = Filter(
+        [AttributeConstraint("a", EQ, 1), AttributeConstraint("b", ALL)]
+    )
+    assert f.covers(g) and g.covers(f) and f != g
+    index.add(f)
+    index.add(g)
+    assert index.maximal() == [f, g]
+
+
+def test_shape_helper():
+    f = Filter(
+        [AttributeConstraint("a", EQ, 1), AttributeConstraint("b", ALL)]
+    )
+    assert filter_shape(f) == frozenset({"a"})
+    assert filter_shape(Filter([])) == frozenset()
+
+
+def test_pruning_actually_prunes():
+    """On an equality-bucketed population, verification touches a small
+    fraction of the stored filters."""
+    index = CoveringIndex()
+    stored = []
+    for i in range(200):
+        f = parse_filter(f'a = "v{i % 50}" and b < {i % 7}')
+        if index.add(f):
+            stored.append(f)
+    index.covers_checks = 0
+    probe = parse_filter('a = "v3" and b < 3')
+    assert index.covered_by(probe) == naive_covered_by(stored, probe)
+    assert index.covers_checks < len(stored) // 4

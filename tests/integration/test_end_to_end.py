@@ -6,7 +6,6 @@ select — pre-filtering is sound (Propositions 1 and 2) and complete for
 the workloads tested (no event that should arrive is lost).
 """
 
-import random
 from collections import Counter
 
 import pytest

@@ -83,7 +83,6 @@ def test_paper_example_events_route_correctly(system):
     delivered = []
     for index, subscriber in enumerate(system.subscribers):
         state = subscriber._states[subscriber.subscriptions()[0].subscription_id]
-        original_handler = state.handler
 
         def handler(event, metadata, subscription, _i=index):
             delivered.append(_i)

@@ -25,7 +25,12 @@ PREFIXES = (3, 3, 3, 1)
 
 
 def build(compact):
-    system = MultiStageEventSystem(stage_sizes=(2, 2, 1), seed=8, compact=compact)
+    # Covering aggregation would keep the redundant price bounds from ever
+    # reaching stage 2, leaving compaction nothing to merge; switch it off
+    # so these tests exercise the compaction machinery in isolation.
+    system = MultiStageEventSystem(
+        stage_sizes=(2, 2, 1), seed=8, compact=compact, aggregate=False
+    )
     system.advertise("Quote", schema=SCHEMA, stage_prefixes=PREFIXES)
     deliveries = Counter()
     # Example-5-shaped population: same symbol, different price bounds.

@@ -1,12 +1,10 @@
 """Edge-case and robustness tests for the overlay protocol."""
 
-import pytest
 
 from repro.core.engine import MultiStageEventSystem
 from repro.core.stages import AttributeStageAssociation
 from repro.events.base import PropertyEvent
 from repro.overlay.node import BrokerNode
-from repro.overlay.messages import SubscriptionRequest
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
@@ -229,7 +227,7 @@ def test_covering_entries_pointing_only_at_subscribers_are_skipped():
     wild = system.create_subscriber("wild")
     system.subscribe(wild, 'class = "Quote"')
     system.drain()
-    wild_home = wild.home_of(wild.subscriptions()[0].subscription_id)
+    assert wild.home_of(wild.subscriptions()[0].subscription_id) is not None
     # Second: a narrow subscription covered by the wildcard's stored
     # filter; it must still descend to a stage-1 node, not be bounced
     # toward the subscriber.

@@ -5,8 +5,7 @@ import pytest
 
 from repro.core.engine import MultiStageEventSystem
 from repro.events.base import PropertyEvent
-from repro.overlay.messages import Publish, Renewal
-from repro.overlay.node import BrokerNode
+from repro.overlay.messages import Renewal
 
 SCHEMA = ("class", "symbol", "price")
 

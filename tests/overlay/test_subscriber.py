@@ -3,9 +3,6 @@
 import pytest
 
 from repro.core.engine import MultiStageEventSystem
-from repro.core.subscription import Subscription
-from repro.events.closures import FilterClosure
-from repro.filters.parser import parse_filter
 
 SCHEMA = ("class", "symbol", "price")
 
