@@ -82,11 +82,13 @@ class MultiStageEventSystem:
         cache: bool = True,
         batch: bool = True,
         aggregate: bool = True,
+        reliable: bool = True,
     ):
         if engine not in ("index", "table"):
             raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
         self.sim = Simulator()
         self.network = Network(self.sim, default_latency=link_latency)
+        self.reliable = reliable
         self.rngs = RngRegistry(seed)
         self.trace = TraceRecorder(enabled=trace)
         engine_factory = CountingIndex if engine == "index" else FilterTable
@@ -104,6 +106,7 @@ class MultiStageEventSystem:
             cache=cache,
             batch=batch,
             aggregate=aggregate,
+            reliable=reliable,
         )
         self.ttl = ttl
         self.types = TypeRegistry()
@@ -146,6 +149,7 @@ class MultiStageEventSystem:
             self.root,
             ttl=self.ttl,
             trace=self.trace,
+            reliable=self.reliable,
         )
         self.subscribers.append(subscriber)
         return subscriber

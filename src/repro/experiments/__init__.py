@@ -11,7 +11,9 @@
 - :mod:`~repro.experiments.scalability` — per-node load vs subscriber
   count (the §5.3 delegation claim);
 - :mod:`~repro.experiments.multiclass` — Stock+Auction mixed workload
-  (quantifying §3.4's topic-based degeneration).
+  (quantifying §3.4's topic-based degeneration);
+- :mod:`~repro.experiments.chaos` — fault injection: delivery and
+  convergence under lossy links and a broker crash/restart (§4.3).
 """
 
 from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments [--quick] [rlc] [figure7] [comparison]
                                 [ablations] [scalability] [multiclass]
+                                [chaos]
 
 With no experiment names, everything runs.  ``--quick`` swaps the
 paper-scale configurations for CI-sized ones (seconds instead of tens of
@@ -12,7 +13,14 @@ seconds).
 
 import sys
 
-from repro.experiments import ablations, comparison, figure7, rlc_table, scalability
+from repro.experiments import (
+    ablations,
+    chaos,
+    comparison,
+    figure7,
+    rlc_table,
+    scalability,
+)
 from repro.experiments.multiclass import MulticlassConfig
 from repro.experiments.multiclass import run as run_multiclass
 from repro.experiments.common import ScenarioConfig
@@ -25,6 +33,7 @@ def main(argv) -> int:
     quick = "--quick" in argv
     all_experiments = {
         "rlc", "figure7", "comparison", "ablations", "scalability", "multiclass",
+        "chaos",
     }
     wanted = set(args) or all_experiments
     unknown = wanted - all_experiments
@@ -72,6 +81,12 @@ def main(argv) -> int:
                              n_events=200)
             if quick else None
         )
+        print()
+    if "chaos" in wanted:
+        print("=" * 72)
+        print("Chaos sweep: faults, crash/restart, convergence")
+        print("=" * 72)
+        chaos.run()
     return 0
 
 

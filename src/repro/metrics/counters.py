@@ -83,6 +83,10 @@ class NodeCounters:
     #: Current number of filters propagated to the parent (the maximal
     #: set under covering); a gauge like ``filters_held``.
     propagated_filters: int = 0
+    #: Reliable-channel frames retransmitted after an ack timeout.
+    control_retransmits: int = 0
+    #: Duplicate reliable-channel frames discarded on receipt.
+    control_dups_discarded: int = 0
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -129,4 +133,6 @@ class NodeCounters:
             "propagations_suppressed": self.propagations_suppressed,
             "uncover_repropagations": self.uncover_repropagations,
             "propagated_filters": self.propagated_filters,
+            "control_retransmits": self.control_retransmits,
+            "control_dups_discarded": self.control_dups_discarded,
         }

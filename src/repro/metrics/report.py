@@ -195,6 +195,52 @@ def render_aggregation_summary(
     return f"{title}\n{table}"
 
 
+def aggregate_reliability_counters(
+    counters: Iterable[NodeCounters],
+) -> dict:
+    """Fold per-node reliable-channel counters into totals."""
+    totals = {"control_retransmits": 0, "control_dups_discarded": 0}
+    for counter in counters:
+        totals["control_retransmits"] += counter.control_retransmits
+        totals["control_dups_discarded"] += counter.control_dups_discarded
+    return totals
+
+
+def render_reliability_summary(
+    named_counters: Iterable[Tuple[str, NodeCounters]],
+    title: str = "Reliable control channel",
+) -> str:
+    """Per-location retransmit / duplicate-discard counters + totals."""
+    rows: List[List[Any]] = []
+    all_counters: List[NodeCounters] = []
+    for name, counter in named_counters:
+        all_counters.append(counter)
+        rows.append(
+            [name, counter.control_retransmits, counter.control_dups_discarded]
+        )
+    totals = aggregate_reliability_counters(all_counters)
+    rows.append(
+        ["TOTAL", totals["control_retransmits"], totals["control_dups_discarded"]]
+    )
+    table = render_table(["Location", "Retransmits", "Dup frames dropped"], rows)
+    return f"{title}\n{table}"
+
+
+def render_network_summary(stats: Any, title: str = "Network traffic") -> str:
+    """Totals from a :class:`~repro.sim.network.NetworkStats`, including
+    the loss/duplication columns the fault injector feeds."""
+    rows = [
+        ["delivered messages", stats.total_messages],
+        ["delivered bytes", stats.total_bytes],
+        ["dropped messages", stats.dropped_messages],
+        ["dropped bytes", stats.dropped_bytes],
+        ["duplicated messages", stats.duplicated_messages],
+        ["duplicated bytes", stats.duplicated_bytes],
+    ]
+    table = render_table(["Counter", "Value"], rows)
+    return f"{title}\n{table}"
+
+
 def render_series(
     title: str, series: Sequence[Tuple[str, Sequence[float]]], width: int = 60
 ) -> str:

@@ -12,14 +12,19 @@
   1 / 10 / 100-node configuration and variants).
 """
 
+from repro.overlay.channel import ReliableReceiver, ReliableSender
 from repro.overlay.hierarchy import Hierarchy, build_hierarchy
+from repro.overlay.invariants import CoveringViolation, covering_violations
 from repro.overlay.messages import (
     AcceptedAt,
+    Ack,
     Advertise,
+    ChannelReset,
     JoinAt,
     Publish,
     Renewal,
     ReqInsert,
+    Sequenced,
     SubscriptionRequest,
     Unsubscribe,
 )
@@ -29,16 +34,23 @@ from repro.overlay.subscriber import SubscriberRuntime
 
 __all__ = [
     "AcceptedAt",
+    "Ack",
     "Advertise",
     "BrokerNode",
+    "ChannelReset",
+    "CoveringViolation",
     "Hierarchy",
     "JoinAt",
     "Publish",
     "PublisherRuntime",
+    "ReliableReceiver",
+    "ReliableSender",
     "Renewal",
     "ReqInsert",
+    "Sequenced",
     "SubscriberRuntime",
     "SubscriptionRequest",
     "Unsubscribe",
     "build_hierarchy",
+    "covering_violations",
 ]

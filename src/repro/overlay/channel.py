@@ -1,0 +1,177 @@
+"""Reliable, ordered control channel between overlay neighbours.
+
+PR 2's covering aggregation made the control plane order-sensitive: a
+``Withdraw`` must land after its replacement ``ReqInsert`` or the parent
+transiently stops covering the child's filters.  A lossy or jittery link
+(see ``sim.network.FaultPlan``) can drop or reorder exactly those
+messages, so order-sensitive control traffic travels through this
+channel: per-neighbour sequence numbers, cumulative acks, duplicate
+discard, in-order delivery, and retransmission with capped exponential
+backoff.
+
+The channel is an *ordering and latency* mechanism, not the sole
+correctness mechanism — the paper's §4.3 refresh-or-restore renewals
+remain the eventual safety net (a renewal re-installs anything a broker
+is missing).  The channel guarantees the renewals have a consistent,
+promptly-converging state to refresh.
+
+Epochs handle crash/restart: a sender that loses its state restarts at
+``seq`` 0 under a higher ``epoch``; receivers treat a higher epoch as a
+fresh channel (expected seq 0) and drop stale-epoch frames.  Receivers
+with no state adopt the first frame they see, which tolerates receivers
+that themselves lost state.
+"""
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro.overlay.messages import Ack, Sequenced
+from repro.sim.kernel import Simulator
+
+#: Initial retransmission timeout.  Links default to 1 ms latency, so
+#: 50 ms comfortably exceeds one RTT while staying well under the renewal
+#: period (fractions of a TTL).
+DEFAULT_RTO = 0.05
+
+#: Backoff cap: retransmission intervals double up to this.
+MAX_RTO = 2.0
+
+
+class ReliableSender:
+    """Sending half: frames payloads, retransmits until acked.
+
+    Retransmission is go-back-N: one timer per channel; on expiry every
+    unacked frame is resent (the receiver discards duplicates).  Each
+    application-level send is counted once by the caller; retransmits are
+    accounted via ``on_retransmit``.
+    """
+
+    __slots__ = (
+        "sim",
+        "send_raw",
+        "on_retransmit",
+        "epoch",
+        "next_seq",
+        "unacked",
+        "rto",
+        "_timer",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_raw: Callable[[Any], None],
+        on_retransmit: Optional[Callable[[int], None]] = None,
+    ):
+        self.sim = sim
+        #: Puts one frame on the wire (binds owner + peer + network).
+        self.send_raw = send_raw
+        self.on_retransmit = on_retransmit
+        self.epoch = 0
+        self.next_seq = 0
+        self.unacked: "OrderedDict[int, Sequenced]" = OrderedDict()
+        self.rto = DEFAULT_RTO
+        self._timer: Optional[Any] = None
+
+    def send(self, payload: Any) -> None:
+        """Frame and transmit one payload; retransmit until acked."""
+        frame = Sequenced(self.epoch, self.next_seq, payload)
+        self.next_seq += 1
+        self.unacked[frame.seq] = frame
+        self.send_raw(frame)
+        self._arm()
+
+    def on_ack(self, ack: Ack) -> None:
+        if ack.epoch != self.epoch:
+            return
+        acked = [seq for seq in self.unacked if seq <= ack.seq]
+        if not acked:
+            return
+        for seq in acked:
+            del self.unacked[seq]
+        # Forward progress: restart the backoff from the base timeout.
+        self.rto = DEFAULT_RTO
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.unacked:
+            self._arm()
+
+    def reset(self) -> None:
+        """Start a fresh incarnation of the channel (sender lost state or
+        was told the receiver did).  Unacked frames are abandoned — the
+        caller follows up with a full state refresh (renewal)."""
+        self.epoch += 1
+        self.next_seq = 0
+        self.unacked.clear()
+        self.rto = DEFAULT_RTO
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def idle(self) -> bool:
+        """True when every sent frame has been acknowledged."""
+        return not self.unacked
+
+    def _arm(self) -> None:
+        if self._timer is None:
+            self._timer = self.sim.schedule(self.rto, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self.unacked:
+            return
+        if self.on_retransmit is not None:
+            self.on_retransmit(len(self.unacked))
+        for frame in self.unacked.values():
+            self.send_raw(frame)
+        self.rto = min(self.rto * 2, MAX_RTO)
+        self._arm()
+
+
+class ReliableReceiver:
+    """Receiving half: reorders, deduplicates, acks cumulatively."""
+
+    __slots__ = ("epoch", "expected", "buffer", "dups_discarded")
+
+    def __init__(self) -> None:
+        self.epoch: Optional[int] = None
+        self.expected = 0
+        self.buffer: Dict[int, Sequenced] = {}
+        self.dups_discarded = 0
+
+    def on_frame(self, frame: Sequenced, deliver: Callable[[Any], None]) -> Ack:
+        """Process one frame: deliver any newly in-order payloads through
+        ``deliver`` and return the cumulative :class:`Ack` to send back."""
+        if self.epoch is None:
+            # No state for this peer (fresh receiver, or receiver restart
+            # with a sender mid-stream): adopt the frame's position.  Any
+            # earlier frames are unknowable; the sender's periodic renewal
+            # refreshes whatever they carried.
+            self.epoch = frame.epoch
+            self.expected = frame.seq
+        elif frame.epoch > self.epoch:
+            # Sender restarted: fresh channel.
+            self.epoch = frame.epoch
+            self.expected = 0
+            self.buffer.clear()
+        elif frame.epoch < self.epoch:
+            # Stale incarnation still in flight; ack our position so a
+            # confused sender stops retransmitting into the void.
+            return Ack(self.epoch, self.expected - 1)
+        if frame.seq < self.expected or frame.seq in self.buffer:
+            self.dups_discarded += 1
+        else:
+            self.buffer[frame.seq] = frame
+            while self.expected in self.buffer:
+                ready = self.buffer.pop(self.expected)
+                self.expected += 1
+                deliver(ready.payload)
+        return Ack(self.epoch, self.expected - 1)
+
+    def reset(self) -> None:
+        """Forget the peer's channel (it announced a new incarnation)."""
+        self.epoch = None
+        self.expected = 0
+        self.buffer.clear()

@@ -73,6 +73,7 @@ def build_hierarchy(
     cache: bool = True,
     batch: bool = True,
     aggregate: bool = True,
+    reliable: bool = True,
 ) -> Hierarchy:
     """Build a balanced broker tree.
 
@@ -108,6 +109,7 @@ def build_hierarchy(
                 cache=cache,
                 batch=batch,
                 aggregate=aggregate,
+                reliable=reliable,
             )
             for i in range(size)
         ]

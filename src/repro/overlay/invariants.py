@@ -1,0 +1,79 @@
+"""Runtime invariant checks over a built hierarchy.
+
+The central safety property of the multi-stage scheme (and the one PR 2's
+aggregation made fragile under message loss) is the *covering invariant*:
+for every broker child, the parent's filter table routed *to that child*
+must cover the stage-``s+1`` weakened form of every filter the child
+holds under a live lease.  While it holds, an event matching any live
+downstream subscription is forwarded at every stage — delivery loss can
+only come from the leaves outward, never from a hole in the routing
+tables.
+
+The checker reads live state only (lease-expired pairs are the soft-state
+decay working as designed, not a violation) and skips crashed brokers
+(a crashed child neither holds state nor receives events).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.weakening import weaken_filter
+from repro.filters.filter import Filter
+from repro.overlay.hierarchy import Hierarchy
+from repro.overlay.node import BrokerNode
+
+
+@dataclass(frozen=True)
+class CoveringViolation:
+    """One hole: ``child`` holds ``filter`` live, but no filter at
+    ``parent`` routed to ``child`` covers its weakened ``form``."""
+
+    parent: BrokerNode
+    child: BrokerNode
+    filter: Filter
+    form: Filter
+
+    def __str__(self) -> str:
+        return (
+            f"{self.parent.name} does not cover {self.form} "
+            f"(from {self.filter} at {self.child.name})"
+        )
+
+
+def covering_violations(
+    hierarchy: Hierarchy, now: float
+) -> List[CoveringViolation]:
+    """Check the covering invariant at every parent/child broker edge.
+
+    ``now`` is the simulated time used to decide lease liveness.  Returns
+    every hole found (empty list = invariant holds system-wide); chaos
+    tests poll this after a fault schedule to measure convergence.
+    """
+    violations: List[CoveringViolation] = []
+    for child in hierarchy.nodes():
+        parent = child.parent
+        if parent is None or child.crashed or parent.crashed:
+            continue
+        # Filters the parent currently routes toward this child.
+        routed = [
+            stored
+            for stored, ids in parent.table.entries()
+            if any(destination is child for destination in ids)
+        ]
+        for filter_, destination in child.leases.pairs():
+            if not child.leases.is_live(filter_, destination, now):
+                continue
+            event_class = child._filter_class.get(filter_)
+            if event_class is None:
+                continue
+            advertisement = child.advertisements.get(event_class)
+            if advertisement is None:
+                continue
+            form = weaken_filter(
+                filter_, advertisement.association, child.stage + 1
+            )
+            if not any(stored.covers(form) for stored in routed):
+                violations.append(
+                    CoveringViolation(parent, child, filter_, form)
+                )
+    return violations

@@ -123,6 +123,49 @@ class Reconnect:
 
 
 @dataclass(frozen=True)
+class Sequenced:
+    """Reliable-channel frame: ``payload`` with a per-sender sequence number.
+
+    Control messages whose loss or reordering would corrupt routing state
+    (``ReqInsert``/``Withdraw``/``Renewal``/``Unsubscribe``) travel inside
+    ``Sequenced`` frames.  ``epoch`` identifies one incarnation of the
+    sender's channel: a sender that loses its state (broker restart)
+    starts a new epoch at ``seq`` 0 rather than colliding with the
+    receiver's memory of the old numbering.  Receivers deliver payloads in
+    ``seq`` order within an epoch, discard duplicates, and acknowledge
+    cumulatively.
+    """
+
+    epoch: int
+    seq: int
+    payload: object
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Cumulative acknowledgement: every frame of ``epoch`` up to and
+    including ``seq`` arrived (``seq`` -1 acks an empty prefix, i.e. it
+    only reports the receiver's current epoch)."""
+
+    epoch: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class ChannelReset:
+    """A restarted broker announcing a fresh incarnation to a neighbour.
+
+    The receiver discards any channel state it kept for the sender (both
+    directions) and, if it is a child of the sender, immediately renews
+    all its propagated filters — the refresh-or-restore path (§4.3) that
+    rebuilds the restarted parent's table without waiting a full renewal
+    period.  ``incarnation`` makes redundant resets idempotent.
+    """
+
+    incarnation: int
+
+
+@dataclass(frozen=True)
 class Publish:
     """An event on its way down the hierarchy (or into a subscriber)."""
 

@@ -38,9 +38,12 @@ from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.standard import most_general_wildcard, wildcard_attributes
 from repro.metrics.counters import NodeCounters
+from repro.overlay.channel import ReliableReceiver, ReliableSender
 from repro.overlay.messages import (
     AcceptedAt,
+    Ack,
     Advertise,
+    ChannelReset,
     Disconnect,
     JoinAt,
     Publish,
@@ -48,6 +51,7 @@ from repro.overlay.messages import (
     Reconnect,
     Renewal,
     ReqInsert,
+    Sequenced,
     SubscriptionRequest,
     Unsubscribe,
     Withdraw,
@@ -107,6 +111,7 @@ class BrokerNode(Process):
         cache: bool = True,
         batch: bool = True,
         aggregate: bool = True,
+        reliable: bool = True,
     ):
         super().__init__(sim, name)
         if stage < 1:
@@ -114,6 +119,7 @@ class BrokerNode(Process):
         self.network = network
         self.stage = stage
         self.ttl = ttl
+        self.expiry_factor = expiry_factor
         self.parent: Optional["BrokerNode"] = None
         self.broker_children: List["BrokerNode"] = []
         self.leases = LeaseTable(ttl, expiry_factor)
@@ -125,8 +131,18 @@ class BrokerNode(Process):
         self.batch_enabled = batch
         #: Covering-based subscription aggregation toggle (§4, Prop. 1).
         self.aggregate_enabled = aggregate
+        #: Acked, sequence-numbered control channel toggle.
+        self.reliable_enabled = reliable
         #: Per-event-class uplink aggregation state (empty at the root).
         self._uplinks: Dict[str, _UpLink] = {}
+        # Reliable control channel state: one sender toward the parent
+        # (the only order-sensitive direction), one receiver per framing
+        # peer, and the highest ChannelReset incarnation seen per peer.
+        self.incarnation = 0
+        self._up_sender: Optional[ReliableSender] = None
+        self._receivers: Dict[int, ReliableReceiver] = {}
+        self._peer_incarnations: Dict[int, int] = {}
+        self._was_maintained = False
         self._engine_factory = engine_factory
         self.table: MatchEngine = self._new_engine()
         self.rng = rng or random.Random(0)
@@ -192,10 +208,37 @@ class BrokerNode(Process):
         if isinstance(message, PublishBatch):
             self._accept_publishes(message.publishes)
             return
+        if isinstance(message, Ack):
+            # Acks touch only channel bookkeeping, never routing state:
+            # no publish flush (batching must match the unreliable run)
+            # and no control_messages count (they are overhead frames).
+            if self._up_sender is not None:
+                self._up_sender.on_ack(message)
+            return
         # Control messages mutate routing state; flush any queued events
         # first so the batch observes exactly the tables it would have
         # seen unbatched (arrival order is preserved bit-for-bit).
         self._flush_publishes()
+        if isinstance(message, Sequenced):
+            receiver = self._receivers.get(id(sender))
+            if receiver is None:
+                receiver = self._receivers[id(sender)] = ReliableReceiver()
+            before = receiver.dups_discarded
+            ack = receiver.on_frame(
+                message, lambda payload: self._apply_control(payload, sender)
+            )
+            self.counters.control_dups_discarded += (
+                receiver.dups_discarded - before
+            )
+            self.network.send(self, sender, ack)
+            return
+        if isinstance(message, ChannelReset):
+            self._on_channel_reset(message, sender)
+            return
+        self._apply_control(message, sender)
+
+    def _apply_control(self, message: Any, sender: Process) -> None:
+        """Apply one control message (unwrapped, in delivery order)."""
         self.counters.control_messages += 1
         if isinstance(message, SubscriptionRequest):
             self._on_subscription_request(message)
@@ -368,7 +411,7 @@ class BrokerNode(Process):
         association = self._association_for(event_class)
         weakened = weaken_filter(filter_, association, self.stage + 1)
         self.counters.req_inserts_sent += 1
-        self.network.send(self, self.parent, ReqInsert(weakened, event_class, self))
+        self._send_up(ReqInsert(weakened, event_class, self))
 
     def _on_renewal(self, message: Renewal, sender: Process) -> None:
         """Refresh-or-restore each renewed pair (see :class:`Renewal`)."""
@@ -451,7 +494,7 @@ class BrokerNode(Process):
         strictly covers (withdrawn only *after* the replacement is up)."""
         link.propagated[form] = None
         self.counters.req_inserts_sent += 1
-        self.network.send(self, self.parent, ReqInsert(form, event_class, self))
+        self._send_up(ReqInsert(form, event_class, self))
         for other in link.index.covers_of(form):
             if other == form or other not in link.propagated:
                 continue
@@ -464,7 +507,7 @@ class BrokerNode(Process):
             link.cover_of[other] = form
             link.covered.setdefault(form, {})[other] = None
             self.counters.withdrawals_sent += 1
-            self.network.send(self, self.parent, Withdraw(other, event_class, self))
+            self._send_up(Withdraw(other, event_class, self))
             self.trace.record(
                 self.sim.now, "propagation-demoted", self.name,
                 filter=str(other), cover=str(form),
@@ -536,12 +579,119 @@ class BrokerNode(Process):
                 )
                 self._propagate_form(link, orphan, event_class)
         self.counters.withdrawals_sent += 1
-        self.network.send(self, self.parent, Withdraw(form, event_class, self))
+        self._send_up(Withdraw(form, event_class, self))
 
     def _uplinks_changed(self) -> None:
         self.counters.propagated_filters = sum(
             len(link.propagated) for link in self._uplinks.values()
         )
+
+    # ------------------------------------------------------------------
+    # Reliable control channel (uplink) and crash recovery
+    # ------------------------------------------------------------------
+    #
+    # The uplink is the order-sensitive direction: aggregation's "send
+    # the replacement req-Insert before the Withdraw" discipline only
+    # survives the wire if the parent applies the two in that order.
+    # All req-Insert / Withdraw / Renewal traffic to the parent therefore
+    # rides the acked, sequence-numbered channel (unless ``reliable`` is
+    # off, the ablation baseline).
+
+    def _send_up(self, payload: Any) -> None:
+        """Send one control message to the parent (reliably when enabled)."""
+        if self.parent is None:
+            return
+        if not self.reliable_enabled:
+            self.network.send(self, self.parent, payload)
+            return
+        if self._up_sender is None:
+            self._up_sender = ReliableSender(
+                self.sim, self._send_up_raw, self._count_retransmits
+            )
+        self._up_sender.send(payload)
+
+    def _send_up_raw(self, frame: Sequenced) -> None:
+        self.network.send(self, self.parent, frame)
+
+    def _count_retransmits(self, frames: int) -> None:
+        self.counters.control_retransmits += frames
+
+    @property
+    def uplink_idle(self) -> bool:
+        """True when every reliable uplink frame has been acknowledged
+        (convergence probes use this to detect a quiesced control plane)."""
+        return self._up_sender is None or self._up_sender.idle
+
+    def _on_channel_reset(self, message: ChannelReset, sender: Process) -> None:
+        """A neighbour restarted: drop its channel state; if it is our
+        parent, refresh everything we had installed there right away."""
+        known = self._peer_incarnations.get(id(sender))
+        if known is not None and known >= message.incarnation:
+            return  # duplicate / stale reset
+        self._peer_incarnations[id(sender)] = message.incarnation
+        self._receivers.pop(id(sender), None)
+        if sender is self.parent:
+            if self._up_sender is not None:
+                # Abandon in-flight frames (the parent forgot the channel
+                # anyway) and open a fresh epoch.
+                self._up_sender.reset()
+            items = self._parent_renewal_items()
+            if items:
+                self._send_up(Renewal(tuple(items)))
+
+    def crash(self) -> None:
+        """Fail-stop: lose all soft state (§4.3's failure model).
+
+        Tables, leases, aggregation state, channel receivers, durable
+        buffers, and queued events vanish.  Advertisements survive —
+        modelling a broker that re-reads the (rare, quasi-static)
+        advertisement configuration from durable storage on restart;
+        counters survive because they are measurement, not broker state.
+        """
+        super().crash()
+        self._was_maintained = bool(self._maintenance_handles)
+        self.stop_maintenance()
+        self.table = self._new_engine()
+        self.leases = LeaseTable(self.ttl, self.expiry_factor)
+        self._uplinks.clear()
+        self._uplinks_changed()
+        self._filter_class.clear()
+        self._offline.clear()
+        self._buffers.clear()
+        self._publish_queue.clear()
+        if self._drain_handle is not None:
+            self._drain_handle.cancel()
+            self._drain_handle = None
+        self._compacted = None
+        self._compacted_dirty = True
+        self._receivers.clear()
+        self._peer_incarnations.clear()
+        if self._up_sender is not None:
+            # The sender object persists so epochs stay monotonic across
+            # restarts (a fresh object would reuse epoch 0 and be dropped
+            # as stale by a parent that kept its receiver state); its
+            # un-acked frames and timer are lost with the crash.
+            self._up_sender.reset()
+
+    def restart(self) -> None:
+        """Come back up and rebuild from the neighbours' renewals.
+
+        Tree neighbours get a :class:`ChannelReset`: broker children
+        respond with an immediate full renewal (refresh-or-restore
+        re-inserts every propagated form), which is what rebuilds this
+        node's table without waiting out a renewal period.  Attached
+        subscribers are unknown after the wipe — their periodic renewals
+        restore their filters within one renewal interval.
+        """
+        super().restart()
+        self.incarnation += 1
+        reset = ChannelReset(self.incarnation)
+        if self.parent is not None:
+            self.network.send(self, self.parent, reset)
+        for child in self.broker_children:
+            self.network.send(self, child, reset)
+        if self._was_maintained:
+            self.start_maintenance()
 
     # ------------------------------------------------------------------
     # TTL maintenance (§4.3)
@@ -563,26 +713,32 @@ class BrokerNode(Process):
             handle.cancel()
         self._maintenance_handles.clear()
 
+    def _parent_renewal_items(self) -> Dict[Tuple[Filter, str], None]:
+        """The ``(form, event_class)`` pairs a renewal to the parent
+        carries (insertion-ordered, deduplicated)."""
+        items: Dict[Tuple[Filter, str], None] = {}
+        if self.aggregate_enabled:
+            # Renewals piggyback only the maximal (propagated) forms:
+            # suppressed forms have no lease upstream to keep alive.
+            for event_class, link in self._uplinks.items():
+                for form in link.propagated:
+                    items[(form, event_class)] = None
+        else:
+            for filter_ in self.table.filters():
+                event_class = self._filter_class.get(filter_)
+                if event_class is None:
+                    continue
+                association = self._association_for(event_class)
+                weakened = weaken_filter(filter_, association, self.stage + 1)
+                items[(weakened, event_class)] = None
+        return items
+
     def _renew_task(self, interval: float) -> None:
         """EXTEND THE VALIDITY OF FILTERS: renew own filters at the parent."""
         if self.parent is not None:
-            items = {}
-            if self.aggregate_enabled:
-                # Renewals piggyback only the maximal (propagated) forms:
-                # suppressed forms have no lease upstream to keep alive.
-                for event_class, link in self._uplinks.items():
-                    for form in link.propagated:
-                        items[(form, event_class)] = None
-            else:
-                for filter_ in self.table.filters():
-                    event_class = self._filter_class.get(filter_)
-                    if event_class is None:
-                        continue
-                    association = self._association_for(event_class)
-                    weakened = weaken_filter(filter_, association, self.stage + 1)
-                    items[(weakened, event_class)] = None
+            items = self._parent_renewal_items()
             if items:
-                self.network.send(self, self.parent, Renewal(tuple(items)))
+                self._send_up(Renewal(tuple(items)))
         self._maintenance_handles["renew"] = self.sim.schedule(
             interval, self._renew_task, interval
         )

@@ -16,8 +16,10 @@ from repro.core.subscription import Subscription
 from repro.events.serialization import Envelope, unmarshal
 from repro.filters.filter import Filter
 from repro.metrics.counters import NodeCounters
+from repro.overlay.channel import ReliableSender
 from repro.overlay.messages import (
     AcceptedAt,
+    Ack,
     Disconnect,
     JoinAt,
     Publish,
@@ -60,11 +62,17 @@ class SubscriberRuntime(Process):
         root: Process,
         ttl: float = 60.0,
         trace: Optional[TraceRecorder] = None,
+        reliable: bool = True,
     ):
         super().__init__(sim, name)
         self.network = network
         self.root = root
         self.ttl = ttl
+        #: Acked, sequence-numbered control channel toggle.
+        self.reliable_enabled = reliable
+        # One reliable sender per home node (order matters between a
+        # Renewal restoring a filter and an Unsubscribe removing it).
+        self._control_out: Dict[int, ReliableSender] = {}
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.counters = NodeCounters()
         #: Publish-to-delivery latencies (simulated time), §5-style metric.
@@ -115,9 +123,29 @@ class SubscriberRuntime(Process):
         state.active = False
         self.counters.set_filters_held(len(self._active_states()))
         if explicit and state.joined and state.stored_filter is not None:
-            self.network.send(
-                self, state.home, Unsubscribe(state.stored_filter, self)
+            self._send_control(state.home, Unsubscribe(state.stored_filter, self))
+
+    def _send_control(self, home: Process, payload: Any) -> None:
+        """Send one control message to a home node (reliably when enabled)."""
+        if not self.reliable_enabled:
+            self.network.send(self, home, payload)
+            return
+        channel = self._control_out.get(id(home))
+        if channel is None:
+            channel = self._control_out[id(home)] = ReliableSender(
+                self.sim,
+                lambda frame, home=home: self.network.send(self, home, frame),
+                self._count_retransmits,
             )
+        channel.send(payload)
+
+    def _count_retransmits(self, frames: int) -> None:
+        self.counters.control_retransmits += frames
+
+    @property
+    def control_idle(self) -> bool:
+        """True when every reliable control frame has been acknowledged."""
+        return all(channel.idle for channel in self._control_out.values())
 
     def _send_request(self, state: _SubscriptionState, node: Process) -> None:
         request = SubscriptionRequest(
@@ -211,6 +239,10 @@ class SubscriberRuntime(Process):
                     self.sim.now, "joined", self.name,
                     home=message.node.name, hops=state.join_hops,
                 )
+        elif isinstance(message, Ack):
+            channel = self._control_out.get(id(sender))
+            if channel is not None:
+                channel.on_ack(message)
         else:
             raise TypeError(f"{self.name}: unexpected message {message!r}")
 
@@ -291,7 +323,7 @@ class SubscriberRuntime(Process):
             )
         for key, items in by_home.items():
             deduped = tuple(dict.fromkeys(items))
-            self.network.send(self, homes[key], Renewal(deduped))
+            self._send_control(homes[key], Renewal(deduped))
         self._renew_handle = self.sim.schedule(interval, self._renew_task, interval)
 
     # ------------------------------------------------------------------

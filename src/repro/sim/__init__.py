@@ -12,12 +12,22 @@ messages through a :class:`~repro.sim.network.Network`, and nothing else.
 """
 
 from repro.sim.kernel import EventHandle, Process, SimulationError, Simulator
-from repro.sim.network import Link, Network, NetworkStats
+from repro.sim.network import (
+    CrashWindow,
+    FaultPlan,
+    FaultWindow,
+    Link,
+    Network,
+    NetworkStats,
+)
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecord, TraceRecorder
 
 __all__ = [
+    "CrashWindow",
     "EventHandle",
+    "FaultPlan",
+    "FaultWindow",
     "Link",
     "Network",
     "NetworkStats",

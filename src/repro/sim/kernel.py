@@ -171,6 +171,22 @@ class Process:
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name
+        #: Fail-stop gate: while True the network drops every message to
+        #: or from this process (fault injection; see sim.network).
+        self.crashed = False
+
+    def crash(self) -> None:
+        """Take the process down (fail-stop).
+
+        The base implementation only flips the network gate; stateful
+        subclasses (brokers) override to also lose their soft state, which
+        is what the paper's §4.3 refresh-or-restore renewals rebuild.
+        """
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Bring the process back up after :meth:`crash`."""
+        self.crashed = False
 
     def receive(self, message: Any, sender: "Process") -> None:
         """Handle a message delivered by the network."""

@@ -8,9 +8,17 @@ smaller than full event objects.
 
 Only point-to-point links exist: the paper's overlay is a tree of brokers,
 and publishers/subscribers each attach to a single broker.
+
+Fault injection: a seeded :class:`FaultPlan` describes per-link loss,
+duplication, and latency jitter inside scheduled fault windows, plus
+broker crash/restart schedules gated by ``Process.crashed``.  Everything
+the plan does is driven by one seeded RNG, so a chaos run is exactly as
+reproducible as a clean one.
 """
 
-from typing import Any, Callable, Dict, Optional, Tuple
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.sim.kernel import Process, SimulationError, Simulator
 
@@ -23,7 +31,16 @@ def _default_sizer(message: Any) -> int:
 class Link:
     """A directed link between two processes with fixed latency."""
 
-    __slots__ = ("src", "dst", "latency", "messages", "bytes")
+    __slots__ = (
+        "src",
+        "dst",
+        "latency",
+        "messages",
+        "bytes",
+        "dropped_messages",
+        "dropped_bytes",
+        "duplicated_messages",
+    )
 
     def __init__(self, src: Process, dst: Process, latency: float):
         self.src = src
@@ -31,6 +48,9 @@ class Link:
         self.latency = latency
         self.messages = 0
         self.bytes = 0
+        self.dropped_messages = 0
+        self.dropped_bytes = 0
+        self.duplicated_messages = 0
 
     def __repr__(self) -> str:
         return (
@@ -46,6 +66,9 @@ class NetworkStats:
         self.total_messages = 0
         self.total_bytes = 0
         self.dropped_messages = 0
+        self.dropped_bytes = 0
+        self.duplicated_messages = 0
+        self.duplicated_bytes = 0
         self.messages_by_process: Dict[str, int] = {}
 
     def record(self, link: Link, size: int) -> None:
@@ -55,8 +78,154 @@ class NetworkStats:
             self.messages_by_process.get(link.dst.name, 0) + 1
         )
 
+    def record_drop(self, link: Optional[Link], size: int) -> None:
+        """One message lost (partition, fault-window loss, crashed peer)."""
+        self.dropped_messages += 1
+        self.dropped_bytes += size
+        if link is not None:
+            link.dropped_messages += 1
+            link.dropped_bytes += size
+
+    def record_duplicate(self, link: Optional[Link], size: int) -> None:
+        """One extra wire copy injected by a duplication fault."""
+        self.duplicated_messages += 1
+        self.duplicated_bytes += size
+        if link is not None:
+            link.duplicated_messages += 1
+
     def __repr__(self) -> str:
         return f"NetworkStats(messages={self.total_messages}, bytes={self.total_bytes})"
+
+
+#: Safety cap on the geometric duplication roll (a 100% duplication rate
+#: must not loop forever).
+MAX_DUPLICATES = 3
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Link-level faults active during ``[start, end)``.
+
+    ``loss``/``duplicate`` are per-send probabilities; ``jitter`` adds a
+    uniform ``[0, jitter]`` extra latency to each delivered copy (which
+    deliberately breaks per-link FIFO — the reorderings the sequence-
+    numbered control channel exists to absorb).  ``links`` restricts the
+    window to specific unordered process pairs; ``None`` hits every link.
+    """
+
+    start: float
+    end: float
+    loss: float = 0.0
+    duplicate: float = 0.0
+    jitter: float = 0.0
+    links: Optional[FrozenSet[FrozenSet[int]]] = None
+
+    def applies(self, now: float, src: Process, dst: Process) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if self.links is None:
+            return True
+        return frozenset((id(src), id(dst))) in self.links
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """A scheduled fail-stop: ``process`` is down during ``[at, until)``.
+
+    ``until is None`` means the process never restarts.
+    """
+
+    process: Process
+    at: float
+    until: Optional[float]
+
+    def active(self, now: float) -> bool:
+        return self.at <= now and (self.until is None or now < self.until)
+
+
+class FaultPlan:
+    """A seeded schedule of link faults and process crashes.
+
+    Build the plan, then hand it to :meth:`Network.install_faults` —
+    crashes are scheduled on the simulator, link faults are rolled at
+    send time from the plan's private RNG.  Two runs with the same seed
+    and the same send sequence inject byte-identical faults.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self.windows: List[FaultWindow] = []
+        self.crashes: List[CrashWindow] = []
+
+    def add_window(
+        self,
+        start: float,
+        end: float,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        jitter: float = 0.0,
+        links: Optional[Iterable[Tuple[Process, Process]]] = None,
+    ) -> FaultWindow:
+        """Register a fault window; returns it for introspection."""
+        if end <= start:
+            raise SimulationError(f"empty fault window [{start}, {end})")
+        for name, value in (("loss", loss), ("duplicate", duplicate)):
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be a probability, got {value}")
+        if jitter < 0:
+            raise SimulationError(f"negative jitter {jitter}")
+        link_set = None
+        if links is not None:
+            link_set = frozenset(frozenset((id(a), id(b))) for a, b in links)
+        window = FaultWindow(start, end, loss, duplicate, jitter, link_set)
+        self.windows.append(window)
+        return window
+
+    def add_crash(
+        self, process: Process, at: float, duration: Optional[float] = None
+    ) -> CrashWindow:
+        """Schedule a fail-stop at ``at``; restart after ``duration``
+        (``None`` = the process stays down forever)."""
+        if duration is not None and duration <= 0:
+            raise SimulationError(f"crash duration must be positive, got {duration}")
+        until = None if duration is None else at + duration
+        crash = CrashWindow(process, at, until)
+        self.crashes.append(crash)
+        return crash
+
+    def in_fault_window(self, now: float) -> bool:
+        """True while any link fault or crash is active — the boundary of
+        the chaos gate's "published outside a fault window"."""
+        return any(w.start <= now < w.end for w in self.windows) or any(
+            c.active(now) for c in self.crashes
+        )
+
+    def roll(
+        self, now: float, src: Process, dst: Process
+    ) -> Optional[Tuple[bool, Tuple[float, ...]]]:
+        """Roll the fate of one send: ``None`` when no window applies,
+        else ``(dropped, per-copy extra latencies)`` (first copy is the
+        original; additional entries are duplicates)."""
+        active = [w for w in self.windows if w.applies(now, src, dst)]
+        if not active:
+            return None
+        survive = 1.0
+        duplicate = 0.0
+        jitter = 0.0
+        for window in active:
+            survive *= 1.0 - window.loss
+            duplicate = max(duplicate, window.duplicate)
+            jitter = max(jitter, window.jitter)
+        if survive < 1.0 and self.rng.random() >= survive:
+            return (True, ())
+        delays = [self.rng.uniform(0.0, jitter) if jitter else 0.0]
+        while (
+            duplicate
+            and len(delays) <= MAX_DUPLICATES
+            and self.rng.random() < duplicate
+        ):
+            delays.append(self.rng.uniform(0.0, jitter) if jitter else 0.0)
+        return (False, tuple(delays))
 
 
 class Network:
@@ -67,6 +236,10 @@ class Network:
     where every process talks only to its hierarchy neighbours.  A default
     latency can be supplied for convenience, in which case unknown pairs
     are connected lazily.
+
+    Process names must be unique per network: the per-process traffic
+    counters are keyed by name, and two processes sharing one would merge
+    their rows silently.  :meth:`connect` (and the lazy path) enforce it.
     """
 
     def __init__(
@@ -74,21 +247,35 @@ class Network:
         sim: Simulator,
         default_latency: Optional[float] = None,
         sizer: Callable[[Any], int] = _default_sizer,
+        faults: Optional[FaultPlan] = None,
     ):
         self.sim = sim
         self.default_latency = default_latency
         self.sizer = sizer
         self.stats = NetworkStats()
+        self.faults = faults
         self._links: Dict[Tuple[int, int], Link] = {}
         self._partitioned: set = set()
+        self._disconnected: set = set()
+        self._names: Dict[str, int] = {}
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Activate a fault plan: link faults apply from now on, crashes
+        and restarts are scheduled on the simulator."""
+        self.faults = plan
+        for crash in plan.crashes:
+            self.sim.schedule_at(crash.at, crash.process.crash)
+            if crash.until is not None:
+                self.sim.schedule_at(crash.until, crash.process.restart)
 
     def partition(self, a: Process, b: Process) -> None:
         """Cut communication between ``a`` and ``b`` (both directions).
 
         Unlike :meth:`disconnect`, sends over a partitioned pair are
-        *silently dropped* (counted in ``stats.dropped_messages``) — the
-        behaviour of a real network partition, and what the TTL soft
-        state of §4.3 is designed to survive.
+        *silently dropped* (counted in ``stats.dropped_messages`` /
+        ``dropped_bytes`` and on the link) — the behaviour of a real
+        network partition, and what the TTL soft state of §4.3 is
+        designed to survive.
         """
         self._partitioned.add(frozenset((id(a), id(b))))
 
@@ -99,22 +286,37 @@ class Network:
     def is_partitioned(self, a: Process, b: Process) -> bool:
         return frozenset((id(a), id(b))) in self._partitioned
 
+    def _register_name(self, process: Process) -> None:
+        known = self._names.get(process.name)
+        if known is None:
+            self._names[process.name] = id(process)
+        elif known != id(process):
+            raise SimulationError(
+                f"duplicate process name {process.name!r} on this network; "
+                f"per-process traffic accounting is keyed by name"
+            )
+
     def connect(self, a: Process, b: Process, latency: float = 0.001) -> None:
         """Create a bidirectional link between ``a`` and ``b``."""
         if latency < 0:
             raise SimulationError(f"negative latency {latency}")
+        self._register_name(a)
+        self._register_name(b)
+        self._disconnected.discard(frozenset((id(a), id(b))))
         self._links[(id(a), id(b))] = Link(a, b, latency)
         self._links[(id(b), id(a))] = Link(b, a, latency)
 
     def disconnect(self, a: Process, b: Process) -> None:
         """Remove the link between ``a`` and ``b`` (both directions).
 
-        Used by the failure-injection tests to simulate partitions; sends
-        over a missing link raise unless a default latency allows lazy
-        reconnection, so partitioned experiments must also disable that.
+        The pair is tombstoned: a later :meth:`send` between the two
+        raises even when a default latency is configured (lazy
+        reconnection used to silently undo the disconnect — a documented
+        footgun, now fixed).  An explicit :meth:`connect` re-links.
         """
         self._links.pop((id(a), id(b)), None)
         self._links.pop((id(b), id(a)), None)
+        self._disconnected.add(frozenset((id(a), id(b))))
 
     def link(self, src: Process, dst: Process) -> Optional[Link]:
         """Return the directed link from ``src`` to ``dst`` if present."""
@@ -125,12 +327,20 @@ class Network:
 
         Delivery invokes ``dst.receive(message, src)`` as a scheduled
         simulator event.  Per-link FIFO order follows from the kernel's
-        deterministic tie-breaking and the fixed per-link latency.
+        deterministic tie-breaking and the fixed per-link latency —
+        unless an active fault window adds jitter, in which case copies
+        may reorder (that is the point).
         """
-        if frozenset((id(src), id(dst))) in self._partitioned:
-            self.stats.dropped_messages += 1
-            return
+        pair = frozenset((id(src), id(dst)))
+        if pair in self._disconnected:
+            raise SimulationError(
+                f"link between {src.name} and {dst.name} was disconnected"
+            )
         link = self._links.get((id(src), id(dst)))
+        size = self.sizer(message)
+        if pair in self._partitioned or src.crashed or dst.crashed:
+            self.stats.record_drop(link, size)
+            return
         if link is None:
             if self.default_latency is None:
                 raise SimulationError(
@@ -138,8 +348,27 @@ class Network:
                 )
             self.connect(src, dst, self.default_latency)
             link = self._links[(id(src), id(dst))]
-        size = self.sizer(message)
+        outcome = (
+            self.faults.roll(self.sim.now, src, dst)
+            if self.faults is not None
+            else None
+        )
+        if outcome is not None and outcome[0]:
+            self.stats.record_drop(link, size)
+            return
+        delays = outcome[1] if outcome is not None else (0.0,)
         link.messages += 1
         link.bytes += size
         self.stats.record(link, size)
-        self.sim.schedule(link.latency, dst.receive, message, src)
+        for extra in delays[1:]:
+            self.stats.record_duplicate(link, size)
+        for extra in delays:
+            self.sim.schedule(link.latency + extra, self._deliver, link, message)
+
+    def _deliver(self, link: Link, message: Any) -> None:
+        """Delivery-time crash gate: a copy in flight when the receiver
+        fails is lost with it (and accounted as dropped)."""
+        if link.dst.crashed:
+            self.stats.record_drop(link, self.sizer(message))
+            return
+        link.dst.receive(message, link.src)

@@ -206,7 +206,9 @@ def test_renewals_piggyback_only_propagated_forms():
             handle.cancel()
         home._maintenance_handles.clear()
 
-    renewals = [m for m in sent if hasattr(m, "items")]
+    # Renewals ride the reliable channel: unwrap the Sequenced frames.
+    payloads = [getattr(m, "payload", m) for m in sent]
+    renewals = [m for m in payloads if hasattr(m, "items")]
     assert len(renewals) == 1
     items = renewals[0].items
     assert [str(f) for f, _ in items] == ["(class, 'Quote', =) (price, 20, <)"]

@@ -1,0 +1,350 @@
+"""Control-plane reliability under faults: channel semantics, retransmission,
+crash recovery, and the partition -> publish -> heal differential.
+
+All test names carry the ``chaos`` marker-by-name so CI can run
+``pytest -k chaos`` as a fast fault-path smoke job.
+"""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.experiments.chaos import ChaosConfig, run_chaos
+from repro.overlay.channel import DEFAULT_RTO, ReliableReceiver, ReliableSender
+from repro.overlay.invariants import covering_violations
+from repro.overlay.messages import Ack, Sequenced
+from repro.sim.kernel import Simulator
+from repro.sim.network import FaultPlan
+
+SCHEMA = ("class", "price", "symbol")
+#: Stage 1 keeps the full schema, stage 2 keeps (class, price), the root
+#: keeps class only (same layout as the aggregation tests).
+PREFIXES = (3, 3, 2, 1)
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+def make_system(**kwargs):
+    defaults = dict(stage_sizes=(4, 2, 1), seed=5, ttl=10.0)
+    defaults.update(kwargs)
+    system = MultiStageEventSystem(**defaults)
+    system.advertise("Quote", schema=SCHEMA, stage_prefixes=PREFIXES)
+    system.drain()
+    return system
+
+
+def pinned_subscribe(system, name, text, traces=None, drain=True):
+    """Subscribe at the first stage-1 node, recording deliveries."""
+    subscriber = system.create_subscriber(name)
+    handler = None
+    if traces is not None:
+        log = traces.setdefault(name, [])
+
+        def handler(event, metadata, subscription):
+            properties = getattr(metadata, "properties", metadata)
+            log.append((properties["symbol"], properties["price"]))
+
+    home = system.hierarchy.stage1_nodes()[0]
+    system.subscribe(
+        subscriber, text, event_class="Quote", handler=handler, at_node=home
+    )
+    if drain:
+        system.drain()
+    return subscriber, home
+
+
+# ----------------------------------------------------------------------
+# Reliable channel unit semantics
+# ----------------------------------------------------------------------
+
+
+class _Wire:
+    def __init__(self):
+        self.frames = []
+        self.retransmits = 0
+
+    def send(self, frame):
+        self.frames.append(frame)
+
+    def on_retransmit(self, count):
+        self.retransmits += count
+
+
+def test_chaos_channel_delivers_reordered_frames_in_order():
+    receiver = ReliableReceiver()
+    delivered = []
+    f0 = Sequenced(0, 0, "a")
+    f1 = Sequenced(0, 1, "b")
+    f2 = Sequenced(0, 2, "c")
+    ack = receiver.on_frame(f0, delivered.append)
+    assert ack == Ack(0, 0)
+    # seq 2 arrives before seq 1: buffered, not delivered.
+    ack = receiver.on_frame(f2, delivered.append)
+    assert ack == Ack(0, 0)
+    assert delivered == ["a"]
+    # seq 1 releases both.
+    ack = receiver.on_frame(f1, delivered.append)
+    assert ack == Ack(0, 2)
+    assert delivered == ["a", "b", "c"]
+
+
+def test_chaos_channel_discards_duplicates_and_reacks():
+    receiver = ReliableReceiver()
+    delivered = []
+    receiver.on_frame(Sequenced(0, 0, "a"), delivered.append)
+    ack = receiver.on_frame(Sequenced(0, 0, "a"), delivered.append)
+    assert delivered == ["a"]
+    assert receiver.dups_discarded == 1
+    assert ack == Ack(0, 0)  # duplicate still re-acked (ack was lost)
+
+
+def test_chaos_channel_new_epoch_resets_numbering():
+    receiver = ReliableReceiver()
+    delivered = []
+    receiver.on_frame(Sequenced(0, 0, "old"), delivered.append)
+    # Sender restarted: epoch 1 starts over at seq 0.
+    ack = receiver.on_frame(Sequenced(1, 0, "new"), delivered.append)
+    assert delivered == ["old", "new"]
+    assert ack == Ack(1, 0)
+    # Stragglers from the dead epoch are dropped, not delivered.
+    ack = receiver.on_frame(Sequenced(0, 1, "stale"), delivered.append)
+    assert delivered == ["old", "new"]
+    assert ack.epoch == 1
+
+
+def test_chaos_channel_fresh_receiver_adopts_midstream():
+    # A receiver that lost its state (restart) sees seq 7 first: it adopts
+    # the position instead of waiting forever for seq 0.
+    receiver = ReliableReceiver()
+    delivered = []
+    ack = receiver.on_frame(Sequenced(3, 7, "x"), delivered.append)
+    assert delivered == ["x"]
+    assert ack == Ack(3, 7)
+
+
+def test_chaos_sender_retransmits_until_acked():
+    sim = Simulator()
+    wire = _Wire()
+    sender = ReliableSender(sim, wire.send, wire.on_retransmit)
+    sender.send("payload")
+    assert len(wire.frames) == 1
+    # No ack: the frame goes out again after each (doubling) timeout.
+    sim.run(until=DEFAULT_RTO * 3.5)
+    assert len(wire.frames) == 3
+    assert wire.retransmits == 2
+    assert not sender.idle
+    sender.on_ack(Ack(0, 0))
+    assert sender.idle
+    sim.run()
+    assert len(wire.frames) == 3  # ack disarmed the timer
+
+
+def test_chaos_sender_reset_opens_new_epoch():
+    sim = Simulator()
+    wire = _Wire()
+    sender = ReliableSender(sim, wire.send, wire.on_retransmit)
+    sender.send("a")
+    sender.reset()
+    sender.send("b")
+    assert wire.frames[-1].epoch == 1
+    assert wire.frames[-1].seq == 0
+    # Acks for the dead epoch are ignored.
+    sender.on_ack(Ack(0, 5))
+    assert not sender.idle
+    sender.on_ack(Ack(1, 0))
+    assert sender.idle
+    sim.run()
+
+
+# ----------------------------------------------------------------------
+# Overlay under injected faults
+# ----------------------------------------------------------------------
+
+
+def test_chaos_lost_reqinsert_is_retransmitted():
+    """Total loss on the uplink during the join: the reliable channel
+    must deliver the req-Insert once the window closes."""
+    system = make_system()
+    home = system.hierarchy.stage1_nodes()[0]
+    plan = FaultPlan(seed=1)
+    plan.add_window(0.0, 0.5, loss=1.0, links=[(home, home.parent)])
+    system.network.install_faults(plan)
+
+    pinned_subscribe(system, "alice", 'class = "Quote" and price < 10')
+
+    assert home.counters.control_retransmits > 0
+    assert covering_violations(system.hierarchy, system.sim.now) == []
+    # And the filter actually routes: a matching event arrives.
+    traces = {}
+    pinned_subscribe(system, "bob", 'class = "Quote" and price < 10', traces)
+    publisher = system.create_publisher("feed")
+    publisher.publish(Quote("X", 5), event_class="Quote")
+    system.drain()
+    assert traces["bob"] == [("X", 5)]
+
+
+def test_chaos_unreliable_baseline_loses_the_subscription():
+    """The ablation control: with reliable=False the same loss window
+    leaves a covering hole (this is the bug class the channel fixes)."""
+    system = make_system(reliable=False)
+    home = system.hierarchy.stage1_nodes()[0]
+    plan = FaultPlan(seed=1)
+    plan.add_window(0.0, 0.5, loss=1.0, links=[(home, home.parent)])
+    system.network.install_faults(plan)
+
+    pinned_subscribe(system, "alice", 'class = "Quote" and price < 10')
+
+    assert covering_violations(system.hierarchy, system.sim.now) != []
+
+
+def test_chaos_duplicated_control_frames_apply_once():
+    """100% duplication on the uplink: duplicate frames are discarded and
+    the routing state is exactly what a clean run produces."""
+    system = make_system()
+    home = system.hierarchy.stage1_nodes()[0]
+    plan = FaultPlan(seed=2)
+    plan.add_window(0.0, 5.0, duplicate=1.0, links=[(home, home.parent)])
+    system.network.install_faults(plan)
+
+    pinned_subscribe(system, "alice", 'class = "Quote" and price < 10')
+
+    assert home.parent.counters.control_dups_discarded > 0
+    routed = [
+        f
+        for f, ids in home.parent.table.entries()
+        if any(d is home for d in ids)
+    ]
+    assert len(routed) == 1  # applied once, not once per copy
+    assert covering_violations(system.hierarchy, system.sim.now) == []
+
+
+def test_chaos_broker_crash_recovery_rebuilds_tables():
+    """A crashed stage-2 broker loses all soft state; children's
+    refresh-or-restore renewals (kicked by ChannelReset) rebuild it."""
+    traces = {}
+    system = make_system()
+    _, home = pinned_subscribe(
+        system, "alice", 'class = "Quote" and price < 10', traces
+    )
+    victim = home.parent
+    assert victim.stage == 2
+    system.start_maintenance()
+    system.run_for(1.0)
+
+    victim.crash()
+    assert len(victim.table) == 0
+    system.run_for(2.0)
+    victim.restart()
+    # ChannelReset -> children renew immediately: recovery well inside a
+    # renewal period, not 3xTTL.
+    system.run_for(1.0)
+
+    assert len(victim.table) > 0
+    assert covering_violations(system.hierarchy, system.sim.now) == []
+    publisher = system.create_publisher("feed")
+    publisher.publish(Quote("X", 5), event_class="Quote")
+    system.run_for(1.0)
+    assert traces["alice"] == [("X", 5)]
+    system.stop_maintenance()
+
+
+def test_chaos_partition_publish_heal_differential():
+    """Satellite gate: partition -> publish -> heal under aggregate=True.
+
+    The partition outlives the 3xTTL purge, so the parent really drops
+    the home's filters and the heal-side recovery is refresh-or-restore,
+    not just lease refresh.  Post-heal delivery traces must match a
+    fault-free run event for event, and the parent's covering invariant
+    is re-checked against the child's live lease table.
+    """
+    events = [("HOT", 3), ("HOT", 15), ("COLD", 4), ("HOT", 7), ("COLD", 9)]
+    subscriptions = [
+        ("alice", 'class = "Quote" and price < 10'),
+        ("bob", 'class = "Quote" and price < 5 and symbol = "HOT"'),
+    ]
+
+    def run(partitioned):
+        system = make_system(aggregate=True)
+        traces = {}
+        home = None
+        for name, text in subscriptions:
+            _, home = pinned_subscribe(system, name, text, traces)
+        publisher = system.create_publisher("feed")
+        system.start_maintenance()
+        system.run_for(1.0)
+
+        def publish_all():
+            for symbol, price in events:
+                publisher.publish(Quote(symbol, price), event_class="Quote")
+                system.run_for(0.1)
+
+        publish_all()  # pre phase, both runs identical
+        if partitioned:
+            system.network.partition(home, home.parent)
+        publish_all()  # during phase, lost in the partitioned run
+        system.run_for(35.0)  # > 3xTTL: the parent purges the home's forms
+        if partitioned:
+            assert covering_violations(system.hierarchy, system.sim.now) != []
+            system.network.heal(home, home.parent)
+        system.run_for(30.0)  # renewals restore + re-propagate
+        marks = {name: len(t) for name, t in traces.items()}
+        publish_all()  # post phase, both runs identical again
+        system.run_for(1.0)
+        system.stop_maintenance()
+        post = {name: tuple(t[marks[name]:]) for name, t in traces.items()}
+        return system, home, traces, post
+
+    _, _, _, clean_post = run(partitioned=False)
+    system, home, traces, healed_post = run(partitioned=True)
+
+    # Post-heal delivery traces match the fault-free run exactly.
+    assert healed_post == clean_post
+    assert all(len(t) > 0 for t in clean_post.values())
+    # The parent's table covers the home's live leases again.
+    assert covering_violations(system.hierarchy, system.sim.now) == []
+    live_forms = [
+        f
+        for f, ids in home.parent.table.entries()
+        if any(d is home for d in ids)
+    ]
+    assert live_forms  # refresh-or-restore actually reinstalled them
+
+
+def test_chaos_experiment_gate_smoke():
+    """One tiny end-to-end chaos run must satisfy the acceptance gate."""
+    result = run_chaos(
+        ChaosConfig(n_subscribers=8, events_per_phase=10, seed=13)
+    )
+    assert result.pre_ratio == 1.0
+    assert result.post_ratio == 1.0
+    assert result.exactly_once
+    assert result.converged
+    assert result.dropped_messages > 0
+
+
+@pytest.mark.parametrize("seed", [3, 9])
+def test_chaos_runs_are_deterministic(seed):
+    """Two chaos runs with one seed produce byte-identical measurements."""
+
+    def measure():
+        r = run_chaos(ChaosConfig(n_subscribers=6, events_per_phase=8, seed=seed))
+        return (
+            r.pre_ratio,
+            r.during_ratio,
+            r.post_ratio,
+            r.convergence_time,
+            r.control_retransmits,
+            r.dropped_messages,
+            r.duplicated_messages,
+        )
+
+    assert measure() == measure()

@@ -1,0 +1,189 @@
+"""Unit tests for fault injection: FaultPlan, crash gates, accounting."""
+
+import pytest
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+from repro.sim.network import FaultPlan, Network
+
+
+class Sink(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.inbox = []
+
+    def receive(self, message, sender):
+        self.inbox.append((message, self.sim.now))
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def net(sim):
+    return Network(sim)
+
+
+def wired(sim, net, latency=0.001):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b, latency=latency)
+    return a, b
+
+
+class TestFaultWindows:
+    def test_total_loss_drops_everything_inside_the_window(self, sim, net):
+        a, b = wired(sim, net)
+        plan = FaultPlan(seed=1)
+        plan.add_window(0.0, 10.0, loss=1.0)
+        net.install_faults(plan)
+        for i in range(5):
+            net.send(a, b, i)
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.dropped_messages == 5
+        assert net.stats.dropped_bytes > 0
+        assert net.link(a, b).dropped_messages == 5
+
+    def test_faults_only_apply_inside_the_window(self, sim, net):
+        a, b = wired(sim, net)
+        plan = FaultPlan(seed=1)
+        plan.add_window(5.0, 10.0, loss=1.0)
+        net.install_faults(plan)
+        net.send(a, b, "before")
+        sim.run()
+        sim.schedule_at(6.0, net.send, a, b, "inside")
+        sim.schedule_at(11.0, net.send, a, b, "after")
+        sim.run()
+        assert [m for m, _ in b.inbox] == ["before", "after"]
+
+    def test_window_can_target_specific_links(self, sim, net):
+        a, b = wired(sim, net)
+        c = Sink(sim, "c")
+        net.connect(a, c, latency=0.001)
+        plan = FaultPlan(seed=1)
+        plan.add_window(0.0, 10.0, loss=1.0, links=[(a, b)])
+        net.install_faults(plan)
+        net.send(a, b, "lost")
+        net.send(a, c, "fine")
+        sim.run()
+        assert b.inbox == []
+        assert [m for m, _ in c.inbox] == ["fine"]
+
+    def test_duplication_delivers_extra_copies(self, sim, net):
+        a, b = wired(sim, net)
+        plan = FaultPlan(seed=3)
+        plan.add_window(0.0, 100.0, duplicate=1.0)
+        net.install_faults(plan)
+        net.send(a, b, "x")
+        sim.run()
+        # 100% duplication is capped, but always at least one extra copy.
+        assert len(b.inbox) >= 2
+        assert net.stats.duplicated_messages == len(b.inbox) - 1
+        # Duplicates are wire noise, not sender traffic.
+        assert net.stats.total_messages == 1
+
+    def test_jitter_can_reorder_messages(self, sim, net):
+        a, b = wired(sim, net, latency=0.001)
+        plan = FaultPlan(seed=5)
+        plan.add_window(0.0, 100.0, jitter=0.5)
+        net.install_faults(plan)
+        for i in range(20):
+            net.send(a, b, i)
+        sim.run()
+        order = [m for m, _ in b.inbox]
+        assert sorted(order) == list(range(20))
+        assert order != list(range(20))  # seed 5 produces a reorder
+
+    def test_same_seed_same_fate(self, sim):
+        def run(seed):
+            sim = Simulator()
+            net = Network(sim)
+            a, b = wired(sim, net)
+            plan = FaultPlan(seed=seed)
+            plan.add_window(0.0, 100.0, loss=0.3, duplicate=0.3, jitter=0.2)
+            net.install_faults(plan)
+            for i in range(50):
+                net.send(a, b, i)
+            sim.run()
+            return [m for m, _ in b.inbox], net.stats.dropped_messages
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_window_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(SimulationError):
+            plan.add_window(5.0, 5.0)
+        with pytest.raises(SimulationError):
+            plan.add_window(0.0, 1.0, loss=1.5)
+        with pytest.raises(SimulationError):
+            plan.add_window(0.0, 1.0, jitter=-0.1)
+        with pytest.raises(SimulationError):
+            plan.add_crash(Sink(Simulator(), "x"), 1.0, duration=0.0)
+
+    def test_in_fault_window(self):
+        plan = FaultPlan()
+        plan.add_window(2.0, 4.0, loss=0.5)
+        victim = Sink(Simulator(), "v")
+        plan.add_crash(victim, 6.0, duration=2.0)
+        assert not plan.in_fault_window(1.0)
+        assert plan.in_fault_window(2.0)
+        assert not plan.in_fault_window(4.0)
+        assert plan.in_fault_window(7.0)
+        assert not plan.in_fault_window(8.5)
+
+
+class TestCrashGate:
+    def test_crashed_receiver_drops_at_send_time(self, sim, net):
+        a, b = wired(sim, net)
+        b.crash()
+        net.send(a, b, "x")
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.dropped_messages == 1
+        assert net.stats.dropped_bytes > 0
+
+    def test_crashed_sender_drops(self, sim, net):
+        a, b = wired(sim, net)
+        a.crash()
+        net.send(a, b, "x")
+        sim.run()
+        assert b.inbox == []
+
+    def test_in_flight_message_lost_when_receiver_crashes(self, sim, net):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        net.connect(a, b, latency=1.0)
+        net.send(a, b, "in flight")
+        sim.schedule_at(0.5, b.crash)
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.dropped_messages == 1
+
+    def test_restart_restores_delivery(self, sim, net):
+        a, b = wired(sim, net)
+        b.crash()
+        net.send(a, b, "lost")
+        b.restart()
+        net.send(a, b, "found")
+        sim.run()
+        assert [m for m, _ in b.inbox] == ["found"]
+
+    def test_install_faults_schedules_crash_and_restart(self, sim, net):
+        a, b = wired(sim, net)
+        plan = FaultPlan()
+        plan.add_crash(b, at=2.0, duration=3.0)
+        net.install_faults(plan)
+        sim.schedule_at(3.0, net.send, a, b, "while down")
+        sim.schedule_at(6.0, net.send, a, b, "after restart")
+        sim.run()
+        assert [m for m, _ in b.inbox] == ["after restart"]
+
+    def test_crash_without_duration_is_permanent(self, sim, net):
+        a, b = wired(sim, net)
+        plan = FaultPlan()
+        plan.add_crash(b, at=1.0)
+        net.install_faults(plan)
+        sim.schedule_at(100.0, net.send, a, b, "never")
+        sim.run()
+        assert b.inbox == []

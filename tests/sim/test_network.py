@@ -170,3 +170,68 @@ def test_partition_is_pairwise(sim, net):
     net.send(a, c, "ok")
     sim.run()
     assert len(c.inbox) == 1
+
+
+def test_disconnect_not_undone_by_default_latency(sim):
+    """Regression: lazy reconnection used to silently undo disconnect."""
+    net = Network(sim, default_latency=0.25)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.disconnect(a, b)
+    with pytest.raises(SimulationError):
+        net.send(a, b, "x")
+    with pytest.raises(SimulationError):
+        net.send(b, a, "x")
+    # Unrelated pairs still lazily connect.
+    c = Sink(sim, "c")
+    net.send(a, c, "ok")
+    sim.run()
+    assert c.inbox[0][0] == "ok"
+
+
+def test_explicit_connect_clears_disconnect_tombstone(sim):
+    net = Network(sim, default_latency=0.25)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.disconnect(a, b)
+    net.connect(a, b, latency=0.1)
+    net.send(a, b, "back")
+    sim.run()
+    assert b.inbox[0][0] == "back"
+
+
+def test_duplicate_process_names_rejected(sim, net):
+    """Regression: same-name processes merged their traffic counters."""
+    a = Sink(sim, "dup")
+    b = Sink(sim, "b")
+    impostor = Sink(sim, "dup")
+    net.connect(a, b)
+    with pytest.raises(SimulationError):
+        net.connect(impostor, b)
+    # The same process reconnecting under its own name is fine.
+    net.connect(a, b, latency=0.2)
+
+
+def test_duplicate_names_rejected_on_lazy_connect(sim):
+    net = Network(sim, default_latency=0.1)
+    a = Sink(sim, "dup")
+    b = Sink(sim, "b")
+    impostor = Sink(sim, "dup")
+    net.connect(a, b)
+    with pytest.raises(SimulationError):
+        net.send(impostor, b, "x")
+
+
+def test_partition_drop_accounts_bytes_and_link(sim, net):
+    """Regression: partitioned sends dropped bytes/link counts on the floor."""
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.connect(a, b)
+    net.partition(a, b)
+    net.send(a, b, "lost payload")
+    sim.run()
+    assert net.stats.dropped_messages == 1
+    assert net.stats.dropped_bytes > 0
+    link = net.link(a, b)
+    assert link.dropped_messages == 1
+    assert link.dropped_bytes == net.stats.dropped_bytes
+    assert link.messages == 0
