@@ -1,0 +1,158 @@
+"""Acceptance gates for the observability layer.
+
+Three gates keep tracing honest:
+
+1. **Overhead**: with tracing *off*, the instrumentation must cost at
+   most 5% of the scalability sweep.  The off path is one attribute load
+   and branch per emission site, so the gate measures that guard's
+   micro-cost and multiplies it by a deliberately generous upper bound
+   on guard executions in a measured sweep — if even the over-estimate
+   stays under 5% of the sweep's wall time, the real cost certainly
+   does.  Macro off-vs-on chaos timings are reported alongside for
+   context (they include the on-path span allocation, which the budget
+   does not cover).
+2. **Completeness**: in a traced chaos run — loss, duplication, jitter,
+   and a broker crash — every delivered event's spans must reconstruct
+   a contiguous publisher-to-subscriber path.
+3. **Determinism**: two same-seed traced chaos runs must produce
+   byte-identical trace dumps and identical sampled series.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.experiments.chaos import ChaosConfig, run_chaos
+from repro.experiments.common import ScenarioConfig, run_bibliographic
+from repro.obs.tracing import EventTracer
+
+#: CI-sized scalability sweep (matches the --quick experiment config).
+SWEEP = ScenarioConfig(stage_sizes=(20, 5, 1), n_subscribers=200, n_events=200)
+SWEEP_SUBSCRIBER_COUNTS = (125, 250)
+
+OVERHEAD_BUDGET = 0.05
+
+
+def _guard_cost_per_check(iterations: int = 500_000) -> float:
+    """Measured seconds per disabled-tracer emission guard."""
+    tracer = EventTracer(enabled=False)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if tracer.enabled:
+            raise AssertionError("tracer must stay disabled")
+    return (time.perf_counter() - start) / iterations
+
+
+def test_tracing_off_overhead_gate(report):
+    """Gate: tracing-off guard cost <= 5% of the scalability sweep."""
+    start = time.perf_counter()
+    results = []
+    for count in SWEEP_SUBSCRIBER_COUNTS:
+        config = ScenarioConfig(**{**SWEEP.__dict__, "n_subscribers": count})
+        results.append(run_bibliographic(config))
+    sweep_time = time.perf_counter() - start
+
+    # Upper-bound the guard executions the sweep performed: every network
+    # send checks the tracer at most twice (drop path, then once per
+    # duplicated copy <= 3), every broker checks twice per event (queue
+    # meta + hop span), subscribers and publishers once per event.  Four
+    # checks per message plus three per processed event over-counts all
+    # of that.
+    checks = 0
+    for result in results:
+        stats = result.system.network.stats
+        messages = (
+            stats.total_messages
+            + stats.dropped_messages
+            + stats.duplicated_messages
+        )
+        events = sum(
+            counters.events_received
+            for named in result.counters_by_stage.values()
+            for _, counters in named
+        )
+        checks += 4 * messages + 3 * events + result.total_events
+
+    per_check = _guard_cost_per_check()
+    estimated = checks * per_check
+    fraction = estimated / sweep_time
+
+    report()
+    report("=== Tracing overhead gate (tracing off) ===")
+    report(f"sweep wall time          : {sweep_time:.3f} s")
+    report(f"guard executions (bound) : {checks}")
+    report(f"guard micro-cost         : {per_check * 1e9:.1f} ns/check")
+    report(f"estimated guard overhead : {estimated * 1e3:.3f} ms "
+           f"({fraction:.2%} of sweep, budget {OVERHEAD_BUDGET:.0%})")
+    assert fraction <= OVERHEAD_BUDGET, (
+        f"disabled-tracing overhead estimate {fraction:.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} of the sweep"
+    )
+
+    # Context: macro chaos timings off vs on (includes span allocation).
+    t0 = time.perf_counter()
+    off = run_chaos(ChaosConfig())
+    t_off = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = run_chaos(ChaosConfig(tracing=True))
+    t_on = time.perf_counter() - t0
+    report(f"chaos run, tracing off   : {t_off:.3f} s")
+    report(f"chaos run, tracing on    : {t_on:.3f} s "
+           f"({len(on.tracer)} spans recorded)")
+    assert len(off.tracer) == 0, "disabled tracer recorded spans"
+
+
+def test_trace_completeness_gate(report):
+    """Gate: every delivered event reconstructs a contiguous path."""
+    result = run_chaos(ChaosConfig(tracing=True))
+    tracer = result.tracer
+
+    delivered = [
+        span for span in tracer.kinds("deliver") if span.detail("delivered", 0)
+    ]
+    assert delivered, "chaos run traced no deliveries"
+
+    broken = tracer.incomplete_deliveries()
+    report()
+    report("=== Trace completeness gate ===")
+    report(f"spans recorded        : {len(tracer)}")
+    report(f"events traced         : {len(tracer.event_ids())}")
+    report(f"delivery spans        : {len(delivered)}")
+    report(f"broken delivery paths : {len(broken)}")
+    assert broken == [], "delivered events with non-contiguous span chains:\n" + (
+        "\n".join(path.render() for path in broken[:5])
+    )
+
+    # Cross-check against ground-truth accounting: one delivering span
+    # per counted delivery (a span's `delivered` detail is the per-copy
+    # subscription count, so sum the details).
+    counted = sum(
+        subscriber.counters.events_delivered
+        for subscriber in result.system.subscribers
+    )
+    traced = sum(span.detail("delivered", 0) for span in delivered)
+    report(f"deliveries (counters) : {counted}")
+    report(f"deliveries (spans)    : {traced}")
+    assert counted == traced, "trace and counters disagree on deliveries"
+
+
+def test_trace_determinism_gate(report):
+    """Gate: same seed => byte-identical trace dump + identical series."""
+    config = ChaosConfig(tracing=True)
+    first = run_chaos(config)
+    second = run_chaos(replace(config))
+
+    dump_a = first.tracer.dump()
+    dump_b = second.tracer.dump()
+    report()
+    report("=== Trace determinism gate ===")
+    report(f"dump size: {len(dump_a)} bytes, {len(first.tracer)} spans")
+    assert dump_a == dump_b, "same-seed trace dumps differ"
+
+    assert first.sampler is not None and second.sampler is not None
+    assert first.sampler.times == second.sampler.times
+    for metric in ("events_per_s", "queue_depth", "table_size",
+                   "retransmits_per_s"):
+        assert first.sampler.node_series(metric) == second.sampler.node_series(
+            metric
+        ), f"same-seed sampled series differ for {metric}"
+    report("sampled series identical across runs")

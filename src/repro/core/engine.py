@@ -36,6 +36,8 @@ from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.parser import parse_filter
 from repro.filters.table import FilterTable
+from repro.obs.sampling import StageSampler
+from repro.obs.tracing import EventTracer
 from repro.overlay.hierarchy import Hierarchy, build_hierarchy
 from repro.overlay.publisher import PublisherRuntime
 from repro.overlay.subscriber import Handler, SubscriberRuntime
@@ -83,11 +85,17 @@ class MultiStageEventSystem:
         batch: bool = True,
         aggregate: bool = True,
         reliable: bool = True,
+        tracing: bool = False,
     ):
         if engine not in ("index", "table"):
             raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
         self.sim = Simulator()
-        self.network = Network(self.sim, default_latency=link_latency)
+        #: Causal span tracer shared by every process of this system
+        #: (publishers, brokers, subscribers, and the network fabric).
+        self.tracer = EventTracer(enabled=tracing)
+        self.network = Network(
+            self.sim, default_latency=link_latency, tracer=self.tracer
+        )
         self.reliable = reliable
         self.rngs = RngRegistry(seed)
         self.trace = TraceRecorder(enabled=trace)
@@ -107,7 +115,10 @@ class MultiStageEventSystem:
             batch=batch,
             aggregate=aggregate,
             reliable=reliable,
+            tracer=self.tracer,
         )
+        #: Per-stage time-series sampler (armed by :meth:`start_sampling`).
+        self.sampler: Optional[StageSampler] = None
         self.ttl = ttl
         self.types = TypeRegistry()
         self.advertisements = AdvertisementRegistry()
@@ -137,6 +148,7 @@ class MultiStageEventSystem:
             name or self._fresh_name("publisher"),
             self.root,
             types=self.types,
+            tracer=self.tracer,
         )
         self.publishers.append(publisher)
         return publisher
@@ -150,6 +162,7 @@ class MultiStageEventSystem:
             ttl=self.ttl,
             trace=self.trace,
             reliable=self.reliable,
+            tracer=self.tracer,
         )
         self.subscribers.append(subscriber)
         return subscriber
@@ -407,10 +420,12 @@ class MultiStageEventSystem:
         use :meth:`run_for` instead; calling drain then raises rather
         than spinning forever.
         """
-        if self._maintenance_started and max_events is None:
+        sampling = self.sampler is not None and self.sampler.running
+        if (self._maintenance_started or sampling) and max_events is None:
             raise SimulationError(
-                "drain() would never return while TTL maintenance is "
-                "running; use run_for(duration) or pass max_events"
+                "drain() would never return while TTL maintenance or the "
+                "stage sampler is running; use run_for(duration) or pass "
+                "max_events"
             )
         return self.sim.run(max_events=max_events)
 
@@ -430,6 +445,26 @@ class MultiStageEventSystem:
         self.hierarchy.stop_maintenance()
         for subscriber in self.subscribers:
             subscriber.stop_maintenance()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def start_sampling(self, interval: float = 0.5) -> StageSampler:
+        """Start per-stage time-series sampling across all brokers.
+
+        Like maintenance, a running sampler keeps the queue non-empty:
+        use :meth:`run_for`, and :meth:`stop_sampling` when done.
+        """
+        if self.sampler is None:
+            self.sampler = StageSampler(self.sim, interval=interval)
+            self.sampler.attach(self.hierarchy.nodes())
+        self.sampler.start()
+        return self.sampler
+
+    def stop_sampling(self) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
 
     # ------------------------------------------------------------------
     # Metrics

@@ -4,11 +4,13 @@ Usage::
 
     python -m repro.experiments [--quick] [rlc] [figure7] [comparison]
                                 [ablations] [scalability] [multiclass]
-                                [chaos]
+                                [chaos] [tracing] [--event=PUB/SEQ]
 
 With no experiment names, everything runs.  ``--quick`` swaps the
 paper-scale configurations for CI-sized ones (seconds instead of tens of
-seconds).
+seconds).  ``tracing`` runs the chaos sweep with the observability layer
+on and prints the trace report; ``--event=chaos-feed/12`` additionally
+reconstructs that event's publisher-to-subscriber path.
 """
 
 import sys
@@ -20,6 +22,7 @@ from repro.experiments import (
     figure7,
     rlc_table,
     scalability,
+    tracing,
 )
 from repro.experiments.multiclass import MulticlassConfig
 from repro.experiments.multiclass import run as run_multiclass
@@ -31,9 +34,17 @@ QUICK = ScenarioConfig(stage_sizes=(20, 5, 1), n_subscribers=200, n_events=200)
 def main(argv) -> int:
     args = [a for a in argv if not a.startswith("-")]
     quick = "--quick" in argv
+    event_id = None
+    for arg in argv:
+        if arg.startswith("--event="):
+            publisher, _, sequence = arg[len("--event="):].rpartition("/")
+            if not publisher or not sequence.isdigit():
+                print(f"bad --event (want PUBLISHER/SEQ): {arg}", file=sys.stderr)
+                return 2
+            event_id = (publisher, int(sequence))
     all_experiments = {
         "rlc", "figure7", "comparison", "ablations", "scalability", "multiclass",
-        "chaos",
+        "chaos", "tracing",
     }
     wanted = set(args) or all_experiments
     unknown = wanted - all_experiments
@@ -87,6 +98,12 @@ def main(argv) -> int:
         print("Chaos sweep: faults, crash/restart, convergence")
         print("=" * 72)
         chaos.run()
+        print()
+    if "tracing" in wanted:
+        print("=" * 72)
+        print("Observability: causal tracing + per-stage sampling")
+        print("=" * 72)
+        tracing.run(event_id=event_id)
     return 0
 
 

@@ -27,9 +27,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import MultiStageEventSystem
 from repro.metrics.report import (
+    render_fault_alignment,
+    render_hottest_brokers,
     render_network_summary,
     render_reliability_summary,
+    render_series,
+    render_stage_latency_histograms,
     render_table,
+    render_trace_path,
 )
 from repro.overlay.invariants import covering_violations
 from repro.sim.network import FaultPlan
@@ -96,6 +101,9 @@ class ChaosConfig:
     max_convergence: float = 80.0
     aggregate: bool = True
     reliable: bool = True
+    #: Causal span tracing + per-stage sampling (the observability layer).
+    tracing: bool = False
+    sample_interval: float = 0.5
 
 
 @dataclass
@@ -120,7 +128,18 @@ class ChaosResult:
     dropped_messages: int = 0
     dropped_bytes: int = 0
     duplicated_messages: int = 0
+    #: The link-fault window and the broker crash window, in sim time.
+    fault_window: Tuple[float, float] = (0.0, 0.0)
+    crash_window: Tuple[float, float] = (0.0, 0.0)
     system: MultiStageEventSystem = field(default=None, repr=False)
+
+    @property
+    def tracer(self):
+        return self.system.tracer
+
+    @property
+    def sampler(self):
+        return self.system.sampler
 
     @property
     def converged(self) -> bool:
@@ -139,6 +158,7 @@ def _build_system(config: ChaosConfig):
         seed=config.seed,
         aggregate=config.aggregate,
         reliable=config.reliable,
+        tracing=config.tracing,
     )
     system.advertise(CHAOS_EVENT_CLASS, schema=SCHEMA)
     system.drain()
@@ -198,6 +218,8 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
         return uid
 
     system.start_maintenance()
+    if config.tracing:
+        system.start_sampling(config.sample_interval)
     system.run_for(1.0)
 
     # Phase 1: clean traffic, no faults anywhere near the wire.
@@ -221,9 +243,10 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
     )
     victims = system.hierarchy.nodes(config.crash_stage)
     victim = victims[0]
-    plan.add_crash(
-        victim, window_start + config.crash_after, config.crash_duration
-    )
+    crash_at = window_start + config.crash_after
+    plan.add_crash(victim, crash_at, config.crash_duration)
+    result.fault_window = (window_start, window_end)
+    result.crash_window = (crash_at, crash_at + config.crash_duration)
     system.network.install_faults(plan)
     system.run_for(0.5)
 
@@ -266,6 +289,16 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
     system.run_for(1.0)
 
     # Score against ground truth.
+    total_delivered = sum(len(log) for log in deliveries.values())
+    if total_delivered == 0:
+        # An all-zero run would still "pass" ratio gates whose expected
+        # count is zero (and used to render as zero latency); a chaos run
+        # that delivers nothing is broken, not lucky — say so loudly.
+        raise RuntimeError(
+            "chaos run delivered zero events across all phases — the "
+            "workload, subscriptions, or overlay wiring is broken "
+            f"(published {len(events)} events to {len(specs)} subscriptions)"
+        )
     counts: Dict[Tuple[str, int], int] = {}
     for name, log in deliveries.items():
         for uid in log:
@@ -304,6 +337,7 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosResult:
     result.dropped_bytes = stats.dropped_bytes
     result.duplicated_messages = stats.duplicated_messages
     system.stop_maintenance()
+    system.stop_sampling()
     return result
 
 
@@ -334,6 +368,41 @@ def render(result: ChaosResult) -> str:
     ]
     if named:
         parts.append(render_reliability_summary(named))
+    if result.tracer.enabled:
+        parts.append(render_observability(result))
+    return "\n\n".join(parts)
+
+
+def render_observability(result: ChaosResult) -> str:
+    """The trace-derived sections of the chaos report: fault alignment,
+    hop-latency histograms, hottest brokers, the sampled stage series,
+    and one fully reconstructed event path."""
+    tracer = result.tracer
+    parts = []
+    windows = [
+        (result.fault_window[0], result.fault_window[1], "link faults"),
+        (result.crash_window[0], result.crash_window[1], "broker crash"),
+    ]
+    parts.append(render_fault_alignment(tracer, windows))
+    parts.append(render_stage_latency_histograms(tracer))
+    parts.append(render_hottest_brokers(tracer))
+    sampler = result.sampler
+    if sampler is not None:
+        for metric in ("events_per_s", "queue_depth", "retransmits_per_s"):
+            parts.append(
+                render_series(
+                    f"Stage series: {metric}", sampler.stage_series(metric)
+                )
+            )
+    # One reconstructed path, picked deterministically: the first event
+    # with a complete delivered path.
+    for event_id in tracer.event_ids():
+        paths = tracer.reconstruct(event_id)
+        if any(p.complete and p.delivered for p in paths):
+            parts.append(
+                "Reconstructed event path\n" + render_trace_path(tracer, event_id)
+            )
+            break
     return "\n\n".join(parts)
 
 

@@ -220,7 +220,11 @@ def render(results: Dict[str, ArchitectureResult]) -> str:
                 result.edge_avg_received,
                 result.edge_avg_mr,
                 result.total_messages,
-                result.latency.mean,
+                (
+                    result.latency.mean
+                    if result.latency.count
+                    else "n/a (no deliveries)"
+                ),
             ]
         )
     return render_table(

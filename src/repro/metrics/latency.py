@@ -23,6 +23,11 @@ class LatencySummary:
     maximum: float
 
     def __str__(self) -> str:
+        if self.count == 0:
+            # An all-zeros summary is indistinguishable from a perfect
+            # one; say explicitly that nothing was measured so a
+            # zero-delivery run can't masquerade as a zero-latency run.
+            return "n=0 (no deliveries)"
         return (
             f"n={self.count} mean={self.mean:.4g} p50={self.p50:.4g} "
             f"p99={self.p99:.4g} max={self.maximum:.4g}"

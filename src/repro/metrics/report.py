@@ -241,6 +241,143 @@ def render_network_summary(stats: Any, title: str = "Network traffic") -> str:
     return f"{title}\n{table}"
 
 
+def render_trace_path(tracer: Any, event_id: Tuple[Any, ...]) -> str:
+    """Reconstruct and render every delivery path of one event.
+
+    ``tracer`` is an :class:`~repro.obs.tracing.EventTracer`; the output
+    is one multi-line listing per subscriber that received (or filtered
+    out) the event, publisher-first.
+    """
+    paths = tracer.reconstruct(event_id)
+    if not paths:
+        return f"event {event_id[0]}/{event_id[1]}: no delivery spans recorded"
+    return "\n".join(path.render() for path in paths)
+
+
+def render_stage_latency_histograms(
+    tracer: Any, title: str = "Per-stage hop latency", buckets: int = 8
+) -> str:
+    """Histogram of per-hop latencies, grouped by the receiving stage.
+
+    Hop latencies come from reconstructed delivery paths (time between
+    consecutive spans of a complete publisher-to-subscriber chain), so
+    the histogram reflects what delivered events actually experienced —
+    queue/defer time, link latency, and fault-window jitter included.
+    """
+    by_stage: dict = {}
+    for event_id in tracer.event_ids():
+        for path in tracer.reconstruct(event_id):
+            if not path.complete:
+                continue
+            for _, stage, latency in path.hop_latencies:
+                by_stage.setdefault(stage, []).append(latency)
+    out = [title]
+    if not by_stage:
+        out.append("  (no complete paths recorded)")
+        return "\n".join(out)
+    for stage in sorted(by_stage, reverse=True):
+        values = sorted(by_stage[stage])
+        lo, hi = values[0], values[-1]
+        mean = sum(values) / len(values)
+        out.append(
+            f"  stage {stage}: n={len(values)} min={format_number(lo)} "
+            f"mean={format_number(mean)} max={format_number(hi)}"
+        )
+        span = (hi - lo) or 1.0
+        counts = [0] * buckets
+        for value in values:
+            index = min(buckets - 1, int((value - lo) / span * buckets))
+            counts[index] += 1
+        top = max(counts)
+        for bucket, count in enumerate(counts):
+            left = lo + span * bucket / buckets
+            right = lo + span * (bucket + 1) / buckets
+            bar = "#" * (round(count / top * 40) if top else 0)
+            out.append(
+                f"    [{format_number(left)}, {format_number(right)}) "
+                f"{count:>6} {bar}"
+            )
+    return "\n".join(out)
+
+
+def render_hottest_brokers(
+    tracer: Any, top: int = 10, title: str = "Hottest brokers"
+) -> str:
+    """Top-N brokers by hop-span count (events actually processed),
+    with their cache hit counts and total fan-out alongside."""
+    per_node: dict = {}
+    for span in tracer.kinds("hop"):
+        entry = per_node.get(span.node)
+        if entry is None:
+            entry = per_node[span.node] = {
+                "stage": span.stage, "hops": 0, "hits": 0, "fanout": 0,
+            }
+        entry["hops"] += 1
+        if span.detail("cache") == "hit":
+            entry["hits"] += 1
+        entry["fanout"] += span.detail("fanout", 0)
+    ranked = sorted(
+        per_node.items(), key=lambda item: (-item[1]["hops"], item[0])
+    )[:top]
+    rows = [
+        [name, entry["stage"], entry["hops"], entry["hits"], entry["fanout"]]
+        for name, entry in ranked
+    ]
+    if not rows:
+        rows = [["(none)", "-", 0, 0, 0]]
+    table = render_table(["Broker", "Stage", "Events", "Cache hits", "Fan-out"], rows)
+    return f"{title}\n{table}"
+
+
+def render_fault_alignment(
+    tracer: Any,
+    windows: Sequence[Tuple[float, float, str]],
+    title: str = "Fault windows vs. loss/retransmit spans",
+) -> str:
+    """Align fault windows against the drop/dup/retransmit spans they
+    caused: for each window, the control- and wire-level span counts
+    inside it, plus the counts outside any window (which should stay
+    near zero on a healthy run).
+
+    ``windows`` is ``(start, end, label)`` triples in simulated time.
+    """
+    disturbance = tracer.kinds("drop", "dup", "retransmit", "channel-reset")
+    rows: List[List[Any]] = []
+    claimed = [False] * len(disturbance)
+    for start, end, label in windows:
+        counts = {"drop": 0, "dup": 0, "retransmit": 0, "channel-reset": 0}
+        for index, span in enumerate(disturbance):
+            if start <= span.time < end:
+                counts[span.kind] += 1
+                claimed[index] = True
+        rows.append(
+            [
+                f"[{format_number(start)}, {format_number(end)}) {label}",
+                counts["drop"],
+                counts["dup"],
+                counts["retransmit"],
+                counts["channel-reset"],
+            ]
+        )
+    outside = {"drop": 0, "dup": 0, "retransmit": 0, "channel-reset": 0}
+    for index, span in enumerate(disturbance):
+        if not claimed[index]:
+            outside[span.kind] += 1
+    rows.append(
+        [
+            "outside all windows",
+            outside["drop"],
+            outside["dup"],
+            outside["retransmit"],
+            outside["channel-reset"],
+        ]
+    )
+    table = render_table(
+        ["Window", "Drops", "Dups", "Retransmits", "Channel resets"], rows
+    )
+    return f"{title}\n{table}"
+
+
 def render_series(
     title: str, series: Sequence[Tuple[str, Sequence[float]]], width: int = 60
 ) -> str:

@@ -1,0 +1,34 @@
+"""Observability: causal event tracing and per-stage time-series sampling.
+
+The metrics package aggregates *per-node* counters (the paper's §5.3
+view); this package answers the orthogonal question "what happened to
+*this* event at *each* hop?"  :mod:`repro.obs.tracing` records one span
+per hop of every published event — publisher, each broker stage, the
+subscriber's exact-filter verdict — plus control-plane spans for
+retransmits, channel resets, and wire-level drops, and can reconstruct
+the full publisher-to-subscriber path of any event id.
+:mod:`repro.obs.sampling` samples per-broker gauges (events/s, queue
+depth, table size, retransmit rate) on a simulated-time tick.
+
+Both are disabled by default and designed to cost one attribute check
+per call site when off (every emission site is guarded by
+``if tracer.enabled:`` so no argument tuples or detail dicts are ever
+built), and to be byte-for-byte deterministic when on: the same seed
+produces an identical :meth:`EventTracer.dump`.
+"""
+
+from repro.obs.sampling import StageSampler
+from repro.obs.tracing import (
+    EventTracer,
+    PathReconstruction,
+    Span,
+    reconstruct_paths,
+)
+
+__all__ = [
+    "EventTracer",
+    "PathReconstruction",
+    "Span",
+    "StageSampler",
+    "reconstruct_paths",
+]

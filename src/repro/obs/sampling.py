@@ -1,0 +1,126 @@
+"""Per-stage time-series sampling on a simulated-time tick.
+
+The paper's evaluation reasons from end-of-run aggregates; a chaos run
+needs the *time dimension*: how deep did queues get during the fault
+window, how fast did tables rebuild after the crash, when did the
+retransmit burst subside.  :class:`StageSampler` polls every attached
+broker once per tick (driven by :meth:`Simulator.every`) and records
+
+- ``events_per_s``  — events received since the last tick / interval,
+- ``queue_depth``   — publishes waiting in the batch queue right now,
+- ``table_size``    — distinct filters currently held,
+- ``retransmits_per_s`` — reliable-channel retransmit frames since the
+  last tick / interval.
+
+Sampling shares the simulator's determinism: ticks land at fixed
+simulated times, so two same-seed runs produce identical series.
+"""
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.sim.kernel import Simulator
+
+#: The gauges/rates sampled per broker per tick.
+METRICS = ("events_per_s", "queue_depth", "table_size", "retransmits_per_s")
+
+
+class StageSampler:
+    """Samples per-broker load series, grouped by hierarchy stage."""
+
+    def __init__(self, sim: Simulator, interval: float = 0.5):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        #: Tick timestamps (simulated seconds).
+        self.times: List[float] = []
+        self._nodes: List[Any] = []
+        #: ``{node name: {metric: [value per tick]}}``
+        self.samples: Dict[str, Dict[str, List[float]]] = {}
+        self._stages: Dict[str, int] = {}
+        self._last_events: Dict[str, int] = {}
+        self._last_retransmits: Dict[str, int] = {}
+        self._handle = None
+
+    def attach(self, nodes: Sequence[Any]) -> None:
+        """Register broker nodes to sample (before or after :meth:`start`)."""
+        for node in nodes:
+            if node.name in self.samples:
+                continue
+            self._nodes.append(node)
+            self._stages[node.name] = node.stage
+            self.samples[node.name] = {metric: [] for metric in METRICS}
+            self._last_events[node.name] = node.counters.events_received
+            self._last_retransmits[node.name] = node.counters.control_retransmits
+
+    def start(self) -> None:
+        """Begin ticking every ``interval`` simulated seconds."""
+        if self._handle is None:
+            self._handle = self.sim.every(self.interval, self._tick)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None
+
+    def _tick(self) -> None:
+        self.times.append(self.sim.now)
+        for node in self._nodes:
+            series = self.samples[node.name]
+            received = node.counters.events_received
+            retransmits = node.counters.control_retransmits
+            series["events_per_s"].append(
+                (received - self._last_events[node.name]) / self.interval
+            )
+            series["retransmits_per_s"].append(
+                (retransmits - self._last_retransmits[node.name]) / self.interval
+            )
+            series["queue_depth"].append(float(len(node._publish_queue)))
+            series["table_size"].append(float(len(node.table)))
+            self._last_events[node.name] = received
+            self._last_retransmits[node.name] = retransmits
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def node_series(self, metric: str) -> List[Tuple[str, List[float]]]:
+        """``(node name, series)`` per attached node, attachment order."""
+        self._require(metric)
+        return [(name, list(series[metric])) for name, series in self.samples.items()]
+
+    def stage_series(self, metric: str) -> List[Tuple[str, List[float]]]:
+        """Per-stage series: the metric summed over each stage's nodes."""
+        self._require(metric)
+        by_stage: Dict[int, List[float]] = {}
+        for name, series in self.samples.items():
+            stage = self._stages[name]
+            values = series[metric]
+            current = by_stage.get(stage)
+            if current is None:
+                by_stage[stage] = list(values)
+            else:
+                for i, value in enumerate(values):
+                    current[i] += value
+        return [
+            (f"stage {stage}", values)
+            for stage, values in sorted(by_stage.items(), reverse=True)
+        ]
+
+    def peak(self, metric: str) -> List[Tuple[str, float]]:
+        """Per-node peak of one metric, highest first (name breaks ties)."""
+        self._require(metric)
+        peaks = [
+            (name, max(series[metric]) if series[metric] else 0.0)
+            for name, series in self.samples.items()
+        ]
+        peaks.sort(key=lambda item: (-item[1], item[0]))
+        return peaks
+
+    def _require(self, metric: str) -> None:
+        if metric not in METRICS:
+            raise KeyError(f"unknown metric {metric!r}; have {METRICS}")

@@ -1,0 +1,268 @@
+"""Causal event tracing: one span per hop of every published event.
+
+Every published envelope already carries a stable identity —
+``event_id = (publisher name, publish sequence)`` — which doubles as the
+**trace id**: no extra context needs to travel on the wire.  Each hop of
+the event's path appends a :class:`Span` to the shared
+:class:`EventTracer`:
+
+- ``publish`` at the publisher (event class, publish time),
+- ``hop`` at each broker stage (which neighbour it came from, cache
+  hit/miss, constraint probes, match verdict, fan-out, queue/defer
+  time),
+- ``deliver`` at the subscriber runtime (exact-filter verdict, delivery
+  latency).
+
+Control-plane occurrences record spans with ``trace_id=None``:
+``retransmit`` (reliable-channel timeout resends, with the payload kinds
+— ReqInsert/Withdraw/Renewal — being retried), ``epoch-reset`` /
+``channel-reset`` (sender/receiver sides of a channel incarnation bump),
+and wire-level ``drop`` / ``dup`` spans from the fault injector.
+
+Determinism: spans are appended in simulator execution order, which is
+deterministic for a fixed seed; every recorded value is derived from
+names, simulated times, and counters — never from ``id()``, wall clocks,
+or hash iteration order — so :meth:`EventTracer.dump` is byte-identical
+across runs with the same seed.
+
+Cost when disabled: emission sites are guarded by ``if tracer.enabled:``
+*before* building any arguments, so a disabled tracer costs one
+attribute load and branch per site and allocates nothing.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Stage pseudo-numbers for non-broker span sources.  Subscriber runtimes
+#: are the paper's stage 0; publishers sit "above" the root on the inject
+#: path and network-level spans have no stage at all.
+PUBLISHER_STAGE = -1
+NETWORK_STAGE = -2
+SUBSCRIBER_STAGE = 0
+
+
+@dataclass(frozen=True)
+class Span:
+    """One hop (or control-plane occurrence) of a trace.
+
+    ``details`` is a tuple of ``(key, value)`` pairs rather than a dict so
+    a span is hashable and its rendering order is fixed at emission.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    node: str
+    stage: int
+    trace_id: Optional[Tuple[Any, ...]]
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+    def render(self) -> str:
+        """One deterministic text line (the unit of :meth:`EventTracer.dump`)."""
+        parts = [
+            f"{self.seq}",
+            f"t={self.time!r}",
+            self.kind,
+            f"@{self.node}",
+            f"stage={self.stage}",
+        ]
+        if self.trace_id is not None:
+            parts.append(f"id={self.trace_id[0]}/{self.trace_id[1]}")
+        parts.extend(f"{key}={value!r}" for key, value in self.details)
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Span({self.render()})"
+
+
+class EventTracer:
+    """Append-only span sink shared by every process of one system.
+
+    ``enabled`` is the only hot-path state: emission sites check it
+    before building span arguments, and :meth:`span` re-checks it so a
+    stray unguarded call site stays correct (just slower).
+    """
+
+    __slots__ = ("enabled", "_spans", "_seq")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._spans: List[Span] = []
+        self._seq = 0
+
+    def span(
+        self,
+        time: float,
+        kind: str,
+        node: str,
+        stage: int,
+        trace_id: Optional[Tuple[Any, ...]] = None,
+        details: Tuple[Tuple[str, Any], ...] = (),
+    ) -> None:
+        """Append one span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._spans.append(Span(self._seq, time, kind, node, stage, trace_id, details))
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def for_event(self, trace_id: Tuple[Any, ...]) -> List[Span]:
+        """Spans of one event, in execution (= causal) order."""
+        return [s for s in self._spans if s.trace_id == trace_id]
+
+    def event_ids(self) -> List[Tuple[Any, ...]]:
+        """Distinct trace ids in first-seen order."""
+        seen: Dict[Tuple[Any, ...], None] = {}
+        for span in self._spans:
+            if span.trace_id is not None and span.trace_id not in seen:
+                seen[span.trace_id] = None
+        return list(seen)
+
+    def kinds(self, *kinds: str) -> List[Span]:
+        """All spans of the given kinds, in execution order."""
+        wanted = set(kinds)
+        return [s for s in self._spans if s.kind in wanted]
+
+    def dump(self) -> bytes:
+        """Byte-deterministic serialization of the whole trace."""
+        return "\n".join(s.render() for s in self._spans).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    # Path reconstruction
+    # ------------------------------------------------------------------
+
+    def reconstruct(self, trace_id: Tuple[Any, ...]) -> List["PathReconstruction"]:
+        """Reconstruct every delivery path of one event (see
+        :func:`reconstruct_paths`)."""
+        return reconstruct_paths(self.for_event(trace_id))
+
+    def incomplete_deliveries(self) -> List["PathReconstruction"]:
+        """Every delivery whose span chain does *not* reach a publisher.
+
+        The trace-completeness gate: an empty list means every delivered
+        event's spans reconstruct a contiguous publisher-to-subscriber
+        path.  Deliveries where the exact filter rejected the event are
+        not deliveries and are ignored.
+        """
+        broken: List[PathReconstruction] = []
+        for trace_id in self.event_ids():
+            for path in self.reconstruct(trace_id):
+                if path.delivered and not path.complete:
+                    broken.append(path)
+        return broken
+
+
+@dataclass(frozen=True)
+class PathReconstruction:
+    """One subscriber's reconstructed path for one event.
+
+    ``spans`` runs source-first: publish span (when found), then broker
+    hops top stage downward, then the deliver span.  ``complete`` means
+    the chain is contiguous from a publish span to the deliver span with
+    a hop span at every broker in between.
+    """
+
+    trace_id: Tuple[Any, ...]
+    subscriber: str
+    spans: Tuple[Span, ...]
+    complete: bool
+    delivered: bool
+
+    @property
+    def hop_latencies(self) -> List[Tuple[str, int, float]]:
+        """``(node, stage, seconds since previous hop)`` per chain link."""
+        out: List[Tuple[str, int, float]] = []
+        for previous, span in zip(self.spans, self.spans[1:]):
+            out.append((span.node, span.stage, span.time - previous.time))
+        return out
+
+    def render(self) -> str:
+        """Human-readable multi-line path listing."""
+        head = (
+            f"event {self.trace_id[0]}/{self.trace_id[1]} -> {self.subscriber} "
+            f"({'complete' if self.complete else 'BROKEN'}"
+            f"{', delivered' if self.delivered else ', filtered out'})"
+        )
+        lines = [head]
+        previous = None
+        for span in self.spans:
+            delta = "" if previous is None else f" (+{span.time - previous:.6g}s)"
+            detail = " ".join(f"{k}={v!r}" for k, v in span.details)
+            lines.append(
+                f"  [{span.time:.6f}] {span.kind:<8} stage={span.stage:>2} "
+                f"{span.node}{delta} {detail}".rstrip()
+            )
+            previous = span.time
+        return "\n".join(lines)
+
+
+def reconstruct_paths(spans: List[Span]) -> List[PathReconstruction]:
+    """Rebuild per-subscriber paths from one event's spans.
+
+    Works backwards from each ``deliver`` span: its ``src`` detail names
+    the home broker; each broker ``hop`` span's ``src`` names the
+    neighbour it received the event from; the chain is complete when it
+    reaches a node with a ``publish`` span.  The overlay is a tree, so a
+    broker receives a given event from exactly one upstream neighbour
+    (fault-injected duplicates repeat the same edge) and the backwards
+    walk is unambiguous.
+    """
+    publishes: Dict[str, Span] = {}
+    hops: Dict[str, Span] = {}
+    delivers: List[Span] = []
+    for span in spans:
+        if span.kind == "publish":
+            publishes.setdefault(span.node, span)
+        elif span.kind == "hop":
+            hops.setdefault(span.node, span)
+        elif span.kind == "deliver":
+            delivers.append(span)
+
+    paths: List[PathReconstruction] = []
+    for deliver in delivers:
+        chain: List[Span] = [deliver]
+        cursor = deliver.detail("src")
+        complete = False
+        visited = {deliver.node}
+        while cursor is not None and cursor not in visited:
+            visited.add(cursor)
+            publish = publishes.get(cursor)
+            if publish is not None:
+                chain.append(publish)
+                complete = True
+                break
+            hop = hops.get(cursor)
+            if hop is None:
+                break
+            chain.append(hop)
+            cursor = hop.detail("src")
+        chain.reverse()
+        paths.append(
+            PathReconstruction(
+                trace_id=deliver.trace_id,
+                subscriber=deliver.node,
+                spans=tuple(chain),
+                complete=complete,
+                delivered=bool(deliver.detail("delivered", 0)),
+            )
+        )
+    return paths

@@ -43,13 +43,25 @@ class ReliableSender:
     Retransmission is go-back-N: one timer per channel; on expiry every
     unacked frame is resent (the receiver discards duplicates).  Each
     application-level send is counted once by the caller; retransmits are
-    accounted via ``on_retransmit``.
+    accounted via ``on_retransmit`` (a frame count) and optionally
+    observed in detail via ``observer`` (the frames themselves, for
+    tracing).
+
+    The timer callback is **epoch-guarded**: it remembers the epoch it
+    was armed in and does nothing if the channel has since been reset.
+    Cancellation alone is not enough — a timer that already escaped
+    cancellation (popped from the simulator queue in the same instant as
+    the reset, or its handle clobbered by a bug elsewhere) would
+    otherwise retransmit and recount frames from the dead epoch and
+    null out the live epoch's timer reference, leaving two concurrent
+    retransmit loops.
     """
 
     __slots__ = (
         "sim",
         "send_raw",
         "on_retransmit",
+        "observer",
         "epoch",
         "next_seq",
         "unacked",
@@ -62,11 +74,14 @@ class ReliableSender:
         sim: Simulator,
         send_raw: Callable[[Any], None],
         on_retransmit: Optional[Callable[[int], None]] = None,
+        observer: Optional[Callable[[int, tuple], None]] = None,
     ):
         self.sim = sim
         #: Puts one frame on the wire (binds owner + peer + network).
         self.send_raw = send_raw
         self.on_retransmit = on_retransmit
+        #: Detailed retransmit hook ``observer(epoch, frames)`` for tracing.
+        self.observer = observer
         self.epoch = 0
         self.next_seq = 0
         self.unacked: "OrderedDict[int, Sequenced]" = OrderedDict()
@@ -116,14 +131,21 @@ class ReliableSender:
 
     def _arm(self) -> None:
         if self._timer is None:
-            self._timer = self.sim.schedule(self.rto, self._on_timeout)
+            self._timer = self.sim.schedule(self.rto, self._on_timeout, self.epoch)
 
-    def _on_timeout(self) -> None:
+    def _on_timeout(self, armed_epoch: int) -> None:
+        if armed_epoch != self.epoch:
+            # Stale timer from before a reset: the frames it was guarding
+            # died with their epoch.  Touch nothing — especially not
+            # ``_timer``, which may reference the live epoch's timer.
+            return
         self._timer = None
         if not self.unacked:
             return
         if self.on_retransmit is not None:
             self.on_retransmit(len(self.unacked))
+        if self.observer is not None:
+            self.observer(self.epoch, tuple(self.unacked.values()))
         for frame in self.unacked.values():
             self.send_raw(frame)
         self.rto = min(self.rto * 2, MAX_RTO)

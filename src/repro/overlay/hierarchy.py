@@ -9,6 +9,7 @@ Node names follow the paper's ``N<stage>.<index>`` convention.
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.filters.index import CountingIndex
+from repro.obs.tracing import EventTracer
 from repro.overlay.node import BrokerNode, MatchEngine
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
@@ -74,6 +75,7 @@ def build_hierarchy(
     batch: bool = True,
     aggregate: bool = True,
     reliable: bool = True,
+    tracer: Optional[EventTracer] = None,
 ) -> Hierarchy:
     """Build a balanced broker tree.
 
@@ -110,6 +112,7 @@ def build_hierarchy(
                 batch=batch,
                 aggregate=aggregate,
                 reliable=reliable,
+                tracer=tracer,
             )
             for i in range(size)
         ]

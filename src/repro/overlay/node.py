@@ -38,6 +38,7 @@ from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.standard import most_general_wildcard, wildcard_attributes
 from repro.metrics.counters import NodeCounters
+from repro.obs.tracing import EventTracer
 from repro.overlay.channel import ReliableReceiver, ReliableSender
 from repro.overlay.messages import (
     AcceptedAt,
@@ -112,6 +113,7 @@ class BrokerNode(Process):
         batch: bool = True,
         aggregate: bool = True,
         reliable: bool = True,
+        tracer: Optional[EventTracer] = None,
     ):
         super().__init__(sim, name)
         if stage < 1:
@@ -138,15 +140,22 @@ class BrokerNode(Process):
         # Reliable control channel state: one sender toward the parent
         # (the only order-sensitive direction), one receiver per framing
         # peer, and the highest ChannelReset incarnation seen per peer.
+        # Both maps are keyed by the peer's *name* — the stable process
+        # identity on this network (Network enforces uniqueness).  Keying
+        # by id() would let a recycled object id silently inherit a dead
+        # peer's channel state and discard its legitimate resets.
         self.incarnation = 0
         self._up_sender: Optional[ReliableSender] = None
-        self._receivers: Dict[int, ReliableReceiver] = {}
-        self._peer_incarnations: Dict[int, int] = {}
+        self._receivers: Dict[str, ReliableReceiver] = {}
+        self._peer_incarnations: Dict[str, int] = {}
         self._was_maintained = False
         self._engine_factory = engine_factory
         self.table: MatchEngine = self._new_engine()
         self.rng = rng or random.Random(0)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: Causal span tracer (shared system-wide; disabled tracer when
+        #: observability is off, so every emission site is one flag check).
+        self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
         #: Whether HANDLE-WILDCARD-SUBS is active (ablation toggle, §4.4).
         self.wildcard_routing = wildcard_routing
         #: Whether the matching table is compacted with covering merges
@@ -166,6 +175,10 @@ class BrokerNode(Process):
         # one deferred wakeup (or earlier, if a control message arrives).
         self._publish_queue: Deque[Publish] = deque()
         self._drain_handle: Optional[Any] = None
+        # Tracing sidecar for the publish queue: (sender name, arrival
+        # time) per queued publish.  Only populated while the tracer is
+        # enabled — the hot path never touches it otherwise.
+        self._publish_meta: Deque[Tuple[str, float]] = deque()
 
     def _new_engine(self) -> MatchEngine:
         """A fresh match engine, cache-wrapped when caching is on.
@@ -203,10 +216,10 @@ class BrokerNode(Process):
 
     def receive(self, message: Any, sender: Process) -> None:
         if isinstance(message, Publish):
-            self._accept_publishes((message,))
+            self._accept_publishes((message,), sender)
             return
         if isinstance(message, PublishBatch):
-            self._accept_publishes(message.publishes)
+            self._accept_publishes(message.publishes, sender)
             return
         if isinstance(message, Ack):
             # Acks touch only channel bookkeeping, never routing state:
@@ -220,9 +233,9 @@ class BrokerNode(Process):
         # seen unbatched (arrival order is preserved bit-for-bit).
         self._flush_publishes()
         if isinstance(message, Sequenced):
-            receiver = self._receivers.get(id(sender))
+            receiver = self._receivers.get(sender.name)
             if receiver is None:
-                receiver = self._receivers[id(sender)] = ReliableReceiver()
+                receiver = self._receivers[sender.name] = ReliableReceiver()
             before = receiver.dups_discarded
             ack = receiver.on_frame(
                 message, lambda payload: self._apply_control(payload, sender)
@@ -606,7 +619,10 @@ class BrokerNode(Process):
             return
         if self._up_sender is None:
             self._up_sender = ReliableSender(
-                self.sim, self._send_up_raw, self._count_retransmits
+                self.sim,
+                self._send_up_raw,
+                self._count_retransmits,
+                observer=self._trace_retransmits,
             )
         self._up_sender.send(payload)
 
@@ -615,6 +631,25 @@ class BrokerNode(Process):
 
     def _count_retransmits(self, frames: int) -> None:
         self.counters.control_retransmits += frames
+
+    def _trace_retransmits(self, epoch: int, frames: Tuple[Sequenced, ...]) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.span(
+            self.sim.now,
+            "retransmit",
+            self.name,
+            self.stage,
+            details=(
+                ("peer", self.parent.name if self.parent is not None else "?"),
+                ("epoch", epoch),
+                ("frames", len(frames)),
+                (
+                    "payloads",
+                    ",".join(type(f.payload).__name__ for f in frames),
+                ),
+            ),
+        )
 
     @property
     def uplink_idle(self) -> bool:
@@ -625,16 +660,38 @@ class BrokerNode(Process):
     def _on_channel_reset(self, message: ChannelReset, sender: Process) -> None:
         """A neighbour restarted: drop its channel state; if it is our
         parent, refresh everything we had installed there right away."""
-        known = self._peer_incarnations.get(id(sender))
+        known = self._peer_incarnations.get(sender.name)
         if known is not None and known >= message.incarnation:
             return  # duplicate / stale reset
-        self._peer_incarnations[id(sender)] = message.incarnation
-        self._receivers.pop(id(sender), None)
+        self._peer_incarnations[sender.name] = message.incarnation
+        self._receivers.pop(sender.name, None)
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.sim.now,
+                "channel-reset",
+                self.name,
+                self.stage,
+                details=(
+                    ("peer", sender.name),
+                    ("incarnation", message.incarnation),
+                ),
+            )
         if sender is self.parent:
             if self._up_sender is not None:
                 # Abandon in-flight frames (the parent forgot the channel
                 # anyway) and open a fresh epoch.
                 self._up_sender.reset()
+                if self.tracer.enabled:
+                    self.tracer.span(
+                        self.sim.now,
+                        "epoch-reset",
+                        self.name,
+                        self.stage,
+                        details=(
+                            ("peer", sender.name),
+                            ("epoch", self._up_sender.epoch),
+                        ),
+                    )
             items = self._parent_renewal_items()
             if items:
                 self._send_up(Renewal(tuple(items)))
@@ -659,6 +716,7 @@ class BrokerNode(Process):
         self._offline.clear()
         self._buffers.clear()
         self._publish_queue.clear()
+        self._publish_meta.clear()
         if self._drain_handle is not None:
             self._drain_handle.cancel()
             self._drain_handle = None
@@ -845,7 +903,7 @@ class BrokerNode(Process):
     # Event filtering and forwarding (Figure 6, batched)
     # ------------------------------------------------------------------
 
-    def _accept_publishes(self, publishes: Sequence[Publish]) -> None:
+    def _accept_publishes(self, publishes: Sequence[Publish], sender: Process) -> None:
         """Entry point for event traffic (single messages or batches).
 
         With batching on, publishes queue up and a single drain wakeup —
@@ -854,9 +912,15 @@ class BrokerNode(Process):
         so processing order is identical to the unbatched schedule.
         """
         if not self.batch_enabled:
-            self._process_batch(tuple(publishes))
+            metas = None
+            if self.tracer.enabled:
+                metas = tuple((sender.name, self.sim.now) for _ in publishes)
+            self._process_batch(tuple(publishes), metas)
             return
         self._publish_queue.extend(publishes)
+        if self.tracer.enabled:
+            now = self.sim.now
+            self._publish_meta.extend((sender.name, now) for _ in publishes)
         if self._drain_handle is None:
             self._drain_handle = self.sim.defer(self._drain_publishes)
 
@@ -869,22 +933,33 @@ class BrokerNode(Process):
             return
         batch = tuple(self._publish_queue)
         self._publish_queue.clear()
-        self._process_batch(batch)
+        metas = None
+        if self._publish_meta:
+            metas = tuple(self._publish_meta)
+            self._publish_meta.clear()
+        self._process_batch(batch, metas)
 
-    def _process_batch(self, batch: Sequence[Publish]) -> None:
+    def _process_batch(
+        self,
+        batch: Sequence[Publish],
+        metas: Optional[Sequence[Tuple[str, float]]] = None,
+    ) -> None:
         """Match and forward a run of events in one wakeup.
 
         Events bound for the same destination coalesce into a single
         :class:`PublishBatch` send (one scheduling round downstream);
         per-destination event order is the batch order, i.e. exactly the
-        unbatched delivery order.
+        unbatched delivery order.  ``metas`` carries per-event ``(sender
+        name, arrival time)`` when tracing is on.
         """
         self.counters.on_batch(len(batch))
         engine = self._match_engine()
+        tracing = self.tracer.enabled
         runs: Dict[int, List[Publish]] = {}
         run_order: List[Process] = []
-        for message in batch:
+        for position, message in enumerate(batch):
             probes_before = engine.evaluations
+            hits_before = self.counters.cache.hits if tracing else 0
             matches = engine.match(message.envelope.metadata)
             destinations: List[Process] = []
             seen = set()
@@ -898,6 +973,32 @@ class BrokerNode(Process):
                 forwarded_to=len(destinations),
                 evaluations=engine.evaluations - probes_before,
             )
+            if tracing:
+                if metas is not None and position < len(metas):
+                    src, arrived = metas[position]
+                else:
+                    src, arrived = "?", self.sim.now
+                if not self.cache_enabled:
+                    cache = "off"
+                elif self.counters.cache.hits > hits_before:
+                    cache = "hit"
+                else:
+                    cache = "miss"
+                self.tracer.span(
+                    self.sim.now,
+                    "hop",
+                    self.name,
+                    self.stage,
+                    trace_id=message.envelope.event_id,
+                    details=(
+                        ("src", src),
+                        ("cache", cache),
+                        ("probed", engine.evaluations - probes_before),
+                        ("matched", bool(matches)),
+                        ("fanout", len(destinations)),
+                        ("defer", self.sim.now - arrived),
+                    ),
+                )
             for destination in destinations:
                 offline = self._offline.get(id(destination))
                 if offline is not None:

@@ -13,6 +13,7 @@ from repro.core.advertisement import Advertisement
 from repro.events.hierarchy import TypeRegistry
 from repro.events.serialization import marshal
 from repro.metrics.counters import NodeCounters
+from repro.obs.tracing import PUBLISHER_STAGE, EventTracer
 from repro.overlay.messages import Advertise, Publish, PublishBatch
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
@@ -28,6 +29,7 @@ class PublisherRuntime(Process):
         name: str,
         root: Process,
         types: Optional[TypeRegistry] = None,
+        tracer: Optional[EventTracer] = None,
     ):
         super().__init__(sim, name)
         self.network = network
@@ -35,6 +37,8 @@ class PublisherRuntime(Process):
         self.types = types
         self.counters = NodeCounters()
         self.events_published = 0
+        #: Causal span tracer (shared system-wide when observability is on).
+        self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
 
     def advertise(self, advertisement: Advertisement) -> None:
         """Disseminate an advertisement (schema + ``Gc``) into the overlay."""
@@ -81,6 +85,18 @@ class PublisherRuntime(Process):
             event_id=(self.name, self.events_published),
         )
         self.events_published += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.sim.now,
+                "publish",
+                self.name,
+                PUBLISHER_STAGE,
+                trace_id=envelope.event_id,
+                details=(
+                    ("class", envelope.metadata.event_class),
+                    ("to", self.root.name),
+                ),
+            )
         return Publish(envelope)
 
     def receive(self, message: Any, sender: Process) -> None:

@@ -16,6 +16,7 @@ from repro.core.subscription import Subscription
 from repro.events.serialization import Envelope, unmarshal
 from repro.filters.filter import Filter
 from repro.metrics.counters import NodeCounters
+from repro.obs.tracing import SUBSCRIBER_STAGE, EventTracer
 from repro.overlay.channel import ReliableSender
 from repro.overlay.messages import (
     AcceptedAt,
@@ -63,6 +64,7 @@ class SubscriberRuntime(Process):
         ttl: float = 60.0,
         trace: Optional[TraceRecorder] = None,
         reliable: bool = True,
+        tracer: Optional[EventTracer] = None,
     ):
         super().__init__(sim, name)
         self.network = network
@@ -72,8 +74,11 @@ class SubscriberRuntime(Process):
         self.reliable_enabled = reliable
         # One reliable sender per home node (order matters between a
         # Renewal restoring a filter and an Unsubscribe removing it).
-        self._control_out: Dict[int, ReliableSender] = {}
+        # Keyed by the home's *name* — the stable identity — not id().
+        self._control_out: Dict[str, ReliableSender] = {}
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: Causal span tracer (shared system-wide when observability is on).
+        self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
         self.counters = NodeCounters()
         #: Publish-to-delivery latencies (simulated time), §5-style metric.
         self.delivery_latencies: List[float] = []
@@ -130,17 +135,36 @@ class SubscriberRuntime(Process):
         if not self.reliable_enabled:
             self.network.send(self, home, payload)
             return
-        channel = self._control_out.get(id(home))
+        channel = self._control_out.get(home.name)
         if channel is None:
-            channel = self._control_out[id(home)] = ReliableSender(
+            channel = self._control_out[home.name] = ReliableSender(
                 self.sim,
                 lambda frame, home=home: self.network.send(self, home, frame),
                 self._count_retransmits,
+                observer=lambda epoch, frames, peer=home.name: (
+                    self._trace_retransmits(peer, epoch, frames)
+                ),
             )
         channel.send(payload)
 
     def _count_retransmits(self, frames: int) -> None:
         self.counters.control_retransmits += frames
+
+    def _trace_retransmits(self, peer: str, epoch: int, frames: tuple) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.span(
+            self.sim.now,
+            "retransmit",
+            self.name,
+            SUBSCRIBER_STAGE,
+            details=(
+                ("peer", peer),
+                ("epoch", epoch),
+                ("frames", len(frames)),
+                ("payloads", ",".join(type(f.payload).__name__ for f in frames)),
+            ),
+        )
 
     @property
     def control_idle(self) -> bool:
@@ -240,7 +264,7 @@ class SubscriberRuntime(Process):
                     home=message.node.name, hops=state.join_hops,
                 )
         elif isinstance(message, Ack):
-            channel = self._control_out.get(id(sender))
+            channel = self._control_out.get(sender.name)
             if channel is not None:
                 channel.on_ack(message)
         else:
@@ -265,28 +289,51 @@ class SubscriberRuntime(Process):
             forwarded_to=0,
             evaluations=len(states),
         )
-        if not matched_states:
-            return
-        if envelope.published_at is not None:
-            self.delivery_latencies.append(self.sim.now - envelope.published_at)
-        # Event safety: the payload is opened exactly once, at the edge.
-        event = unmarshal(envelope)
-        for state in matched_states:
-            subscription = state.subscription
-            if subscription.group is not None and envelope.event_id is not None:
-                key = (subscription.group, envelope.event_id)
-                if key in self._delivered_groups:
-                    continue  # another branch already delivered this event
-                self._delivered_groups[key] = None
-                if len(self._delivered_groups) > self._delivered_groups_limit:
-                    self._delivered_groups.popitem(last=False)
-            closure = subscription.closure
-            if closure is not None and closure.residual is not None:
-                if not closure.residual(event):
-                    continue
-            self.counters.events_delivered += 1
-            if state.handler is not None:
-                state.handler(event, envelope.metadata, subscription)
+        tracing = self.tracer.enabled
+        delivered_before = self.counters.events_delivered if tracing else 0
+        if matched_states:
+            if envelope.published_at is not None:
+                self.delivery_latencies.append(self.sim.now - envelope.published_at)
+            # Event safety: the payload is opened exactly once, at the edge.
+            event = unmarshal(envelope)
+            for state in matched_states:
+                subscription = state.subscription
+                if subscription.group is not None and envelope.event_id is not None:
+                    key = (subscription.group, envelope.event_id)
+                    if key in self._delivered_groups:
+                        continue  # another branch already delivered this event
+                    self._delivered_groups[key] = None
+                    if len(self._delivered_groups) > self._delivered_groups_limit:
+                        self._delivered_groups.popitem(last=False)
+                closure = subscription.closure
+                if closure is not None and closure.residual is not None:
+                    if not closure.residual(event):
+                        continue
+                self.counters.events_delivered += 1
+                if state.handler is not None:
+                    state.handler(event, envelope.metadata, subscription)
+        if tracing:
+            latency = (
+                self.sim.now - envelope.published_at
+                if envelope.published_at is not None
+                else None
+            )
+            self.tracer.span(
+                self.sim.now,
+                "deliver",
+                self.name,
+                SUBSCRIBER_STAGE,
+                trace_id=envelope.event_id,
+                details=(
+                    ("src", sender.name),
+                    ("matched", bool(matched_states)),
+                    (
+                        "delivered",
+                        self.counters.events_delivered - delivered_before,
+                    ),
+                    ("latency", latency),
+                ),
+            )
 
     def _active_states(self) -> List[_SubscriptionState]:
         return [s for s in self._states.values() if s.active]

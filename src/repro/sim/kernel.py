@@ -112,6 +112,22 @@ class Simulator:
         heapq.heappush(self._queue, handle)
         return handle
 
+    def every(
+        self, interval: float, callback: Callable[..., None], *args: Any
+    ) -> "RecurringHandle":
+        """Run ``callback(*args)`` every ``interval`` time units until the
+        returned handle is cancelled.
+
+        The tick grid is fixed at arming time (first fire at ``now +
+        interval``), so periodic samplers observe the same instants in
+        every same-seed run.  Note that, like the TTL maintenance tasks,
+        a recurring event keeps the queue non-empty forever: drive a
+        sampled simulation with ``run(until=...)``, not a bare ``run()``.
+        """
+        if interval <= 0:
+            raise SimulationError(f"recurring interval must be positive, got {interval}")
+        return RecurringHandle(self, interval, callback, args)
+
     def step(self) -> bool:
         """Execute the next pending event.
 
@@ -158,6 +174,46 @@ class Simulator:
         finally:
             self._running = False
         return executed
+
+
+class RecurringHandle:
+    """A self-rescheduling periodic event (see :meth:`Simulator.every`).
+
+    Cancelling tombstones the pending occurrence and stops the chain; a
+    cancelled handle never fires again.
+    """
+
+    __slots__ = ("sim", "interval", "callback", "args", "cancelled", "_pending")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., None],
+        args: tuple,
+    ):
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._pending = sim.schedule(interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        # Reschedule first: the callback sees the next tick already armed
+        # and may cancel this handle to stop the chain.
+        self._pending = self.sim.schedule(self.interval, self._fire)
+        self.callback(*self.args)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._pending.cancel()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"RecurringHandle(every={self.interval!r}, {state})"
 
 
 class Process:

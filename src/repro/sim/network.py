@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.obs.tracing import NETWORK_STAGE, EventTracer
 from repro.sim.kernel import Process, SimulationError, Simulator
 
 
@@ -248,12 +249,15 @@ class Network:
         default_latency: Optional[float] = None,
         sizer: Callable[[Any], int] = _default_sizer,
         faults: Optional[FaultPlan] = None,
+        tracer: Optional[EventTracer] = None,
     ):
         self.sim = sim
         self.default_latency = default_latency
         self.sizer = sizer
         self.stats = NetworkStats()
         self.faults = faults
+        #: Causal span tracer: wire-level drop/dup spans when enabled.
+        self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
         self._links: Dict[Tuple[int, int], Link] = {}
         self._partitioned: set = set()
         self._disconnected: set = set()
@@ -340,6 +344,14 @@ class Network:
         size = self.sizer(message)
         if pair in self._partitioned or src.crashed or dst.crashed:
             self.stats.record_drop(link, size)
+            if self.tracer.enabled:
+                if pair in self._partitioned:
+                    reason = "partition"
+                elif src.crashed:
+                    reason = "src-crashed"
+                else:
+                    reason = "dst-crashed"
+                self._trace_wire("drop", src, dst, message, reason)
             return
         if link is None:
             if self.default_latency is None:
@@ -355,6 +367,8 @@ class Network:
         )
         if outcome is not None and outcome[0]:
             self.stats.record_drop(link, size)
+            if self.tracer.enabled:
+                self._trace_wire("drop", src, dst, message, "fault-loss")
             return
         delays = outcome[1] if outcome is not None else (0.0,)
         link.messages += 1
@@ -362,6 +376,8 @@ class Network:
         self.stats.record(link, size)
         for extra in delays[1:]:
             self.stats.record_duplicate(link, size)
+            if self.tracer.enabled:
+                self._trace_wire("dup", src, dst, message, "fault-duplicate")
         for extra in delays:
             self.sim.schedule(link.latency + extra, self._deliver, link, message)
 
@@ -370,5 +386,39 @@ class Network:
         fails is lost with it (and accounted as dropped)."""
         if link.dst.crashed:
             self.stats.record_drop(link, self.sizer(message))
+            if self.tracer.enabled:
+                self._trace_wire(
+                    "drop", link.src, link.dst, message, "crashed-in-flight"
+                )
             return
         link.dst.receive(message, link.src)
+
+    def _trace_wire(
+        self, kind: str, src: Process, dst: Process, message: Any, reason: str
+    ) -> None:
+        """Record a wire-level span (drop or duplicate) for one send.
+
+        Event payloads (anything carrying an envelope, or a batch of
+        them) get one span per event id so traces can explain a missing
+        or repeated delivery; control payloads get a single anonymous
+        span.  Duck-typed so the sim layer stays free of overlay imports.
+        """
+        node = f"{src.name}->{dst.name}"
+        details = (("reason", reason), ("payload", type(message).__name__))
+        envelope = getattr(message, "envelope", None)
+        if envelope is not None:
+            ids = (envelope.event_id,)
+        else:
+            publishes = getattr(message, "publishes", None)
+            if publishes is not None:
+                ids = tuple(p.envelope.event_id for p in publishes)
+            else:
+                ids = ()
+        if ids:
+            for event_id in ids:
+                self.tracer.span(
+                    self.sim.now, kind, node, NETWORK_STAGE,
+                    trace_id=event_id, details=details,
+                )
+        else:
+            self.tracer.span(self.sim.now, kind, node, NETWORK_STAGE, details=details)

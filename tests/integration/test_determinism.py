@@ -14,7 +14,9 @@ from repro.sim.rng import RngRegistry
 def run(seed):
     rngs = RngRegistry(seed)
     workload = BibliographicWorkload(rngs.stream("records"), n_records=150)
-    system = MultiStageEventSystem(stage_sizes=(6, 3, 1), seed=seed, trace=True)
+    system = MultiStageEventSystem(
+        stage_sizes=(6, 3, 1), seed=seed, trace=True, tracing=True
+    )
     system.advertise(
         BIB_EVENT_CLASS, schema=workload.schema,
         association=workload.association(4),
@@ -58,6 +60,10 @@ def test_identical_seed_identical_everything():
     homes_b = {s.name: s.home_of(s.subscriptions()[0].subscription_id).name
                for s in system_b.subscribers}
     assert homes_a == homes_b
+    # The causal trace is part of "everything": same seed, same spans,
+    # byte for byte.
+    assert len(system_a.tracer) > 0
+    assert system_a.tracer.dump() == system_b.tracer.dump()
 
 
 def test_different_seed_differs_somewhere():

@@ -49,6 +49,12 @@ class TestSummarize:
     def test_str(self):
         assert "n=2" in str(summarize([1.0, 2.0]))
 
+    def test_empty_renders_no_deliveries_not_zero_latency(self):
+        # Regression: an empty sample used to render like a perfect
+        # zero-latency run; it must announce itself instead.
+        assert str(summarize([])) == "n=0 (no deliveries)"
+        assert "mean" not in str(summarize([]))
+
 
 class Ping:
     def get_target(self):

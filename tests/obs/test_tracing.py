@@ -1,0 +1,162 @@
+"""Unit tests for the causal tracing core (obs/tracing.py)."""
+
+import pytest
+
+from repro.obs.tracing import (
+    EventTracer,
+    PUBLISHER_STAGE,
+    SUBSCRIBER_STAGE,
+    Span,
+    reconstruct_paths,
+)
+
+
+def _publish(tracer, t, node, trace_id):
+    tracer.span(t, "publish", node, PUBLISHER_STAGE, trace_id,
+                (("class", "Quote"),))
+
+
+def _hop(tracer, t, node, stage, trace_id, src):
+    tracer.span(t, "hop", node, stage, trace_id,
+                (("src", src), ("cache", "miss"), ("matched", True)))
+
+
+def _deliver(tracer, t, node, trace_id, src, delivered=1):
+    tracer.span(t, "deliver", node, SUBSCRIBER_STAGE, trace_id,
+                (("src", src), ("delivered", delivered)))
+
+
+class TestEventTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = EventTracer(enabled=False)
+        _publish(tracer, 0.0, "pub", ("pub", 1))
+        assert len(tracer) == 0
+        assert tracer.dump() == b""
+        assert tracer.event_ids() == []
+
+    def test_spans_get_sequential_seq_numbers(self):
+        tracer = EventTracer(enabled=True)
+        _publish(tracer, 0.0, "pub", ("pub", 1))
+        _hop(tracer, 0.1, "N1.1", 1, ("pub", 1), "pub")
+        assert [s.seq for s in tracer] == [0, 1]
+
+    def test_for_event_filters_and_preserves_order(self):
+        tracer = EventTracer(enabled=True)
+        _publish(tracer, 0.0, "pub", ("pub", 1))
+        _publish(tracer, 0.0, "pub", ("pub", 2))
+        _hop(tracer, 0.1, "N1.1", 1, ("pub", 1), "pub")
+        spans = tracer.for_event(("pub", 1))
+        assert [s.kind for s in spans] == ["publish", "hop"]
+        assert all(s.trace_id == ("pub", 1) for s in spans)
+
+    def test_event_ids_first_seen_order_skips_control_spans(self):
+        tracer = EventTracer(enabled=True)
+        tracer.span(0.0, "retransmit", "N1.1", 1, None, (("frames", 2),))
+        _publish(tracer, 0.1, "pub", ("pub", 2))
+        _publish(tracer, 0.2, "pub", ("pub", 1))
+        _hop(tracer, 0.3, "N1.1", 1, ("pub", 2), "pub")
+        assert tracer.event_ids() == [("pub", 2), ("pub", 1)]
+
+    def test_kinds_selects_multiple(self):
+        tracer = EventTracer(enabled=True)
+        _publish(tracer, 0.0, "pub", ("pub", 1))
+        tracer.span(0.1, "drop", "a->b", -2, ("pub", 1))
+        tracer.span(0.2, "dup", "a->b", -2, ("pub", 1))
+        assert [s.kind for s in tracer.kinds("drop", "dup")] == ["drop", "dup"]
+
+    def test_dump_is_deterministic_and_line_per_span(self):
+        def build():
+            tracer = EventTracer(enabled=True)
+            _publish(tracer, 0.0, "pub", ("pub", 1))
+            _hop(tracer, 0.125, "N1.1", 1, ("pub", 1), "pub")
+            return tracer
+
+        a, b = build(), build()
+        assert a.dump() == b.dump()
+        assert len(a.dump().splitlines()) == len(a)
+
+    def test_span_render_includes_identity_and_details(self):
+        span = Span(7, 1.5, "hop", "N2.1", 2, ("pub", 3),
+                    (("src", "N3.1"), ("fanout", 2)))
+        text = span.render()
+        assert text.startswith("7 t=1.5 hop @N2.1 stage=2 id=pub/3")
+        assert "src='N3.1'" in text and "fanout=2" in text
+
+    def test_clear_resets_sequence(self):
+        tracer = EventTracer(enabled=True)
+        _publish(tracer, 0.0, "pub", ("pub", 1))
+        tracer.clear()
+        _publish(tracer, 0.0, "pub", ("pub", 1))
+        assert [s.seq for s in tracer] == [0]
+
+
+class TestReconstruction:
+    def _traced_delivery(self):
+        tracer = EventTracer(enabled=True)
+        trace_id = ("pub", 4)
+        _publish(tracer, 0.0, "pub", trace_id)
+        _hop(tracer, 0.1, "N2.1", 2, trace_id, "pub")
+        _hop(tracer, 0.2, "N1.1", 1, trace_id, "N2.1")
+        _deliver(tracer, 0.3, "alice", trace_id, "N1.1")
+        return tracer, trace_id
+
+    def test_complete_chain_reconstructs_source_first(self):
+        tracer, trace_id = self._traced_delivery()
+        (path,) = tracer.reconstruct(trace_id)
+        assert path.complete and path.delivered
+        assert path.subscriber == "alice"
+        assert [s.node for s in path.spans] == ["pub", "N2.1", "N1.1", "alice"]
+        assert path.hop_latencies == [
+            ("N2.1", 2, pytest.approx(0.1)),
+            ("N1.1", 1, pytest.approx(0.1)),
+            ("alice", 0, pytest.approx(0.1)),
+        ]
+        assert "complete, delivered" in path.render()
+
+    def test_missing_hop_breaks_the_chain(self):
+        tracer = EventTracer(enabled=True)
+        trace_id = ("pub", 9)
+        _publish(tracer, 0.0, "pub", trace_id)
+        # No stage-2 hop recorded: the stage-1 hop points at a node with
+        # no span of its own.
+        _hop(tracer, 0.2, "N1.1", 1, trace_id, "N2.1")
+        _deliver(tracer, 0.3, "alice", trace_id, "N1.1")
+        (path,) = tracer.reconstruct(trace_id)
+        assert not path.complete
+        assert path.delivered
+        assert tracer.incomplete_deliveries() == [path]
+        assert "BROKEN" in path.render()
+
+    def test_filtered_out_delivery_is_not_incomplete(self):
+        tracer = EventTracer(enabled=True)
+        trace_id = ("pub", 2)
+        _deliver(tracer, 0.3, "alice", trace_id, "ghost", delivered=0)
+        (path,) = tracer.reconstruct(trace_id)
+        assert not path.complete and not path.delivered
+        assert tracer.incomplete_deliveries() == []
+        assert "filtered out" in path.render()
+
+    def test_duplicate_hops_keep_first_and_terminate(self):
+        tracer, trace_id = self._traced_delivery()
+        # A fault-injected duplicate repeats the same edge later.
+        _hop(tracer, 0.4, "N1.1", 1, trace_id, "N2.1")
+        (path,) = tracer.reconstruct(trace_id)
+        assert path.complete
+        assert [s.time for s in path.spans] == [0.0, 0.1, 0.2, 0.3]
+
+    def test_cycle_in_src_links_terminates(self):
+        spans = [
+            Span(0, 0.1, "hop", "A", 2, ("p", 1), (("src", "B"),)),
+            Span(1, 0.2, "hop", "B", 1, ("p", 1), (("src", "A"),)),
+            Span(2, 0.3, "deliver", "s", 0, ("p", 1),
+                 (("src", "A"), ("delivered", 1))),
+        ]
+        (path,) = reconstruct_paths(spans)
+        assert not path.complete  # walk must not loop forever
+
+    def test_two_subscribers_two_paths(self):
+        tracer, trace_id = self._traced_delivery()
+        _deliver(tracer, 0.35, "bob", trace_id, "N1.1")
+        paths = tracer.reconstruct(trace_id)
+        assert sorted(p.subscriber for p in paths) == ["alice", "bob"]
+        assert all(p.complete for p in paths)

@@ -11,8 +11,8 @@ from repro.core.engine import MultiStageEventSystem
 from repro.experiments.chaos import ChaosConfig, run_chaos
 from repro.overlay.channel import DEFAULT_RTO, ReliableReceiver, ReliableSender
 from repro.overlay.invariants import covering_violations
-from repro.overlay.messages import Ack, Sequenced
-from repro.sim.kernel import Simulator
+from repro.overlay.messages import Ack, ChannelReset, Sequenced
+from repro.sim.kernel import Process, Simulator
 from repro.sim.network import FaultPlan
 
 SCHEMA = ("class", "price", "symbol")
@@ -146,6 +146,61 @@ def test_chaos_sender_retransmits_until_acked():
     assert sender.idle
     sim.run()
     assert len(wire.frames) == 3  # ack disarmed the timer
+
+
+def test_chaos_stale_timer_from_dead_epoch_is_inert():
+    """Regression: a retransmit timer armed in epoch N must do nothing
+    when it fires after a reset bumped the channel to epoch N+1 — and
+    must not null out the live epoch's timer reference, which would let
+    the live channel arm a second timer and run two concurrent
+    retransmit loops."""
+    sim = Simulator()
+    wire = _Wire()
+    sender = ReliableSender(sim, wire.send, wire.on_retransmit)
+    sender.send("old")  # arms the epoch-0 timer
+    sender.reset()  # epoch 1: cancels the timer...
+    sender.send("new")  # live epoch-1 frame + fresh timer
+    live_timer = sender._timer
+    frames_before = len(wire.frames)
+    # ...but simulate the race where the stale callback still runs (it
+    # escaped cancellation in the same instant as the reset).
+    sender._on_timeout(0)
+    assert len(wire.frames) == frames_before  # no dead-epoch retransmit
+    assert wire.retransmits == 0
+    assert sender._timer is live_timer  # live timer reference untouched
+    # The live channel still retransmits normally afterwards.
+    sim.run(until=DEFAULT_RTO * 1.5)
+    assert wire.retransmits == 1
+    assert wire.frames[-1].epoch == 1
+
+
+def test_chaos_peer_channel_state_keyed_by_stable_name():
+    """Regression: ``_peer_incarnations`` / ``_receivers`` used to key by
+    ``id(sender)``; after the old peer object was garbage-collected a
+    recycled id could inherit its incarnation and silently discard the
+    new peer's legitimate ChannelReset.  Channel history must follow the
+    stable process *name* (unique per network), not the object."""
+    system = make_system()
+    pinned_subscribe(system, "alice", 'class = "Quote" and price < 10')
+    home = system.hierarchy.stage1_nodes()[0]
+    parent = home.parent
+    # The reliable control traffic above left receiver state at the
+    # parent, keyed by the child's name.
+    assert home.name in parent._receivers
+    # A reset from the child is recorded under its name and drops the
+    # channel state.
+    parent.receive(ChannelReset(1), home)
+    assert parent._peer_incarnations[home.name] == 1
+    assert home.name not in parent._receivers
+    # The same identity re-announcing through a *different* object (the
+    # restarted process, old object gone): a duplicate of incarnation 1
+    # is recognized as stale and ignored...
+    reborn = Process(system.sim, home.name)
+    parent.receive(ChannelReset(1), reborn)
+    assert parent._peer_incarnations[home.name] == 1
+    # ...while a newer incarnation from it applies.
+    parent.receive(ChannelReset(2), reborn)
+    assert parent._peer_incarnations[home.name] == 2
 
 
 def test_chaos_sender_reset_opens_new_epoch():
@@ -331,12 +386,24 @@ def test_chaos_experiment_gate_smoke():
     assert result.dropped_messages > 0
 
 
+def test_chaos_zero_delivery_run_fails_loudly():
+    """Satellite gate: a chaos run that delivers nothing must raise, not
+    sail through the ratio gates on an all-zero latency summary."""
+    with pytest.raises(RuntimeError, match="zero events"):
+        run_chaos(ChaosConfig(n_subscribers=0, events_per_phase=5))
+
+
 @pytest.mark.parametrize("seed", [3, 9])
 def test_chaos_runs_are_deterministic(seed):
-    """Two chaos runs with one seed produce byte-identical measurements."""
+    """Two chaos runs with one seed produce byte-identical measurements —
+    including the causal trace dump and the sampled stage series."""
 
     def measure():
-        r = run_chaos(ChaosConfig(n_subscribers=6, events_per_phase=8, seed=seed))
+        r = run_chaos(
+            ChaosConfig(
+                n_subscribers=6, events_per_phase=8, seed=seed, tracing=True
+            )
+        )
         return (
             r.pre_ratio,
             r.during_ratio,
@@ -345,6 +412,12 @@ def test_chaos_runs_are_deterministic(seed):
             r.control_retransmits,
             r.dropped_messages,
             r.duplicated_messages,
+            r.tracer.dump(),
+            tuple(r.sampler.times),
+            tuple(
+                (name, tuple(series))
+                for name, series in r.sampler.node_series("events_per_s")
+            ),
         )
 
     assert measure() == measure()
