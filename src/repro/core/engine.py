@@ -36,6 +36,7 @@ from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.parser import parse_filter
 from repro.filters.table import FilterTable
+from repro.flow import FlowConfig
 from repro.obs.sampling import StageSampler
 from repro.obs.tracing import EventTracer
 from repro.overlay.hierarchy import Hierarchy, build_hierarchy
@@ -86,6 +87,9 @@ class MultiStageEventSystem:
         aggregate: bool = True,
         reliable: bool = True,
         tracing: bool = False,
+        flow: Optional[FlowConfig] = None,
+        service_rate: Optional[float] = None,
+        service_batch: int = 16,
     ):
         if engine not in ("index", "table"):
             raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
@@ -97,6 +101,9 @@ class MultiStageEventSystem:
             self.sim, default_latency=link_latency, tracer=self.tracer
         )
         self.reliable = reliable
+        #: Flow-control knobs, plumbed to every broker/publisher/subscriber
+        #: this system creates (None = flow control off).
+        self.flow = flow
         self.rngs = RngRegistry(seed)
         self.trace = TraceRecorder(enabled=trace)
         engine_factory = CountingIndex if engine == "index" else FilterTable
@@ -116,6 +123,9 @@ class MultiStageEventSystem:
             aggregate=aggregate,
             reliable=reliable,
             tracer=self.tracer,
+            flow=flow,
+            service_rate=service_rate,
+            service_batch=service_batch,
         )
         #: Per-stage time-series sampler (armed by :meth:`start_sampling`).
         self.sampler: Optional[StageSampler] = None
@@ -141,7 +151,12 @@ class MultiStageEventSystem:
         self._names += 1
         return f"{prefix}-{self._names}"
 
-    def create_publisher(self, name: Optional[str] = None) -> PublisherRuntime:
+    def create_publisher(
+        self,
+        name: Optional[str] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
+    ) -> PublisherRuntime:
         publisher = PublisherRuntime(
             self.sim,
             self.network,
@@ -149,6 +164,9 @@ class MultiStageEventSystem:
             self.root,
             types=self.types,
             tracer=self.tracer,
+            flow=self.flow,
+            rate_limit=rate_limit,
+            burst=burst,
         )
         self.publishers.append(publisher)
         return publisher
@@ -163,6 +181,7 @@ class MultiStageEventSystem:
             trace=self.trace,
             reliable=self.reliable,
             tracer=self.tracer,
+            flow=self.flow,
         )
         self.subscribers.append(subscriber)
         return subscriber
@@ -478,6 +497,20 @@ class MultiStageEventSystem:
 
     def total_subscriptions(self) -> int:
         return sum(len(s.subscriptions()) for s in self.subscribers)
+
+    def total_queue_depth(self) -> int:
+        """Events queued anywhere in the system right now: broker inbound
+        and outbound queues plus publisher credit-blocked local queues —
+        the quantity the flow-control memory bound caps."""
+        depth = sum(node.queue_depth() for node in self.hierarchy.nodes())
+        depth += sum(p.pending_count for p in self.publishers)
+        return depth
+
+    def total_events_shed(self) -> int:
+        """Events shed across all brokers and publishers."""
+        total = sum(n.counters.events_shed for n in self.hierarchy.nodes())
+        total += sum(p.counters.events_shed for p in self.publishers)
+        return total
 
     def counters_by_stage(self) -> Dict[int, List[Tuple[str, Any]]]:
         """``{stage: [(name, NodeCounters), ...]}`` including stage 0."""

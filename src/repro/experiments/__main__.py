@@ -4,13 +4,16 @@ Usage::
 
     python -m repro.experiments [--quick] [rlc] [figure7] [comparison]
                                 [ablations] [scalability] [multiclass]
-                                [chaos] [tracing] [--event=PUB/SEQ]
+                                [chaos] [tracing] [overload]
+                                [--event=PUB/SEQ]
 
 With no experiment names, everything runs.  ``--quick`` swaps the
 paper-scale configurations for CI-sized ones (seconds instead of tens of
 seconds).  ``tracing`` runs the chaos sweep with the observability layer
 on and prints the trace report; ``--event=chaos-feed/12`` additionally
-reconstructs that event's publisher-to-subscriber path.
+reconstructs that event's publisher-to-subscriber path.  ``overload``
+sweeps offered load past saturation with and without the flow-control
+subsystem (credits, bounded queues, shedding).
 """
 
 import sys
@@ -20,6 +23,7 @@ from repro.experiments import (
     chaos,
     comparison,
     figure7,
+    overload,
     rlc_table,
     scalability,
     tracing,
@@ -44,7 +48,7 @@ def main(argv) -> int:
             event_id = (publisher, int(sequence))
     all_experiments = {
         "rlc", "figure7", "comparison", "ablations", "scalability", "multiclass",
-        "chaos", "tracing",
+        "chaos", "tracing", "overload",
     }
     wanted = set(args) or all_experiments
     unknown = wanted - all_experiments
@@ -104,6 +108,12 @@ def main(argv) -> int:
         print("Observability: causal tracing + per-stage sampling")
         print("=" * 72)
         tracing.run(event_id=event_id)
+        print()
+    if "overload" in wanted:
+        print("=" * 72)
+        print("Overload sweep: flow control, backpressure, shedding")
+        print("=" * 72)
+        overload.run()
     return 0
 
 

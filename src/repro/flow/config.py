@@ -1,0 +1,82 @@
+"""Configuration bundle for the flow-control subsystem."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.flow.shedding import POLICIES
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Knobs for credit flow control, shedding, and overload detection.
+
+    Passing a ``FlowConfig`` to :class:`~repro.core.engine.
+    MultiStageEventSystem` (or directly to brokers/publishers) turns the
+    subsystem on; ``None`` keeps the pre-flow behaviour bit-for-bit.
+    """
+
+    #: Broker inbound event queue bound (events awaiting processing).
+    queue_capacity: int = 128
+    #: Per-downstream-link bound on events blocked waiting for credits.
+    outbound_capacity: int = 64
+    #: Credits a data link starts with (receiver grants them back
+    #: one-for-one as it processes, so this is the max in-flight +
+    #: receiver-queued events per link).
+    link_window: int = 32
+    #: Bound on a reliable control channel's outstanding-frame set.
+    control_window: int = 64
+    #: Shedding policy on queue overflow: one of
+    #: ``drop_tail`` / ``drop_oldest`` / ``priority_by_selectivity``.
+    policy: str = "drop_tail"
+    #: Publisher-side local queue bound (events waiting for credits).
+    publisher_queue_capacity: int = 256
+    #: Publisher token-bucket rate in events/s (``None`` = no limiter).
+    publisher_rate: Optional[float] = None
+    #: Publisher token-bucket burst size.
+    publisher_burst: float = 16.0
+    #: Overload detector: EWMA smoothing factor for queue depth.
+    ewma_alpha: float = 0.4
+    #: Enter OVERLOADED when the EWMA exceeds this fraction of
+    #: ``queue_capacity``...
+    overload_high: float = 0.75
+    #: ...and return to NORMAL when it falls below this fraction
+    #: (hysteresis: ``overload_low < overload_high``).
+    overload_low: float = 0.25
+    #: Effective inbound capacity fraction while OVERLOADED (shedding
+    #: mode: admit less, recover faster).
+    overload_capacity_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.outbound_capacity < 1:
+            raise ValueError(
+                f"outbound_capacity must be >= 1, got {self.outbound_capacity}"
+            )
+        if self.link_window < 1:
+            raise ValueError(f"link_window must be >= 1, got {self.link_window}")
+        if self.control_window < 1:
+            raise ValueError(f"control_window must be >= 1, got {self.control_window}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown shedding policy {self.policy!r}; have {POLICIES}")
+        if self.publisher_queue_capacity < 1:
+            raise ValueError(
+                "publisher_queue_capacity must be >= 1, got "
+                f"{self.publisher_queue_capacity}"
+            )
+        if self.publisher_rate is not None and self.publisher_rate <= 0:
+            raise ValueError(
+                f"publisher_rate must be positive, got {self.publisher_rate}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if not 0.0 <= self.overload_low < self.overload_high:
+            raise ValueError(
+                "need 0 <= overload_low < overload_high, got "
+                f"low={self.overload_low} high={self.overload_high}"
+            )
+        if not 0.0 < self.overload_capacity_factor <= 1.0:
+            raise ValueError(
+                "overload_capacity_factor must be in (0, 1], got "
+                f"{self.overload_capacity_factor}"
+            )

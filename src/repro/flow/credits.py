@@ -1,0 +1,56 @@
+"""Sender-side credit window for one data link.
+
+The scheme is receiver-driven: a link starts with ``capacity`` credits;
+the sender spends one per event it puts on the wire and the receiver
+grants them back one-for-one as it *processes* (not merely receives)
+events, so the window bounds in-flight + receiver-queued events.  Grants
+travel on the reliable control channel, which makes the loop loss-proof:
+a grant dropped by the wire is retransmitted until acked.
+
+Crash handling is reset-to-full: a restarting peer announces a fresh
+incarnation (``ChannelReset`` or a new channel epoch) and both sides
+discard their window state — credits consumed by events that died with
+the crash are not leaked, they are forgotten with the incarnation.
+"""
+
+
+class CreditWindow:
+    """Spend/grant bookkeeping for the sending side of one link."""
+
+    __slots__ = ("capacity", "available", "stalls")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"credit window capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.available = capacity
+        #: Times ``take`` failed (the sender had to queue locally).
+        self.stalls = 0
+
+    def take(self, n: int = 1) -> bool:
+        """Spend ``n`` credits; False (and no change) when short."""
+        if self.available >= n:
+            self.available -= n
+            return True
+        self.stalls += 1
+        return False
+
+    def grant(self, n: int) -> None:
+        """Receiver granted ``n`` credits back (capped at capacity: the
+        receiver only grants for events this window paid for, so the cap
+        can bind only across an incarnation mismatch — where full is the
+        correct, deadlock-free answer)."""
+        if n < 0:
+            raise ValueError(f"cannot grant negative credits ({n})")
+        self.available = min(self.capacity, self.available + n)
+
+    def reset(self) -> None:
+        """Back to a full window (peer lost its state: fresh incarnation)."""
+        self.available = self.capacity
+
+    @property
+    def exhausted(self) -> bool:
+        return self.available == 0
+
+    def __repr__(self) -> str:
+        return f"CreditWindow({self.available}/{self.capacity})"

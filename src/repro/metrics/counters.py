@@ -87,6 +87,21 @@ class NodeCounters:
     control_retransmits: int = 0
     #: Duplicate reliable-channel frames discarded on receipt.
     control_dups_discarded: int = 0
+    #: Events shed by any bounded queue this node owns (total).
+    events_shed: int = 0
+    #: ``events_shed`` broken down by reason ("queue-overflow",
+    #: "outbound-overflow", "offline-buffer", "peer-reset", ...).
+    sheds_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Flow-control credits granted to upstream senders.
+    credits_granted: int = 0
+    #: Sends that found the link credit window exhausted.
+    credit_stalls: int = 0
+    #: Publishes refused by the publisher's token-bucket rate limiter.
+    rate_limited: int = 0
+    #: Overload-detector state transitions (either direction).
+    overload_transitions: int = 0
+    #: Durable offline-buffer drops per subscriber name.
+    offline_drops: Dict[str, int] = field(default_factory=dict)
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -95,6 +110,11 @@ class NodeCounters:
             self.events_matched += 1
         self.events_forwarded += forwarded_to
         self.filter_evaluations += evaluations
+
+    def on_shed(self, reason: str, count: int = 1) -> None:
+        """Record ``count`` events shed for ``reason``."""
+        self.events_shed += count
+        self.sheds_by_reason[reason] = self.sheds_by_reason.get(reason, 0) + count
 
     def on_batch(self, size: int) -> None:
         """Record one dispatch wakeup processing a run of ``size`` events."""
@@ -135,4 +155,9 @@ class NodeCounters:
             "propagated_filters": self.propagated_filters,
             "control_retransmits": self.control_retransmits,
             "control_dups_discarded": self.control_dups_discarded,
+            "events_shed": self.events_shed,
+            "credits_granted": self.credits_granted,
+            "credit_stalls": self.credit_stalls,
+            "rate_limited": self.rate_limited,
+            "overload_transitions": self.overload_transitions,
         }

@@ -226,6 +226,98 @@ def render_reliability_summary(
     return f"{title}\n{table}"
 
 
+def aggregate_flow_counters(
+    counters: Iterable[NodeCounters],
+) -> dict:
+    """Fold per-node flow-control counters into system-wide totals."""
+    totals = {
+        "events_shed": 0,
+        "sheds_by_reason": {},
+        "credits_granted": 0,
+        "credit_stalls": 0,
+        "rate_limited": 0,
+        "overload_transitions": 0,
+    }
+    for counter in counters:
+        totals["events_shed"] += counter.events_shed
+        for reason, count in counter.sheds_by_reason.items():
+            totals["sheds_by_reason"][reason] = (
+                totals["sheds_by_reason"].get(reason, 0) + count
+            )
+        totals["credits_granted"] += counter.credits_granted
+        totals["credit_stalls"] += counter.credit_stalls
+        totals["rate_limited"] += counter.rate_limited
+        totals["overload_transitions"] += counter.overload_transitions
+    return totals
+
+
+def render_flow_summary(
+    named_counters: Iterable[Tuple[str, NodeCounters]],
+    title: str = "Flow control / overload protection",
+) -> str:
+    """Per-location shed/credit/overload counters, plus a totals row.
+
+    The per-reason shed breakdown is appended below the table (reasons
+    sorted by name so the output is deterministic)."""
+    rows: List[List[Any]] = []
+    all_counters: List[NodeCounters] = []
+    for name, counter in named_counters:
+        all_counters.append(counter)
+        rows.append(
+            [
+                name,
+                counter.events_shed,
+                counter.credits_granted,
+                counter.credit_stalls,
+                counter.rate_limited,
+                counter.overload_transitions,
+            ]
+        )
+    totals = aggregate_flow_counters(all_counters)
+    rows.append(
+        [
+            "TOTAL",
+            totals["events_shed"],
+            totals["credits_granted"],
+            totals["credit_stalls"],
+            totals["rate_limited"],
+            totals["overload_transitions"],
+        ]
+    )
+    table = render_table(
+        ["Location", "Shed", "Credits", "Stalls", "Rate-limited", "Overloads"],
+        rows,
+    )
+    out = [title, table]
+    if totals["sheds_by_reason"]:
+        out.append("Sheds by reason:")
+        for reason in sorted(totals["sheds_by_reason"]):
+            out.append(f"  {reason}: {totals['sheds_by_reason'][reason]}")
+    return "\n".join(out)
+
+
+def render_offline_drop_summary(
+    named_counters: Iterable[Tuple[str, NodeCounters]],
+    title: str = "Durable offline-buffer drops",
+) -> str:
+    """Per-subscriber durable-buffer drops, grouped by the home broker
+    that shed them.  A durable subscriber that was offline longer than
+    its buffer capacity allows shows up here — the explicit, observable
+    form of what used to be a silent ``popleft``."""
+    rows: List[List[Any]] = []
+    total = 0
+    for name, counter in named_counters:
+        for subscriber in sorted(counter.offline_drops):
+            dropped = counter.offline_drops[subscriber]
+            rows.append([name, subscriber, dropped])
+            total += dropped
+    if not rows:
+        rows = [["(none)", "-", 0]]
+    rows.append(["TOTAL", "", total])
+    table = render_table(["Home broker", "Subscriber", "Dropped"], rows)
+    return f"{title}\n{table}"
+
+
 def render_network_summary(stats: Any, title: str = "Network traffic") -> str:
     """Totals from a :class:`~repro.sim.network.NetworkStats`, including
     the loss/duplication columns the fault injector feeds."""
@@ -236,6 +328,7 @@ def render_network_summary(stats: Any, title: str = "Network traffic") -> str:
         ["dropped bytes", stats.dropped_bytes],
         ["duplicated messages", stats.duplicated_messages],
         ["duplicated bytes", stats.duplicated_bytes],
+        ["peak in-flight messages", stats.peak_in_flight],
     ]
     table = render_table(["Counter", "Value"], rows)
     return f"{title}\n{table}"

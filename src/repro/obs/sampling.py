@@ -7,10 +7,17 @@ retransmit burst subside.  :class:`StageSampler` polls every attached
 broker once per tick (driven by :meth:`Simulator.every`) and records
 
 - ``events_per_s``  — events received since the last tick / interval,
-- ``queue_depth``   — publishes waiting in the batch queue right now,
+- ``queue_depth``   — events queued at the broker right now (via the
+  node's public ``queue_depth()`` accessor: inbound + outbound + batch
+  queues),
 - ``table_size``    — distinct filters currently held,
 - ``retransmits_per_s`` — reliable-channel retransmit frames since the
   last tick / interval.
+
+The tick doubles as the overload detector's observation point: a node
+exposing an ``overload_detector`` (see :mod:`repro.flow.overload`) gets
+its queue depth fed into the EWMA on every tick — overload detection
+costs no extra timers.
 
 Sampling shares the simulator's determinism: ticks land at fixed
 simulated times, so two same-seed runs produce identical series.
@@ -79,8 +86,12 @@ class StageSampler:
             series["retransmits_per_s"].append(
                 (retransmits - self._last_retransmits[node.name]) / self.interval
             )
-            series["queue_depth"].append(float(len(node._publish_queue)))
+            depth = node.queue_depth()
+            series["queue_depth"].append(float(depth))
             series["table_size"].append(float(len(node.table)))
+            detector = getattr(node, "overload_detector", None)
+            if detector is not None:
+                detector.observe(self.sim.now, depth)
             self._last_events[node.name] = received
             self._last_retransmits[node.name] = retransmits
 

@@ -19,6 +19,13 @@ Control-plane occurrences record spans with ``trace_id=None``:
 ``channel-reset`` (sender/receiver sides of a channel incarnation bump),
 and wire-level ``drop`` / ``dup`` spans from the fault injector.
 
+Flow control (see :mod:`repro.flow`) adds three kinds: ``shed`` (an
+event dropped by a bounded queue — carries the reason, and the event's
+trace id when one exists, so a missing delivery is explainable),
+``credit-grant`` (credits flowing back upstream, ``trace_id=None``), and
+``overload`` (a broker's overload-detector transition, with the new
+state and the queue-depth EWMA).
+
 Determinism: spans are appended in simulator execution order, which is
 deterministic for a fixed seed; every recorded value is derived from
 names, simulated times, and counters — never from ``id()``, wall clocks,
@@ -142,9 +149,14 @@ class EventTracer:
         wanted = set(kinds)
         return [s for s in self._spans if s.kind in wanted]
 
-    def dump(self) -> bytes:
-        """Byte-deterministic serialization of the whole trace."""
-        return "\n".join(s.render() for s in self._spans).encode("utf-8")
+    def dump(self, kinds: Optional[Tuple[str, ...]] = None) -> bytes:
+        """Byte-deterministic serialization of the trace.
+
+        ``kinds`` restricts the dump to the given span kinds (the
+        determinism gates compare e.g. only shed/credit/overload spans
+        across same-seed runs)."""
+        spans = self._spans if kinds is None else self.kinds(*kinds)
+        return "\n".join(s.render() for s in spans).encode("utf-8")
 
     # ------------------------------------------------------------------
     # Path reconstruction

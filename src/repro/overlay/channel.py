@@ -22,8 +22,8 @@ with no state adopt the first frame they see, which tolerates receivers
 that themselves lost state.
 """
 
-from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.overlay.messages import Ack, Sequenced
 from repro.sim.kernel import Simulator
@@ -55,6 +55,17 @@ class ReliableSender:
     otherwise retransmit and recount frames from the dead epoch and
     null out the live epoch's timer reference, leaving two concurrent
     retransmit loops.
+
+    **Bounded send window**: with ``window`` set, at most that many
+    frames are outstanding (unacked) at once; further sends queue as
+    raw payloads in ``pending`` and frame up as acks open the window —
+    the outstanding-frame set, previously the one unbounded queue of
+    the control plane, becomes a hard bound and backpressure lands on
+    the local ``pending`` queue instead of the wire.  Receivers with a
+    configured capacity additionally advertise their free buffer space
+    on every ack (``Ack.credits``), and the sender caps its effective
+    window to the advertisement — credit flow control piggybacked on
+    the acks that flow anyway.
     """
 
     __slots__ = (
@@ -62,6 +73,9 @@ class ReliableSender:
         "send_raw",
         "on_retransmit",
         "observer",
+        "window",
+        "peer_credits",
+        "pending",
         "epoch",
         "next_seq",
         "unacked",
@@ -75,21 +89,45 @@ class ReliableSender:
         send_raw: Callable[[Any], None],
         on_retransmit: Optional[Callable[[int], None]] = None,
         observer: Optional[Callable[[int, tuple], None]] = None,
+        window: Optional[int] = None,
     ):
+        if window is not None and window < 1:
+            raise ValueError(f"send window must be >= 1, got {window}")
         self.sim = sim
         #: Puts one frame on the wire (binds owner + peer + network).
         self.send_raw = send_raw
         self.on_retransmit = on_retransmit
         #: Detailed retransmit hook ``observer(epoch, frames)`` for tracing.
         self.observer = observer
+        #: Max outstanding frames (``None`` = unbounded, the legacy mode).
+        self.window = window
+        #: Receiver-advertised buffer space (piggybacked on acks).
+        self.peer_credits: Optional[int] = None
+        #: Payloads waiting for the window to open (FIFO).
+        self.pending: Deque[Any] = deque()
         self.epoch = 0
         self.next_seq = 0
         self.unacked: "OrderedDict[int, Sequenced]" = OrderedDict()
         self.rto = DEFAULT_RTO
         self._timer: Optional[Any] = None
 
+    def _window_full(self) -> bool:
+        limit = self.window
+        if self.peer_credits is not None:
+            limit = self.peer_credits if limit is None else min(limit, self.peer_credits)
+        return limit is not None and len(self.unacked) >= limit
+
     def send(self, payload: Any) -> None:
-        """Frame and transmit one payload; retransmit until acked."""
+        """Frame and transmit one payload; retransmit until acked.
+
+        When the send window is closed the payload queues locally and
+        goes out (in order) as acks open the window."""
+        if self.pending or self._window_full():
+            self.pending.append(payload)
+            return
+        self._transmit(payload)
+
+    def _transmit(self, payload: Any) -> None:
         frame = Sequenced(self.epoch, self.next_seq, payload)
         self.next_seq += 1
         self.unacked[frame.seq] = frame
@@ -99,8 +137,11 @@ class ReliableSender:
     def on_ack(self, ack: Ack) -> None:
         if ack.epoch != self.epoch:
             return
+        if ack.credits is not None:
+            self.peer_credits = ack.credits
         acked = [seq for seq in self.unacked if seq <= ack.seq]
         if not acked:
+            self._drain_pending()
             return
         for seq in acked:
             del self.unacked[seq]
@@ -109,16 +150,24 @@ class ReliableSender:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        self._drain_pending()
         if self.unacked:
             self._arm()
 
+    def _drain_pending(self) -> None:
+        while self.pending and not self._window_full():
+            self._transmit(self.pending.popleft())
+
     def reset(self) -> None:
         """Start a fresh incarnation of the channel (sender lost state or
-        was told the receiver did).  Unacked frames are abandoned — the
-        caller follows up with a full state refresh (renewal)."""
+        was told the receiver did).  Unacked and pending frames are
+        abandoned — the caller follows up with a full state refresh
+        (renewal)."""
         self.epoch += 1
         self.next_seq = 0
         self.unacked.clear()
+        self.pending.clear()
+        self.peer_credits = None
         self.rto = DEFAULT_RTO
         if self._timer is not None:
             self._timer.cancel()
@@ -126,8 +175,14 @@ class ReliableSender:
 
     @property
     def idle(self) -> bool:
-        """True when every sent frame has been acknowledged."""
-        return not self.unacked
+        """True when every sent frame has been acknowledged and nothing
+        waits for the window."""
+        return not self.unacked and not self.pending
+
+    @property
+    def outstanding(self) -> int:
+        """Frames on the wire awaiting acknowledgement."""
+        return len(self.unacked)
 
     def _arm(self) -> None:
         if self._timer is None:
@@ -153,15 +208,28 @@ class ReliableSender:
 
 
 class ReliableReceiver:
-    """Receiving half: reorders, deduplicates, acks cumulatively."""
+    """Receiving half: reorders, deduplicates, acks cumulatively.
 
-    __slots__ = ("epoch", "expected", "buffer", "dups_discarded")
+    With ``capacity`` set, every ack advertises the remaining reorder
+    buffer space (``Ack.credits``), so a window-bounded sender never
+    outruns what this receiver can hold out of order."""
 
-    def __init__(self) -> None:
+    __slots__ = ("epoch", "expected", "buffer", "dups_discarded", "capacity")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"receive capacity must be >= 1, got {capacity}")
         self.epoch: Optional[int] = None
         self.expected = 0
         self.buffer: Dict[int, Sequenced] = {}
         self.dups_discarded = 0
+        self.capacity = capacity
+
+    def _ack(self) -> Ack:
+        credits = None
+        if self.capacity is not None:
+            credits = max(0, self.capacity - len(self.buffer))
+        return Ack(self.epoch, self.expected - 1, credits)
 
     def on_frame(self, frame: Sequenced, deliver: Callable[[Any], None]) -> Ack:
         """Process one frame: deliver any newly in-order payloads through
@@ -181,7 +249,7 @@ class ReliableReceiver:
         elif frame.epoch < self.epoch:
             # Stale incarnation still in flight; ack our position so a
             # confused sender stops retransmitting into the void.
-            return Ack(self.epoch, self.expected - 1)
+            return self._ack()
         if frame.seq < self.expected or frame.seq in self.buffer:
             self.dups_discarded += 1
         else:
@@ -190,7 +258,7 @@ class ReliableReceiver:
                 ready = self.buffer.pop(self.expected)
                 self.expected += 1
                 deliver(ready.payload)
-        return Ack(self.epoch, self.expected - 1)
+        return self._ack()
 
     def reset(self) -> None:
         """Forget the peer's channel (it announced a new incarnation)."""

@@ -9,6 +9,7 @@ Node names follow the paper's ``N<stage>.<index>`` convention.
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.filters.index import CountingIndex
+from repro.flow import FlowConfig
 from repro.obs.tracing import EventTracer
 from repro.overlay.node import BrokerNode, MatchEngine
 from repro.sim.kernel import Simulator
@@ -76,6 +77,9 @@ def build_hierarchy(
     aggregate: bool = True,
     reliable: bool = True,
     tracer: Optional[EventTracer] = None,
+    flow: Optional[FlowConfig] = None,
+    service_rate: Optional[float] = None,
+    service_batch: int = 16,
 ) -> Hierarchy:
     """Build a balanced broker tree.
 
@@ -113,6 +117,9 @@ def build_hierarchy(
                 aggregate=aggregate,
                 reliable=reliable,
                 tracer=tracer,
+                flow=flow,
+                service_rate=service_rate,
+                service_batch=service_batch,
             )
             for i in range(size)
         ]

@@ -7,7 +7,7 @@ renewal messages, advertisements, and event publication.
 """
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.advertisement import Advertisement
 from repro.events.serialization import Envelope
@@ -145,10 +145,19 @@ class Sequenced:
 class Ack:
     """Cumulative acknowledgement: every frame of ``epoch`` up to and
     including ``seq`` arrived (``seq`` -1 acks an empty prefix, i.e. it
-    only reports the receiver's current epoch)."""
+    only reports the receiver's current epoch).
+
+    ``credits`` piggybacks receiver-buffer flow control on the ack that
+    was going back anyway (no new round-trips): when set, it advertises
+    how many more frames the receiver can buffer, and the sender caps
+    its in-flight window to it.  ``None`` (the default, and the only
+    value produced by receivers without a configured capacity) means
+    "no advertisement" — the pre-flow-control wire format.
+    """
 
     epoch: int
     seq: int
+    credits: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -163,6 +172,22 @@ class ChannelReset:
     """
 
     incarnation: int
+
+
+@dataclass(frozen=True)
+class CreditGrant:
+    """Receiver-to-sender flow-control grant for one data link.
+
+    Grants ``credits`` more event sends on the link (the receiver issues
+    them one-for-one as it *processes* events, so the link window bounds
+    in-flight + receiver-queued events).  Grants travel on the reliable
+    control channel — a child's grants to its parent ride the existing
+    uplink sender, a root's grants to a publisher ride a dedicated
+    per-publisher channel — so a grant lost to the wire is retransmitted
+    rather than deadlocking the credit loop.
+    """
+
+    credits: int
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ from repro.filters.engine import CachedMatchEngine, MatchEngine
 from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.standard import most_general_wildcard, wildcard_attributes
+from repro.flow import BoundedQueue, CreditWindow, FlowConfig, OverloadDetector
 from repro.metrics.counters import NodeCounters
 from repro.obs.tracing import EventTracer
 from repro.overlay.channel import ReliableReceiver, ReliableSender
@@ -45,6 +46,7 @@ from repro.overlay.messages import (
     Ack,
     Advertise,
     ChannelReset,
+    CreditGrant,
     Disconnect,
     JoinAt,
     Publish,
@@ -114,10 +116,17 @@ class BrokerNode(Process):
         aggregate: bool = True,
         reliable: bool = True,
         tracer: Optional[EventTracer] = None,
+        flow: Optional[FlowConfig] = None,
+        service_rate: Optional[float] = None,
+        service_batch: int = 16,
     ):
         super().__init__(sim, name)
         if stage < 1:
             raise ValueError(f"broker stages start at 1, got {stage}")
+        if service_rate is not None and service_rate <= 0:
+            raise ValueError(f"service_rate must be positive, got {service_rate}")
+        if service_batch < 1:
+            raise ValueError(f"service_batch must be >= 1, got {service_batch}")
         self.network = network
         self.stage = stage
         self.ttl = ttl
@@ -165,9 +174,12 @@ class BrokerNode(Process):
         self._filter_class: Dict[Filter, str] = {}
         self._maintenance_handles: Dict[str, Any] = {}
         # Durable-subscription state (§2.1): offline destinations and the
-        # events buffered for the durable ones, keyed by destination id.
-        self._offline: Dict[int, Tuple[Process, bool]] = {}
-        self._buffers: Dict[int, Deque[Publish]] = {}
+        # events buffered for the durable ones.  Keyed by the destination
+        # *name* — the stable identity on this network — not id(): a
+        # recycled object id must not inherit a dead subscriber's offline
+        # flag or durable buffer across a crash/reconnect cycle.
+        self._offline: Dict[str, Tuple[Process, bool]] = {}
+        self._buffers: Dict[str, Deque[Publish]] = {}
         # Compacted match engine, rebuilt lazily after table changes.
         self._compacted: Optional[MatchEngine] = None
         self._compacted_dirty = True
@@ -179,6 +191,46 @@ class BrokerNode(Process):
         # time) per queued publish.  Only populated while the tracer is
         # enabled — the hot path never touches it otherwise.
         self._publish_meta: Deque[Tuple[str, float]] = deque()
+        # ---- Flow control / overload protection (PR 5) -----------------
+        #: Flow-control knobs (None = uncontrolled, the legacy data path).
+        self.flow = flow
+        #: Modelled processing capacity in events per simulated second
+        #: (None = infinitely fast, the legacy zero-cost model).
+        self.service_rate = service_rate
+        self.service_batch = service_batch
+        # Either knob moves event traffic onto the managed data path:
+        # a bounded inbound queue drained by an explicit service loop.
+        # Note the semantic difference from the legacy path: control
+        # messages no longer flush queued events first (a finite-speed
+        # broker cannot "catch up" instantaneously), so managed runs are
+        # an opt-in, not a bit-identical superset of the legacy schedule.
+        self._flow_managed = flow is not None or service_rate is not None
+        self._inbound = BoundedQueue(
+            flow.queue_capacity if flow is not None else None,
+            flow.policy if flow is not None else "drop_tail",
+            priority=self._entry_priority,
+        )
+        self._busy_until = 0.0
+        self._drain_paused = False
+        #: Events blocked waiting for downstream credits, per child name.
+        self._outbound: Dict[str, BoundedQueue] = {}
+        #: Sender-side credit window per downstream broker link.
+        self._downlink_credits: Dict[str, CreditWindow] = {}
+        #: Reliable channels carrying credit grants to publishers.
+        self._credit_senders: Dict[str, ReliableSender] = {}
+        #: Event sources (by name) we owe credit grants to.
+        self._event_sources: Dict[str, Process] = {}
+        self.overload_detector: Optional[OverloadDetector] = (
+            OverloadDetector(
+                flow.queue_capacity,
+                alpha=flow.ewma_alpha,
+                high=flow.overload_high,
+                low=flow.overload_low,
+                on_transition=self._on_overload_transition,
+            )
+            if flow is not None
+            else None
+        )
 
     def _new_engine(self) -> MatchEngine:
         """A fresh match engine, cache-wrapped when caching is on.
@@ -225,6 +277,13 @@ class BrokerNode(Process):
             # Acks touch only channel bookkeeping, never routing state:
             # no publish flush (batching must match the unreliable run)
             # and no control_messages count (they are overhead frames).
+            # Acks from the parent belong to the uplink; acks from a
+            # publisher belong to its credit-grant channel.
+            if sender is not self.parent:
+                credit_sender = self._credit_senders.get(sender.name)
+                if credit_sender is not None:
+                    credit_sender.on_ack(message)
+                    return
             if self._up_sender is not None:
                 self._up_sender.on_ack(message)
             return
@@ -235,14 +294,31 @@ class BrokerNode(Process):
         if isinstance(message, Sequenced):
             receiver = self._receivers.get(sender.name)
             if receiver is None:
-                receiver = self._receivers[sender.name] = ReliableReceiver()
+                capacity = (
+                    self.flow.control_window if self.flow is not None else None
+                )
+                receiver = self._receivers[sender.name] = ReliableReceiver(
+                    capacity=capacity
+                )
             before = receiver.dups_discarded
+            epoch_before = receiver.epoch
             ack = receiver.on_frame(
                 message, lambda payload: self._apply_control(payload, sender)
             )
             self.counters.control_dups_discarded += (
                 receiver.dups_discarded - before
             )
+            if (
+                self.flow is not None
+                and epoch_before is not None
+                and receiver.epoch != epoch_before
+            ):
+                # The peer opened a new channel epoch without us seeing a
+                # ChannelReset (the reset was lost to the wire): treat the
+                # epoch adoption as the reset, so its credit window comes
+                # back full instead of deadlocking on credits that died
+                # with the old incarnation.
+                self._reset_downlink(sender)
             self.network.send(self, sender, ack)
             return
         if isinstance(message, ChannelReset):
@@ -269,6 +345,8 @@ class BrokerNode(Process):
             self._on_disconnect(message, sender)
         elif isinstance(message, Reconnect):
             self._on_reconnect(sender)
+        elif isinstance(message, CreditGrant):
+            self._on_credit_grant(message, sender)
         else:
             raise TypeError(f"{self.name}: unexpected message {message!r}")
 
@@ -623,6 +701,7 @@ class BrokerNode(Process):
                 self._send_up_raw,
                 self._count_retransmits,
                 observer=self._trace_retransmits,
+                window=self.flow.control_window if self.flow is not None else None,
             )
         self._up_sender.send(payload)
 
@@ -665,6 +744,13 @@ class BrokerNode(Process):
             return  # duplicate / stale reset
         self._peer_incarnations[sender.name] = message.incarnation
         self._receivers.pop(sender.name, None)
+        if self.flow is not None:
+            # The peer's incarnation died with whatever credits it held:
+            # reset-to-full (see flow.credits) rather than leak them.
+            self._reset_downlink(sender)
+            credit_sender = self._credit_senders.get(sender.name)
+            if credit_sender is not None:
+                credit_sender.reset()
         if self.tracer.enabled:
             self.tracer.span(
                 self.sim.now,
@@ -724,12 +810,25 @@ class BrokerNode(Process):
         self._compacted_dirty = True
         self._receivers.clear()
         self._peer_incarnations.clear()
+        self._inbound.clear()
+        for queue in self._outbound.values():
+            queue.clear()
+        self._outbound.clear()
+        self._downlink_credits.clear()
+        self._event_sources.clear()
+        self._drain_paused = False
+        self._busy_until = 0.0
+        if self.overload_detector is not None:
+            self.overload_detector.reset()
         if self._up_sender is not None:
             # The sender object persists so epochs stay monotonic across
             # restarts (a fresh object would reuse epoch 0 and be dropped
             # as stale by a parent that kept its receiver state); its
             # un-acked frames and timer are lost with the crash.
             self._up_sender.reset()
+        for credit_sender in self._credit_senders.values():
+            # Same epoch-monotonicity argument as the uplink sender.
+            credit_sender.reset()
 
     def restart(self) -> None:
         """Come back up and rebuild from the neighbours' renewals.
@@ -820,11 +919,11 @@ class BrokerNode(Process):
             self._filter_removed(stale)
         # Offline/buffer state for destinations that no longer hold any
         # lease here is garbage (the durable window closed with the lease).
-        live_ids = {id(destination) for _, destination in self.leases.pairs()}
-        for destination_id in list(self._offline):
-            if destination_id not in live_ids:
-                del self._offline[destination_id]
-                self._buffers.pop(destination_id, None)
+        live_names = {destination.name for _, destination in self.leases.pairs()}
+        for destination_name in list(self._offline):
+            if destination_name not in live_names:
+                del self._offline[destination_name]
+                self._buffers.pop(destination_name, None)
         self._table_changed()
         self._maintenance_handles["purge"] = self.sim.schedule(
             interval, self._purge_task, interval
@@ -835,25 +934,33 @@ class BrokerNode(Process):
     # ------------------------------------------------------------------
 
     def _on_disconnect(self, message: Disconnect, sender: Process) -> None:
-        self._offline[id(sender)] = (sender, message.durable)
+        self._offline[sender.name] = (sender, message.durable)
         if message.durable:
-            self._buffers.setdefault(
-                id(sender), deque(maxlen=self.offline_buffer_limit)
-            )
+            self._buffers.setdefault(sender.name, deque())
         self.trace.record(
             self.sim.now, "disconnect", self.name,
             subscriber=sender.name, durable=message.durable,
         )
 
     def _on_reconnect(self, sender: Process) -> None:
-        self._offline.pop(id(sender), None)
-        buffered = self._buffers.pop(id(sender), ())
+        self._offline.pop(sender.name, None)
+        buffered = self._buffers.pop(sender.name, ())
         for publish in buffered:
             self.network.send(self, sender, publish)
         self.trace.record(
             self.sim.now, "reconnect", self.name,
             subscriber=sender.name, replayed=len(buffered),
         )
+
+    def _buffer_durable(self, destination: Process, message: Publish) -> None:
+        """Buffer one event for an offline durable subscriber, shedding
+        the oldest buffered event (observably — counter + span) when the
+        buffer is over its limit."""
+        buffer = self._buffers[destination.name]
+        buffer.append(message)
+        if len(buffer) > self.offline_buffer_limit:
+            dropped = buffer.popleft()
+            self._shed_offline(destination.name, dropped)
 
     # ------------------------------------------------------------------
     # Table compaction (covering merges, §4)
@@ -910,7 +1017,14 @@ class BrokerNode(Process):
         deferred to the end of the current instant — processes the whole
         run; control messages arriving in between flush the queue first,
         so processing order is identical to the unbatched schedule.
+
+        With flow control or a service rate configured, admission instead
+        goes through the bounded inbound queue and the managed service
+        loop (see the flow-control section below).
         """
+        if self._flow_managed:
+            self._accept_managed(publishes, sender)
+            return
         if not self.batch_enabled:
             metas = None
             if self.tracer.enabled:
@@ -929,6 +1043,11 @@ class BrokerNode(Process):
         self._flush_publishes()
 
     def _flush_publishes(self) -> None:
+        if self._flow_managed:
+            # Managed mode: events wait in the bounded inbound queue for
+            # the service loop; control messages cannot flush them early
+            # (a finite-speed broker has no instantaneous catch-up).
+            return
         if not self._publish_queue:
             return
         batch = tuple(self._publish_queue)
@@ -1000,11 +1119,11 @@ class BrokerNode(Process):
                     ),
                 )
             for destination in destinations:
-                offline = self._offline.get(id(destination))
+                offline = self._offline.get(destination.name)
                 if offline is not None:
                     _, durable = offline
                     if durable:
-                        self._buffers[id(destination)].append(message)
+                        self._buffer_durable(destination, message)
                     continue
                 run = runs.get(id(destination))
                 if run is None:
@@ -1013,10 +1132,304 @@ class BrokerNode(Process):
                 run.append(message)
         for destination in run_order:
             run = runs[id(destination)]
-            if len(run) == 1:
-                self.network.send(self, destination, run[0])
+            if self.flow is not None and isinstance(destination, BrokerNode):
+                self._forward_controlled(destination, run)
             else:
-                self.network.send(self, destination, PublishBatch(tuple(run)))
+                self._send_run(destination, run)
+
+    def _send_run(self, destination: Process, run: Sequence[Publish]) -> None:
+        if len(run) == 1:
+            self.network.send(self, destination, run[0])
+        else:
+            self.network.send(self, destination, PublishBatch(tuple(run)))
+
+    # ------------------------------------------------------------------
+    # Flow control, backpressure, and overload protection (see repro.flow)
+    # ------------------------------------------------------------------
+    #
+    # Managed data path: arriving events are admitted into a bounded
+    # inbound queue and drained by an explicit service loop (modelling a
+    # finite-speed broker when ``service_rate`` is set).  With ``flow``
+    # set, three credit loops bound every queue in the system:
+    #
+    # - upstream grants: this node grants one credit per *processed* (or
+    #   shed) event back to the event's source — to the parent over the
+    #   existing reliable uplink, to publishers over a dedicated reliable
+    #   channel — so a source's in-flight + queued-here events never
+    #   exceed its link window;
+    # - downstream spending: forwarding to a broker child spends one
+    #   credit from that child's window; when the window is empty the
+    #   events queue in a bounded per-link outbound queue, and a
+    #   non-empty outbound queue pauses the whole drain (head-of-line
+    #   backpressure: a slow stage-2 broker stalls its parent, the
+    #   parent's inbound fills, its grants dry up, and the stall
+    #   propagates hop-by-hop to the publishers);
+    # - overload shedding: the queue-depth EWMA detector (fed by the
+    #   sampler tick) shrinks the effective inbound capacity while
+    #   OVERLOADED, turning sustained saturation into bounded-latency
+    #   shedding instead of unbounded queueing.
+
+    def queue_depth(self) -> int:
+        """Events queued at this broker (inbound + outbound + legacy
+        publish queue) — the public accessor the sampler and overload
+        detector observe."""
+        depth = len(self._publish_queue) + len(self._inbound)
+        for queue in self._outbound.values():
+            depth += len(queue)
+        return depth
+
+    def _accept_managed(self, publishes: Sequence[Publish], sender: Process) -> None:
+        """Admit arriving events into the bounded inbound queue."""
+        now = self.sim.now
+        source = sender.name
+        self._event_sources[source] = sender
+        capacity = None
+        if (
+            self.overload_detector is not None
+            and self.overload_detector.overloaded
+        ):
+            capacity = max(
+                1, int(self.flow.queue_capacity * self.flow.overload_capacity_factor)
+            )
+        shed_entries: List[Tuple[Publish, str, float]] = []
+        for publish in publishes:
+            accepted, shed = self._inbound.offer((publish, source, now), capacity)
+            shed_entries.extend(shed)
+        if shed_entries:
+            self._shed_entries(shed_entries, "queue-overflow")
+        self._schedule_managed_drain()
+
+    def _entry_priority(self, entry: Tuple[Publish, str, float]) -> float:
+        return self._shed_priority(entry[0])
+
+    def _shed_priority(self, publish: Publish) -> float:
+        """Selectivity estimate for ``priority_by_selectivity`` shedding:
+        the refcount-weighted number of uplink forms the event matches —
+        the covering index's view of how many stored subscriptions the
+        event is likely to reach.  Higher reach = kept longer."""
+        metadata = publish.envelope.metadata
+        link = self._uplinks.get(metadata.event_class)
+        if link is None:
+            return 0.0
+        return float(
+            sum(count for form, count in link.forms.items() if form.matches(metadata))
+        )
+
+    def _schedule_managed_drain(self) -> None:
+        if self._drain_handle is not None or self._drain_paused:
+            return
+        if not self._inbound:
+            return
+        if self.service_rate is None:
+            self._drain_handle = self.sim.defer(self._drain_managed)
+        else:
+            self._drain_handle = self.sim.schedule_at(
+                max(self.sim.now, self._busy_until), self._drain_managed
+            )
+
+    def _drain_managed(self) -> None:
+        self._drain_handle = None
+        if self._outbound_blocked():
+            # Head-of-line backpressure: a credit-starved downstream link
+            # pauses the whole service loop until grants arrive.
+            self._drain_paused = True
+            return
+        if not self._inbound:
+            return
+        if self.service_rate is None:
+            count = len(self._inbound)
+        else:
+            count = min(self.service_batch, len(self._inbound))
+        entries = [self._inbound.popleft() for _ in range(count)]
+        batch = tuple(entry[0] for entry in entries)
+        metas = None
+        if self.tracer.enabled:
+            metas = tuple((entry[1], entry[2]) for entry in entries)
+        self._process_batch(batch, metas)
+        if self.service_rate is not None:
+            self._busy_until = self.sim.now + count / self.service_rate
+        if self.flow is not None:
+            self._grant_for_entries(entries)
+        if self._outbound_blocked():
+            self._drain_paused = True
+            return
+        self._schedule_managed_drain()
+
+    def _outbound_blocked(self) -> bool:
+        return any(len(queue) for queue in self._outbound.values())
+
+    def _maybe_resume_drain(self) -> None:
+        if self._drain_paused and not self._outbound_blocked():
+            self._drain_paused = False
+            self._schedule_managed_drain()
+
+    # -- upstream credit grants ----------------------------------------
+
+    def _grant_for_entries(self, entries: Sequence[Tuple[Publish, str, float]]) -> None:
+        """Grant one credit per drained entry back to its source
+        (insertion-ordered grouping keeps grant emission deterministic)."""
+        per_source: Dict[str, int] = {}
+        for _, source, _ in entries:
+            per_source[source] = per_source.get(source, 0) + 1
+        for source, count in per_source.items():
+            self._grant_credits(source, count)
+
+    def _grant_credits(self, source: str, count: int) -> None:
+        self.counters.credits_granted += count
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.sim.now,
+                "credit-grant",
+                self.name,
+                self.stage,
+                details=(("peer", source), ("credits", count)),
+            )
+        if self.parent is not None and source == self.parent.name:
+            # Child-to-parent grants ride the existing reliable uplink.
+            self._send_up(CreditGrant(count))
+            return
+        target = self._event_sources.get(source)
+        if target is None:
+            return
+        if not self.reliable_enabled:
+            self.network.send(self, target, CreditGrant(count))
+            return
+        credit_sender = self._credit_senders.get(source)
+        if credit_sender is None:
+            credit_sender = self._credit_senders[source] = ReliableSender(
+                self.sim,
+                lambda frame, peer=target: self.network.send(self, peer, frame),
+                self._count_retransmits,
+                window=self.flow.control_window if self.flow is not None else None,
+            )
+        credit_sender.send(CreditGrant(count))
+
+    # -- downstream credit spending ------------------------------------
+
+    def _downlink_for(self, destination: Process) -> Tuple[CreditWindow, BoundedQueue]:
+        window = self._downlink_credits.get(destination.name)
+        if window is None:
+            window = self._downlink_credits[destination.name] = CreditWindow(
+                self.flow.link_window
+            )
+        queue = self._outbound.get(destination.name)
+        if queue is None:
+            queue = self._outbound[destination.name] = BoundedQueue(
+                self.flow.outbound_capacity,
+                self.flow.policy,
+                priority=self._shed_priority,
+            )
+        return window, queue
+
+    def _forward_controlled(
+        self, destination: "BrokerNode", run: Sequence[Publish]
+    ) -> None:
+        """Forward a run to a broker child, spending one credit per event;
+        credit-starved events wait in the bounded outbound queue."""
+        window, queue = self._downlink_for(destination)
+        sendable: List[Publish] = []
+        for publish in run:
+            if not queue and window.take(1):
+                sendable.append(publish)
+                continue
+            self.counters.credit_stalls += 1
+            _, shed = queue.offer(publish)
+            if shed:
+                self._shed_publishes(shed, "outbound-overflow", peer=destination.name)
+        if sendable:
+            self._send_run(destination, sendable)
+
+    def _on_credit_grant(self, message: CreditGrant, sender: Process) -> None:
+        window = self._downlink_credits.get(sender.name)
+        if window is None:
+            return  # stale grant for a link we no longer track
+        window.grant(message.credits)
+        self._flush_outbound(sender)
+
+    def _flush_outbound(self, destination: Process) -> None:
+        queue = self._outbound.get(destination.name)
+        window = self._downlink_credits.get(destination.name)
+        if queue is None or window is None:
+            return
+        sendable: List[Publish] = []
+        while queue and window.take(1):
+            sendable.append(queue.popleft())
+        if sendable:
+            self._send_run(destination, sendable)
+        self._maybe_resume_drain()
+
+    def _reset_downlink(self, peer: Process) -> None:
+        """A downstream peer lost its state (ChannelReset or a new channel
+        epoch): its window comes back full, and events queued for the dead
+        incarnation are shed — its wiped table would drop them anyway."""
+        window = self._downlink_credits.get(peer.name)
+        if window is not None:
+            window.reset()
+        queue = self._outbound.get(peer.name)
+        if queue is not None and queue:
+            self._shed_publishes(queue.drain(), "peer-reset", peer=peer.name)
+        self._maybe_resume_drain()
+
+    # -- shedding accounting -------------------------------------------
+
+    def _shed_entries(
+        self, entries: Sequence[Tuple[Publish, str, float]], reason: str
+    ) -> None:
+        """Shed inbound entries: count, trace, and grant their credits
+        back (the source paid one per entry; the slot is free again, and
+        withholding the grant would leak the window shut)."""
+        self.counters.on_shed(reason, len(entries))
+        for publish, source, _ in entries:
+            self._shed_span(publish, reason, peer=source)
+        if self.flow is None:
+            return
+        per_source: Dict[str, int] = {}
+        for _, source, _ in entries:
+            per_source[source] = per_source.get(source, 0) + 1
+        for source, count in per_source.items():
+            self._grant_credits(source, count)
+
+    def _shed_publishes(
+        self, publishes: Sequence[Publish], reason: str, peer: Optional[str] = None
+    ) -> None:
+        """Shed outbound events (no downstream credit was spent on them)."""
+        self.counters.on_shed(reason, len(publishes))
+        for publish in publishes:
+            self._shed_span(publish, reason, peer=peer)
+
+    def _shed_offline(self, subscriber: str, publish: Publish) -> None:
+        self.counters.on_shed("offline-buffer")
+        drops = self.counters.offline_drops
+        drops[subscriber] = drops.get(subscriber, 0) + 1
+        self._shed_span(publish, "offline-buffer", peer=subscriber)
+
+    def _shed_span(
+        self, publish: Publish, reason: str, peer: Optional[str] = None
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        details: List[Tuple[str, Any]] = [("reason", reason)]
+        if peer is not None:
+            details.append(("peer", peer))
+        self.tracer.span(
+            self.sim.now,
+            "shed",
+            self.name,
+            self.stage,
+            trace_id=publish.envelope.event_id,
+            details=tuple(details),
+        )
+
+    def _on_overload_transition(self, state: str, now: float, ewma: float) -> None:
+        self.counters.overload_transitions += 1
+        if self.tracer.enabled:
+            self.tracer.span(
+                now,
+                "overload",
+                self.name,
+                self.stage,
+                details=(("state", state), ("ewma", f"{ewma:.2f}")),
+            )
 
     def __repr__(self) -> str:
         return f"BrokerNode({self.name}, stage={self.stage}, filters={len(self.table)})"

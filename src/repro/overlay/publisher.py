@@ -5,16 +5,33 @@ the top most stage", §4).  Publishing performs the paper's event
 transformation exactly once: the typed object is reflected into its
 covering meta-data and sealed into an opaque envelope — after this point
 no broker ever touches application code.
+
+With flow control on (a :class:`~repro.flow.FlowConfig`), the publisher
+is the *source end* of the overlay's backpressure chain: each publish
+spends one credit from a local window the root replenishes (one grant
+per event it processes), an optional token bucket caps the offered rate
+at the source, and credit-starved events wait in a bounded local queue
+whose overflow is shed observably.  ``publish`` then reports whether the
+event actually entered the system.
 """
 
+from collections import deque
 from typing import Any, Iterable, Optional
 
 from repro.core.advertisement import Advertisement
 from repro.events.hierarchy import TypeRegistry
 from repro.events.serialization import marshal
+from repro.flow import BoundedQueue, CreditWindow, FlowConfig, RateLimiter
 from repro.metrics.counters import NodeCounters
 from repro.obs.tracing import PUBLISHER_STAGE, EventTracer
-from repro.overlay.messages import Advertise, Publish, PublishBatch
+from repro.overlay.channel import ReliableReceiver
+from repro.overlay.messages import (
+    Advertise,
+    CreditGrant,
+    Publish,
+    PublishBatch,
+    Sequenced,
+)
 from repro.sim.kernel import Process, Simulator
 from repro.sim.network import Network
 
@@ -30,6 +47,9 @@ class PublisherRuntime(Process):
         root: Process,
         types: Optional[TypeRegistry] = None,
         tracer: Optional[EventTracer] = None,
+        flow: Optional[FlowConfig] = None,
+        rate_limit: Optional[float] = None,
+        burst: Optional[float] = None,
     ):
         super().__init__(sim, name)
         self.network = network
@@ -39,20 +59,60 @@ class PublisherRuntime(Process):
         self.events_published = 0
         #: Causal span tracer (shared system-wide when observability is on).
         self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
+        #: Flow-control knobs (None = fire-and-forget legacy publishing).
+        self.flow = flow
+        #: Credits for the link to the root (replenished by root grants).
+        self._window: Optional[CreditWindow] = (
+            CreditWindow(flow.link_window) if flow is not None else None
+        )
+        #: Events waiting for credits (bounded; overflow sheds observably).
+        self._pending: Optional[BoundedQueue] = (
+            BoundedQueue(flow.publisher_queue_capacity, flow.policy)
+            if flow is not None
+            else None
+        )
+        effective_rate = rate_limit
+        effective_burst = burst
+        if flow is not None:
+            if effective_rate is None:
+                effective_rate = flow.publisher_rate
+            if effective_burst is None:
+                effective_burst = flow.publisher_burst
+        #: Token bucket over simulated time (None = unlimited rate).
+        self.rate_limiter: Optional[RateLimiter] = (
+            RateLimiter(effective_rate, effective_burst or 16.0, now=sim.now)
+            if effective_rate is not None
+            else None
+        )
+        #: Reliable-channel receiver for the root's credit grants.
+        self._grant_receiver = ReliableReceiver()
 
     def advertise(self, advertisement: Advertisement) -> None:
         """Disseminate an advertisement (schema + ``Gc``) into the overlay."""
         self.network.send(self, self.root, Advertise(advertisement))
 
-    def publish(self, event: Any, event_class: Optional[str] = None) -> None:
+    def publish(self, event: Any, event_class: Optional[str] = None) -> bool:
         """Transform ``event`` (reflection -> meta-data + opaque payload)
         and inject it at the top stage.
 
         ``event_class`` overrides the meta-data type name; by default the
         type registry's registered name (when available) or the Python
-        class name is used.
+        class name is used.  Returns True when the event was sent or
+        queued for sending, False when it was refused (rate limited, or
+        shed from a full local queue) — always True without flow control.
         """
-        self.network.send(self, self.root, self._marshal(event, event_class))
+        if self.rate_limiter is not None and not self.rate_limiter.allow(self.sim.now):
+            self.counters.rate_limited += 1
+            if self.tracer.enabled:
+                self.tracer.span(
+                    self.sim.now,
+                    "shed",
+                    self.name,
+                    PUBLISHER_STAGE,
+                    details=(("reason", "rate-limit"),),
+                )
+            return False
+        return self._submit(self._marshal(event, event_class))
 
     def publish_batch(
         self, events: Iterable[Any], event_class: Optional[str] = None
@@ -63,16 +123,60 @@ class PublisherRuntime(Process):
         :class:`PublishBatch` message (one scheduling round, one receive)
         and is delivered downstream in publish order — the batched
         counterpart of calling :meth:`publish` per event.  Returns the
-        number of events published.
+        number of events published (events refused by the rate limiter or
+        shed from a full local queue do not count).
         """
-        publishes = tuple(self._marshal(event, event_class) for event in events)
+        accepted = 0
+        publishes = []
+        for event in events:
+            if self.rate_limiter is not None and not self.rate_limiter.allow(
+                self.sim.now
+            ):
+                self.counters.rate_limited += 1
+                continue
+            publishes.append(self._marshal(event, event_class))
         if not publishes:
             return 0
-        if len(publishes) == 1:
-            self.network.send(self, self.root, publishes[0])
-        else:
-            self.network.send(self, self.root, PublishBatch(publishes))
-        return len(publishes)
+        if self._window is None:
+            if len(publishes) == 1:
+                self.network.send(self, self.root, publishes[0])
+            else:
+                self.network.send(self, self.root, PublishBatch(tuple(publishes)))
+            return len(publishes)
+        for publish in publishes:
+            if self._submit(publish):
+                accepted += 1
+        return accepted
+
+    def _submit(self, message: Publish) -> bool:
+        """Send one marshalled event, spending a credit; queue locally
+        when the window is empty; shed when the local queue overflows."""
+        if self._window is None:
+            self.network.send(self, self.root, message)
+            return True
+        if not self._pending and self._window.take(1):
+            self.network.send(self, self.root, message)
+            return True
+        self.counters.credit_stalls += 1
+        accepted, shed = self._pending.offer(message)
+        if shed:
+            self.counters.on_shed("publisher-overflow", len(shed))
+            if self.tracer.enabled:
+                for dropped in shed:
+                    self.tracer.span(
+                        self.sim.now,
+                        "shed",
+                        self.name,
+                        PUBLISHER_STAGE,
+                        trace_id=dropped.envelope.event_id,
+                        details=(("reason", "publisher-overflow"),),
+                    )
+        return accepted
+
+    @property
+    def pending_count(self) -> int:
+        """Events queued locally waiting for credits."""
+        return len(self._pending) if self._pending is not None else 0
 
     def _marshal(self, event: Any, event_class: Optional[str]) -> Publish:
         if event_class is None and self.types is not None:
@@ -100,7 +204,40 @@ class PublisherRuntime(Process):
         return Publish(envelope)
 
     def receive(self, message: Any, sender: Process) -> None:
+        # Credit grants from the root arrive on a reliable channel (so a
+        # grant lost to the wire is retransmitted, never deadlocking the
+        # loop); plain grants appear when the overlay runs with the
+        # reliable channel ablated.  Handled regardless of this
+        # publisher's own flow flag: absorbing an unexpected grant is
+        # harmless, crashing on one is not.
+        if isinstance(message, Sequenced):
+            ack = self._grant_receiver.on_frame(
+                message, lambda payload: self._apply_grant(payload)
+            )
+            self.network.send(self, sender, ack)
+            return
+        if isinstance(message, CreditGrant):
+            self._apply_grant(message)
+            return
         raise TypeError(f"publisher {self.name} received unexpected {message!r}")
+
+    def _apply_grant(self, message: Any) -> None:
+        if not isinstance(message, CreditGrant):
+            raise TypeError(
+                f"publisher {self.name} received unexpected framed {message!r}"
+            )
+        if self._window is None:
+            return
+        self._window.grant(message.credits)
+        sendable = deque()
+        while self._pending and self._window.take(1):
+            sendable.append(self._pending.popleft())
+        if not sendable:
+            return
+        if len(sendable) == 1:
+            self.network.send(self, self.root, sendable[0])
+        else:
+            self.network.send(self, self.root, PublishBatch(tuple(sendable)))
 
     def __repr__(self) -> str:
         return f"PublisherRuntime({self.name}, published={self.events_published})"

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.subscription import Subscription
 from repro.events.serialization import Envelope, unmarshal
 from repro.filters.filter import Filter
+from repro.flow import FlowConfig
 from repro.metrics.counters import NodeCounters
 from repro.obs.tracing import SUBSCRIBER_STAGE, EventTracer
 from repro.overlay.channel import ReliableSender
@@ -65,6 +66,7 @@ class SubscriberRuntime(Process):
         trace: Optional[TraceRecorder] = None,
         reliable: bool = True,
         tracer: Optional[EventTracer] = None,
+        flow: Optional[FlowConfig] = None,
     ):
         super().__init__(sim, name)
         self.network = network
@@ -72,6 +74,8 @@ class SubscriberRuntime(Process):
         self.ttl = ttl
         #: Acked, sequence-numbered control channel toggle.
         self.reliable_enabled = reliable
+        #: Flow-control knobs: bounds the control channels' send windows.
+        self.flow = flow
         # One reliable sender per home node (order matters between a
         # Renewal restoring a filter and an Unsubscribe removing it).
         # Keyed by the home's *name* — the stable identity — not id().
@@ -144,6 +148,7 @@ class SubscriberRuntime(Process):
                 observer=lambda epoch, frames, peer=home.name: (
                     self._trace_retransmits(peer, epoch, frames)
                 ),
+                window=self.flow.control_window if self.flow is not None else None,
             )
         channel.send(payload)
 

@@ -71,6 +71,21 @@ class NetworkStats:
         self.duplicated_messages = 0
         self.duplicated_bytes = 0
         self.messages_by_process: Dict[str, int] = {}
+        #: Message copies currently scheduled but not yet delivered — the
+        #: wire-occupancy gauge the flow-control experiments bound.
+        self.in_flight = 0
+        #: Peak of ``in_flight`` over the run.
+        self.peak_in_flight = 0
+
+    def record_scheduled(self) -> None:
+        """One wire copy entered flight."""
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+
+    def record_arrival(self) -> None:
+        """One wire copy left flight (delivered or lost with a crash)."""
+        self.in_flight -= 1
 
     def record(self, link: Link, size: int) -> None:
         self.total_messages += 1
@@ -300,6 +315,23 @@ class Network:
                 f"per-process traffic accounting is keyed by name"
             )
 
+    def forget(self, process: Process) -> None:
+        """Retire a process object that is gone for good.
+
+        Releases its name registration and removes its links, so a new
+        incarnation of the same logical participant — a fresh object
+        carrying the same stable name — can attach.  Durable broker
+        state (offline flags, buffered events) is keyed by name, not by
+        object, so it survives the swap and replays to the newcomer.
+        """
+        if self._names.get(process.name) == id(process):
+            del self._names[process.name]
+        dead = id(process)
+        for key in [k for k in self._links if dead in k]:
+            del self._links[key]
+        self._partitioned = {p for p in self._partitioned if dead not in p}
+        self._disconnected = {p for p in self._disconnected if dead not in p}
+
     def connect(self, a: Process, b: Process, latency: float = 0.001) -> None:
         """Create a bidirectional link between ``a`` and ``b``."""
         if latency < 0:
@@ -379,11 +411,13 @@ class Network:
             if self.tracer.enabled:
                 self._trace_wire("dup", src, dst, message, "fault-duplicate")
         for extra in delays:
+            self.stats.record_scheduled()
             self.sim.schedule(link.latency + extra, self._deliver, link, message)
 
     def _deliver(self, link: Link, message: Any) -> None:
         """Delivery-time crash gate: a copy in flight when the receiver
         fails is lost with it (and accounted as dropped)."""
+        self.stats.record_arrival()
         if link.dst.crashed:
             self.stats.record_drop(link, self.sizer(message))
             if self.tracer.enabled:

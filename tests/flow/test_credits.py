@@ -1,0 +1,63 @@
+"""Unit tests for the sender-side credit window (flow/credits.py)."""
+
+import pytest
+
+from repro.flow import CreditWindow
+
+
+class TestCreditWindow:
+    def test_starts_full(self):
+        window = CreditWindow(4)
+        assert window.available == 4
+        assert not window.exhausted
+
+    def test_take_spends_and_reports(self):
+        window = CreditWindow(2)
+        assert window.take()
+        assert window.take()
+        assert window.exhausted
+        assert not window.take()
+        assert window.available == 0
+
+    def test_failed_take_counts_a_stall_and_changes_nothing(self):
+        window = CreditWindow(1)
+        assert window.take()
+        assert not window.take()
+        assert not window.take()
+        assert window.stalls == 2
+        assert window.available == 0
+
+    def test_take_many_is_all_or_nothing(self):
+        window = CreditWindow(3)
+        assert not window.take(4)
+        assert window.available == 3
+        assert window.take(3)
+        assert window.exhausted
+
+    def test_grant_replenishes(self):
+        window = CreditWindow(3)
+        window.take(3)
+        window.grant(2)
+        assert window.available == 2
+        assert window.take(2)
+
+    def test_grant_is_capped_at_capacity(self):
+        window = CreditWindow(3)
+        window.take(1)
+        window.grant(10)
+        assert window.available == 3
+
+    def test_negative_grant_rejected(self):
+        with pytest.raises(ValueError):
+            CreditWindow(3).grant(-1)
+
+    def test_reset_restores_full_window(self):
+        window = CreditWindow(5)
+        window.take(5)
+        window.reset()
+        assert window.available == 5
+        assert not window.exhausted
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CreditWindow(0)

@@ -1,0 +1,64 @@
+"""Unit tests for the EWMA overload detector (flow/overload.py)."""
+
+import pytest
+
+from repro.flow import NORMAL, OVERLOADED, OverloadDetector
+
+
+class TestOverloadDetector:
+    def test_starts_normal(self):
+        detector = OverloadDetector(capacity=100)
+        assert detector.state == NORMAL
+        assert not detector.overloaded
+        assert detector.transitions == 0
+
+    def test_single_spike_does_not_trip_it(self):
+        """The EWMA smooths a one-sample burst below the watermark."""
+        detector = OverloadDetector(capacity=100, alpha=0.4, high=0.75)
+        assert detector.observe(0.0, 100) is None  # ewma = 40 < 75
+        assert not detector.overloaded
+
+    def test_sustained_depth_trips_overload_once(self):
+        detector = OverloadDetector(capacity=100, alpha=0.4, high=0.75, low=0.25)
+        transitions = [detector.observe(float(t), 100) for t in range(10)]
+        assert OVERLOADED in transitions
+        assert transitions.count(OVERLOADED) == 1
+        assert detector.overloaded
+        assert detector.transitions == 1
+
+    def test_hysteresis_requires_low_watermark_to_recover(self):
+        detector = OverloadDetector(capacity=100, alpha=1.0, high=0.75, low=0.25)
+        assert detector.observe(0.0, 80) == OVERLOADED
+        # Between the watermarks: still overloaded (no flapping).
+        assert detector.observe(1.0, 50) is None
+        assert detector.overloaded
+        assert detector.observe(2.0, 10) == NORMAL
+        assert not detector.overloaded
+        assert detector.transitions == 2
+
+    def test_transition_hook_sees_state_time_and_ewma(self):
+        seen = []
+        detector = OverloadDetector(
+            capacity=10, alpha=1.0, high=0.5, low=0.1,
+            on_transition=lambda state, now, ewma: seen.append((state, now, ewma)),
+        )
+        detector.observe(3.5, 9)
+        assert seen == [(OVERLOADED, 3.5, 9.0)]
+
+    def test_reset_forgets_history(self):
+        detector = OverloadDetector(capacity=10, alpha=1.0, high=0.5, low=0.1)
+        detector.observe(0.0, 9)
+        assert detector.overloaded
+        detector.reset()
+        assert detector.state == NORMAL
+        assert detector.ewma == 0.0
+        # transitions is a lifetime counter, not soft state.
+        assert detector.transitions == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverloadDetector(capacity=0)
+        with pytest.raises(ValueError):
+            OverloadDetector(capacity=10, alpha=0.0)
+        with pytest.raises(ValueError):
+            OverloadDetector(capacity=10, high=0.3, low=0.5)

@@ -1,0 +1,45 @@
+"""Unit tests for the simulated-time token bucket (flow/ratelimit.py)."""
+
+import pytest
+
+from repro.flow import RateLimiter
+
+
+class TestRateLimiter:
+    def test_burst_is_available_immediately(self):
+        limiter = RateLimiter(rate=10.0, burst=3.0)
+        assert all(limiter.allow(0.0) for _ in range(3))
+        assert not limiter.allow(0.0)
+        assert limiter.denied == 1
+
+    def test_refills_at_rate(self):
+        limiter = RateLimiter(rate=10.0, burst=2.0)
+        limiter.allow(0.0)
+        limiter.allow(0.0)
+        assert not limiter.allow(0.05)  # refilled 0.5 token
+        assert limiter.allow(0.1)       # one full token back
+
+    def test_refill_is_capped_at_burst(self):
+        limiter = RateLimiter(rate=100.0, burst=2.0)
+        assert limiter.allow(1000.0)
+        assert limiter.allow(1000.0)
+        assert not limiter.allow(1000.0)
+
+    def test_time_never_runs_backwards(self):
+        """An out-of-order timestamp must not mint extra tokens."""
+        limiter = RateLimiter(rate=1.0, burst=1.0)
+        assert limiter.allow(5.0)
+        assert not limiter.allow(4.0)
+        assert not limiter.allow(5.0)
+
+    def test_fractional_cost(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0)
+        assert limiter.allow(0.0, n=0.5)
+        assert limiter.allow(0.0, n=0.5)
+        assert not limiter.allow(0.0, n=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0.5)

@@ -1,0 +1,115 @@
+"""Unit tests for bounded queues and shedding policies (flow/shedding.py)."""
+
+import pytest
+
+from repro.flow import POLICIES, BoundedQueue
+
+
+class TestBoundedQueueBasics:
+    def test_unbounded_never_sheds(self):
+        queue = BoundedQueue(None)
+        for i in range(1000):
+            accepted, shed = queue.offer(i)
+            assert accepted and shed == []
+        assert len(queue) == 1000
+
+    def test_fifo_order(self):
+        queue = BoundedQueue(4)
+        for i in range(3):
+            queue.offer(i)
+        assert [queue.popleft() for _ in range(3)] == [0, 1, 2]
+
+    def test_drain_empties_and_returns_in_order(self):
+        queue = BoundedQueue(4)
+        for i in range(3):
+            queue.offer(i)
+        assert queue.drain() == [0, 1, 2]
+        assert len(queue) == 0
+        assert not queue
+
+    def test_capacity_and_policy_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+        with pytest.raises(ValueError):
+            BoundedQueue(4, policy="drop_random")
+        assert "drop_tail" in POLICIES
+
+    def test_per_call_capacity_override(self):
+        """The overload detector shrinks effective capacity per offer."""
+        queue = BoundedQueue(10)
+        queue.offer(1)
+        queue.offer(2)
+        accepted, shed = queue.offer(3, capacity=2)
+        assert not accepted and shed == [3]
+        accepted, _ = queue.offer(3)  # configured bound still admits
+        assert accepted
+
+
+class TestDropTail:
+    def test_rejects_the_arrival(self):
+        queue = BoundedQueue(2, "drop_tail")
+        queue.offer("a")
+        queue.offer("b")
+        accepted, shed = queue.offer("c")
+        assert not accepted
+        assert shed == ["c"]
+        assert list(queue) == ["a", "b"]
+
+
+class TestDropOldest:
+    def test_evicts_head_to_admit_arrival(self):
+        queue = BoundedQueue(2, "drop_oldest")
+        queue.offer("a")
+        queue.offer("b")
+        accepted, shed = queue.offer("c")
+        assert accepted
+        assert shed == ["a"]
+        assert list(queue) == ["b", "c"]
+
+
+class TestPriorityBySelectivity:
+    def _queue(self, capacity=3):
+        return BoundedQueue(
+            capacity, "priority_by_selectivity", priority=lambda item: item[1]
+        )
+
+    def test_evicts_lowest_priority(self):
+        queue = self._queue()
+        queue.offer(("a", 5))
+        queue.offer(("b", 1))
+        queue.offer(("c", 3))
+        accepted, shed = queue.offer(("d", 4))
+        assert accepted
+        assert shed == [("b", 1)]
+        assert list(queue) == [("a", 5), ("c", 3), ("d", 4)]
+
+    def test_arrival_loses_ties(self):
+        queue = self._queue(capacity=1)
+        queue.offer(("a", 2))
+        accepted, shed = queue.offer(("b", 2))
+        assert not accepted
+        assert shed == [("b", 2)]
+        assert list(queue) == [("a", 2)]
+
+    def test_oldest_equal_priority_evicted_first(self):
+        queue = self._queue()
+        queue.offer(("old", 1))
+        queue.offer(("new", 1))
+        queue.offer(("top", 9))
+        accepted, shed = queue.offer(("mid", 5))
+        assert accepted
+        assert shed == [("old", 1)]
+
+    def test_priority_evaluated_once_at_admission(self):
+        calls = []
+
+        def priority(item):
+            calls.append(item)
+            return 1.0
+
+        queue = BoundedQueue(2, "priority_by_selectivity", priority=priority)
+        queue.offer("a")
+        queue.offer("b")
+        queue.offer("c")
+        queue.offer("d")
+        assert calls == ["a", "b", "c", "d"]

@@ -23,6 +23,9 @@ class _FakeBroker:
         self._publish_queue = []
         self.table = {}
 
+    def queue_depth(self):
+        return len(self._publish_queue)
+
 
 class TestSimulatorEvery:
     def test_ticks_land_on_fixed_grid(self):
@@ -47,6 +50,20 @@ class TestSimulatorEvery:
         handle = sim.every(0.5, lambda: (ticks.append(sim.now), handle.cancel()))
         sim.run(until=5.0)
         assert ticks == [0.5]
+
+    def test_ordering_against_same_tick_one_shots(self):
+        """Clock ties break by scheduling order.  The first tick is
+        enqueued at arming time, so it beats a one-shot scheduled
+        *afterwards* for the same instant; every later tick is enqueued
+        during the previous tick's fire, so a one-shot armed before that
+        moment wins its tie."""
+        sim = Simulator()
+        order = []
+        sim.every(1.0, lambda: order.append("tick"))
+        sim.schedule(1.0, lambda: order.append("late one-shot"))
+        sim.schedule(2.0, lambda: order.append("early one-shot"))
+        sim.run(until=2.0)
+        assert order == ["tick", "late one-shot", "early one-shot", "tick"]
 
     def test_non_positive_interval_rejected(self):
         sim = Simulator()
