@@ -37,6 +37,7 @@ from repro.filters.index import CountingIndex
 from repro.filters.parser import parse_filter
 from repro.filters.table import FilterTable
 from repro.flow import FlowConfig
+from repro.log.config import LogConfig
 from repro.obs.sampling import StageSampler
 from repro.obs.tracing import EventTracer
 from repro.overlay.hierarchy import Hierarchy, build_hierarchy
@@ -90,6 +91,7 @@ class MultiStageEventSystem:
         flow: Optional[FlowConfig] = None,
         service_rate: Optional[float] = None,
         service_batch: int = 16,
+        log: Optional[LogConfig] = None,
     ):
         if engine not in ("index", "table"):
             raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
@@ -104,6 +106,9 @@ class MultiStageEventSystem:
         #: Flow-control knobs, plumbed to every broker/publisher/subscriber
         #: this system creates (None = flow control off).
         self.flow = flow
+        #: Durable-log knobs, plumbed to every broker (None = no logging,
+        #: no replay, no catch-up subscribers).
+        self.log = log
         self.rngs = RngRegistry(seed)
         self.trace = TraceRecorder(enabled=trace)
         engine_factory = CountingIndex if engine == "index" else FilterTable
@@ -126,6 +131,7 @@ class MultiStageEventSystem:
             flow=flow,
             service_rate=service_rate,
             service_batch=service_batch,
+            log=log,
         )
         #: Per-stage time-series sampler (armed by :meth:`start_sampling`).
         self.sampler: Optional[StageSampler] = None

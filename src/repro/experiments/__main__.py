@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.experiments [--quick] [rlc] [figure7] [comparison]
                                 [ablations] [scalability] [multiclass]
-                                [chaos] [tracing] [overload]
+                                [chaos] [tracing] [overload] [replay]
                                 [--event=PUB/SEQ]
 
 With no experiment names, everything runs.  ``--quick`` swaps the
@@ -13,7 +13,9 @@ seconds).  ``tracing`` runs the chaos sweep with the observability layer
 on and prints the trace report; ``--event=chaos-feed/12`` additionally
 reconstructs that event's publisher-to-subscriber path.  ``overload``
 sweeps offered load past saturation with and without the flow-control
-subsystem (credits, bounded queues, shedding).
+subsystem (credits, bounded queues, shedding).  ``replay`` runs the
+durable-log sweep: catch-up subscribers, crash-recovery replay, and the
+exactly-once audit.
 """
 
 import sys
@@ -24,6 +26,7 @@ from repro.experiments import (
     comparison,
     figure7,
     overload,
+    replay,
     rlc_table,
     scalability,
     tracing,
@@ -48,7 +51,7 @@ def main(argv) -> int:
             event_id = (publisher, int(sequence))
     all_experiments = {
         "rlc", "figure7", "comparison", "ablations", "scalability", "multiclass",
-        "chaos", "tracing", "overload",
+        "chaos", "tracing", "overload", "replay",
     }
     wanted = set(args) or all_experiments
     unknown = wanted - all_experiments
@@ -114,6 +117,12 @@ def main(argv) -> int:
         print("Overload sweep: flow control, backpressure, shedding")
         print("=" * 72)
         overload.run()
+        print()
+    if "replay" in wanted:
+        print("=" * 72)
+        print("Replay sweep: durable log, catch-up, crash recovery, audit")
+        print("=" * 72)
+        replay.run()
     return 0
 
 

@@ -1,0 +1,210 @@
+"""Audit-grade exactly-once verification: delivery traces vs. the log.
+
+The verifier cross-checks two independent artifacts:
+
+- the **root's event log** — the ground truth of what entered the
+  system (every publisher attaches to the root, so every admitted event
+  is a record with an offset and a time);
+- the **delivery trace** — the causal tracer's ``deliver`` spans, each
+  carrying the original ``(publisher, seq)`` trace id and a
+  ``delivered`` count emitted at the subscriber edge.
+
+For each audited subscription it derives the *expected* delivery set
+(log records matching the subscription's filter from its start point)
+and diffs it against the *observed* copies: zero copies is a **gap**,
+more than one is a **duplicate**.  Findings are classified against the
+run's fault windows — an event published (or delivered) while faults
+were injected may legitimately be lost or duplicated; the system's
+guarantee, and what :attr:`AuditReport.clean` asserts, is exactly-once
+*outside* fault windows.
+
+Restriction: copies are counted per ``deliver`` span with ``delivered
+>= 1``, i.e. per envelope arrival that delivered something — so each
+audited subscriber must hold exactly one subscription matching the
+audited filter (the harness's subscribers do).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.filters.filter import Filter
+from repro.log.eventlog import EventLog, format_point
+from repro.obs.tracing import EventTracer
+
+
+@dataclass(frozen=True)
+class AuditSubscription:
+    """One subscription to verify: ``subscriber`` is the runtime's
+    process name (what ``deliver`` spans carry as their node)."""
+
+    subscriber: str
+    filter: Filter
+    event_class: Optional[str] = None
+    #: First log offset the subscription is entitled to (a catch-up
+    #: subscriber from offset N expects nothing before N).
+    from_offset: int = 0
+    #: ...and/or the earliest publish time it is entitled to.
+    from_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One exactly-once violation candidate."""
+
+    kind: str  # "gap" | "duplicate"
+    subscriber: str
+    event_id: Optional[tuple]
+    offset: int
+    publish_time: float
+    copies: int
+    in_fault_window: bool
+
+    def __str__(self) -> str:
+        shelter = " [fault window]" if self.in_fault_window else ""
+        eid = f"{self.event_id[0]}/{self.event_id[1]}" if self.event_id else "?"
+        return (
+            f"{self.kind}: {eid} (offset {self.offset}, "
+            f"t={self.publish_time:.4f}) at {self.subscriber} "
+            f"copies={self.copies}{shelter}"
+        )
+
+
+@dataclass
+class AuditReport:
+    """The verifier's verdict plus enough detail to render an artifact."""
+
+    subscriptions: int
+    records: int
+    expected: int
+    delivered: int
+    findings: List[AuditFinding] = field(default_factory=list)
+    fault_windows: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def gaps(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.kind == "gap"]
+
+    @property
+    def duplicates(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.kind == "duplicate"]
+
+    @property
+    def violations(self) -> List[AuditFinding]:
+        """Findings outside every fault window — real violations."""
+        return [f for f in self.findings if not f.in_fault_window]
+
+    @property
+    def excused(self) -> List[AuditFinding]:
+        """Findings inside a fault window — permitted by the guarantee."""
+        return [f for f in self.findings if f.in_fault_window]
+
+    @property
+    def clean(self) -> bool:
+        """True when exactly-once holds outside fault windows."""
+        return not self.violations
+
+    def render(self) -> str:
+        """Human-readable report (the CI artifact)."""
+        lines = [
+            "exactly-once audit",
+            "==================",
+            f"subscriptions audited : {self.subscriptions}",
+            f"log records           : {self.records}",
+            f"expected deliveries   : {self.expected}",
+            f"observed deliveries   : {self.delivered}",
+            f"fault windows         : "
+            + (
+                ", ".join(
+                    f"[{format_point(a)} .. {format_point(b)}]"
+                    for a, b in self.fault_windows
+                )
+                or "none"
+            ),
+            f"gaps                  : {len(self.gaps)}"
+            f" ({sum(1 for f in self.gaps if not f.in_fault_window)} outside windows)",
+            f"duplicates            : {len(self.duplicates)}"
+            f" ({sum(1 for f in self.duplicates if not f.in_fault_window)}"
+            " outside windows)",
+            f"verdict               : {'CLEAN' if self.clean else 'VIOLATED'}",
+        ]
+        if self.findings:
+            lines.append("")
+            lines.append("findings")
+            lines.append("--------")
+            for finding in self.findings:
+                lines.append(f"  {finding}")
+        return "\n".join(lines)
+
+
+def verify_exactly_once(
+    log: EventLog,
+    tracer: EventTracer,
+    subscriptions: Sequence[AuditSubscription],
+    fault_windows: Iterable[Tuple[float, float]] = (),
+) -> AuditReport:
+    """Diff delivery traces against the log (see module docstring).
+
+    ``fault_windows`` is an iterable of ``(start, end)`` simulated-time
+    intervals during which faults (loss/duplication/crashes) were
+    injected; a finding is *excused* when the event's publish time or
+    any of its observed delivery times falls inside one.
+    """
+    windows = tuple(fault_windows)
+
+    def in_windows(t: Optional[float]) -> bool:
+        return t is not None and any(a <= t <= b for a, b in windows)
+
+    # (subscriber name, trace id) -> times of spans that delivered.
+    copies: Dict[Tuple[str, tuple], List[float]] = {}
+    for span in tracer.kinds("deliver"):
+        if span.trace_id is None or not span.detail("delivered", 0):
+            continue
+        copies.setdefault((span.node, span.trace_id), []).append(span.time)
+
+    report = AuditReport(
+        subscriptions=len(subscriptions),
+        records=len(log),
+        expected=0,
+        delivered=0,
+        fault_windows=windows,
+    )
+    for record in log:
+        publish_time = (
+            record.envelope.published_at
+            if record.envelope.published_at is not None
+            else record.time
+        )
+        for subscription in subscriptions:
+            if record.offset < subscription.from_offset:
+                continue
+            if publish_time < subscription.from_time:
+                continue
+            if (
+                subscription.event_class is not None
+                and record.event_class is not None
+                and record.event_class != subscription.event_class
+            ):
+                continue
+            if not subscription.filter.matches(record.envelope.metadata):
+                continue
+            report.expected += 1
+            key = (subscription.subscriber, record.event_id)
+            observed = copies.get(key, []) if record.event_id else []
+            report.delivered += min(len(observed), 1)
+            if len(observed) == 1:
+                continue
+            excused = in_windows(publish_time) or any(
+                in_windows(t) for t in observed
+            )
+            report.findings.append(
+                AuditFinding(
+                    kind="gap" if not observed else "duplicate",
+                    subscriber=subscription.subscriber,
+                    event_id=record.event_id,
+                    offset=record.offset,
+                    publish_time=publish_time,
+                    copies=len(observed),
+                    in_fault_window=excused,
+                )
+            )
+    return report

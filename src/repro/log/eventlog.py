@@ -1,0 +1,411 @@
+"""Append-only per-broker publish log with offset and timestamp seeks.
+
+Every broker built with a :class:`LogConfig` appends each event it
+processes to an :class:`EventLog`: a sequence of fixed-size *segments*,
+each holding ``segment_size`` consecutive records.  Offsets are dense
+integers assigned at append time; the root's log — publishers attach to
+the root, so the root processes every admitted event — is the system's
+complete publish history and the ground truth the audit verifier
+(:mod:`repro.log.audit`) checks delivery traces against.
+
+Two persistence modes coexist:
+
+- **in-sim** (default): records live in memory only, fsync-free — the
+  simulator's processes all share one address space and "durability"
+  means surviving :meth:`~repro.overlay.node.BrokerNode.crash`, which
+  wipes soft state but never the log;
+- **real files** (``directory`` set): each segment is additionally
+  written as a JSON-lines file (``<name>-<base offset>.jsonl``), the
+  format a future real-runtime backend would replay from;
+  :meth:`EventLog.load` reads a directory back into memory.
+
+Timestamps: the simulator clock is seconds since an arbitrary zero, so
+ISO-8601 replay points are anchored at a fixed epoch
+(:data:`EPOCH_ISO` = simulated time ``0.0``) rather than any wall
+clock — :func:`parse_point` maps either representation to simulated
+seconds deterministically.
+"""
+
+import base64
+import json
+import os
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+from typing import Dict, Iterator, List, Optional, TextIO, Tuple, Union
+
+from repro.events.base import PropertyEvent
+from repro.events.serialization import Envelope
+
+#: The ISO-8601 instant simulated time ``0.0`` maps to (UTC).  Chosen
+#: fixed — never "now" — so same-seed runs serialize identical logs.
+EPOCH_ISO = "2002-01-01T00:00:00+00:00"
+
+_EPOCH = datetime(2002, 1, 1, tzinfo=timezone.utc)
+
+TimePoint = Union[int, float, str]
+
+
+def parse_point(value: TimePoint) -> float:
+    """A replay point — simulated seconds, or an ISO-8601 timestamp
+    anchored at :data:`EPOCH_ISO` — as simulated seconds."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if text.endswith(("Z", "z")):
+            text = text[:-1] + "+00:00"
+        moment = datetime.fromisoformat(text)
+        if moment.tzinfo is None:
+            moment = moment.replace(tzinfo=timezone.utc)
+        return (moment - _EPOCH).total_seconds()
+    raise TypeError(f"cannot interpret {value!r} as a time point")
+
+
+def format_point(sim_time: float) -> str:
+    """Simulated seconds rendered as the ISO-8601 instant they map to."""
+    return (_EPOCH + timedelta(seconds=sim_time)).isoformat()
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One appended event: its log position, append time, and envelope.
+
+    ``source_offset`` is the offset the *root* assigned the event (the
+    root stamps it into the forwarded :class:`~repro.overlay.messages.
+    Publish`); at the root itself ``source_offset == offset``.  A
+    downstream broker's recovery replay is phrased in root offsets, so
+    the log tracks the highest one seen (:attr:`EventLog.
+    max_source_offset`) as its "last acked offset".
+    """
+
+    offset: int
+    time: float
+    envelope: Envelope
+    source_offset: Optional[int] = None
+
+    @property
+    def event_id(self) -> Optional[tuple]:
+        return self.envelope.event_id
+
+    @property
+    def publisher(self) -> Optional[str]:
+        eid = self.envelope.event_id
+        return eid[0] if eid else None
+
+    @property
+    def publish_seq(self) -> Optional[int]:
+        eid = self.envelope.event_id
+        return eid[1] if eid else None
+
+    @property
+    def event_class(self) -> Optional[str]:
+        return self.envelope.event_class
+
+    def to_json(self) -> str:
+        """One deterministic JSON line (the on-disk segment format)."""
+        eid = self.envelope.event_id
+        return json.dumps(
+            {
+                "offset": self.offset,
+                "time": self.time,
+                "iso": format_point(self.time),
+                "publisher": eid[0] if eid else None,
+                "seq": eid[1] if eid else None,
+                "published_at": self.envelope.published_at,
+                "metadata": dict(self.envelope.metadata),
+                "payload": base64.b64encode(self.envelope.payload).decode("ascii"),
+                "source_offset": self.source_offset,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        raw = json.loads(line)
+        eid = None
+        if raw.get("publisher") is not None:
+            eid = (raw["publisher"], raw["seq"])
+        envelope = Envelope(
+            metadata=PropertyEvent(raw["metadata"]),
+            payload=base64.b64decode(raw["payload"]),
+            published_at=raw.get("published_at"),
+            event_id=eid,
+        )
+        return cls(
+            offset=raw["offset"],
+            time=raw["time"],
+            envelope=envelope,
+            source_offset=raw.get("source_offset"),
+        )
+
+
+class _Segment:
+    """``segment_size`` consecutive records starting at ``base_offset``."""
+
+    __slots__ = ("base_offset", "records", "_file")
+
+    def __init__(self, base_offset: int, file: Optional[TextIO] = None):
+        self.base_offset = base_offset
+        self.records: List[LogRecord] = []
+        self._file = file
+
+    @property
+    def next_offset(self) -> int:
+        return self.base_offset + len(self.records)
+
+    @property
+    def last_offset(self) -> int:
+        """Offset of the last held record (base - 1 when empty)."""
+        return self.base_offset + len(self.records) - 1
+
+    @property
+    def first_time(self) -> float:
+        return self.records[0].time if self.records else float("inf")
+
+    @property
+    def last_time(self) -> float:
+        return self.records[-1].time if self.records else float("-inf")
+
+    def append(self, record: LogRecord) -> None:
+        self.records.append(record)
+        if self._file is not None:
+            self._file.write(record.to_json() + "\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class EventLog:
+    """A segmented, append-only, idempotent publish log.
+
+    Appends are idempotent on ``event_id``: a wire-duplicated frame
+    re-presents an already-logged event, and the log returns the original
+    record instead of growing — the root's log stays an exactly-once
+    ground truth even under duplication faults.  Append times must be
+    non-decreasing (the simulator clock is), which is what makes
+    :meth:`offset_for_time` a bisection instead of a scan.
+    """
+
+    def __init__(
+        self,
+        name: str = "log",
+        segment_size: int = 256,
+        directory: Optional[str] = None,
+    ):
+        if segment_size < 1:
+            raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+        self.name = name
+        self.segment_size = segment_size
+        self.directory = directory
+        self._segments: List[_Segment] = []
+        self._by_id: Dict[tuple, LogRecord] = {}
+        self._next_offset = 0
+        self._watermarks: Dict[str, int] = {}
+        self._max_source_offset: Optional[int] = None
+        #: Idempotent re-appends skipped (wire duplicates re-presented).
+        self.duplicates_skipped = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        envelope: Envelope,
+        time: float,
+        source_offset: Optional[int] = None,
+    ) -> LogRecord:
+        """Append one event; idempotent on ``envelope.event_id``.
+
+        Returns the (new or previously appended) record.  Compare
+        :attr:`next_offset` around the call to tell the cases apart.
+        """
+        eid = envelope.event_id
+        if eid is not None:
+            existing = self._by_id.get(eid)
+            if existing is not None:
+                self.duplicates_skipped += 1
+                return existing
+        if self._segments and time < self._segments[-1].last_time:
+            raise ValueError(
+                f"append time {time} precedes log tail "
+                f"{self._segments[-1].last_time} (times must be monotone)"
+            )
+        record = LogRecord(self._next_offset, time, envelope, source_offset)
+        segment = self._segments[-1] if self._segments else None
+        if segment is None or len(segment.records) >= self.segment_size:
+            if segment is not None:
+                segment.close()
+            segment = self._open_segment(self._next_offset)
+            self._segments.append(segment)
+        segment.append(record)
+        self._next_offset += 1
+        if eid is not None:
+            self._by_id[eid] = record
+            publisher, seq = eid
+            known = self._watermarks.get(publisher)
+            if known is None or seq > known:
+                self._watermarks[publisher] = seq
+        if source_offset is not None and (
+            self._max_source_offset is None
+            or source_offset > self._max_source_offset
+        ):
+            self._max_source_offset = source_offset
+        return record
+
+    def _open_segment(self, base_offset: int) -> _Segment:
+        file = None
+        if self.directory is not None:
+            path = os.path.join(
+                self.directory, f"{self.name}-{base_offset:08d}.jsonl"
+            )
+            file = open(path, "w", encoding="utf-8")
+        return _Segment(base_offset, file)
+
+    # ------------------------------------------------------------------
+    # Reading / seeking
+    # ------------------------------------------------------------------
+
+    @property
+    def next_offset(self) -> int:
+        """The offset the next append will receive (== total ever appended)."""
+        return self._next_offset
+
+    @property
+    def start_offset(self) -> int:
+        """First retained offset (> 0 after :meth:`truncate_before`)."""
+        return self._segments[0].base_offset if self._segments else self._next_offset
+
+    @property
+    def max_source_offset(self) -> Optional[int]:
+        """Highest root-assigned offset seen — the "last acked offset" a
+        restarted broker replays from."""
+        return self._max_source_offset
+
+    def __len__(self) -> int:
+        return sum(len(segment.records) for segment in self._segments)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        for segment in self._segments:
+            yield from segment.records
+
+    def records(self) -> List[LogRecord]:
+        return list(self)
+
+    def segments(self) -> List[Tuple[int, int]]:
+        """``(base offset, record count)`` per retained segment."""
+        return [(s.base_offset, len(s.records)) for s in self._segments]
+
+    def record_at(self, offset: int) -> Optional[LogRecord]:
+        """The record at ``offset`` (None when truncated or unwritten)."""
+        segment = self._segment_holding(offset)
+        if segment is None:
+            return None
+        return segment.records[offset - segment.base_offset]
+
+    def _segment_holding(self, offset: int) -> Optional[_Segment]:
+        if not self._segments or offset < 0:
+            return None
+        bases = [s.base_offset for s in self._segments]
+        index = bisect_right(bases, offset) - 1
+        if index < 0:
+            return None
+        segment = self._segments[index]
+        if offset >= segment.next_offset:
+            return None
+        return segment
+
+    def read_from(self, offset: int) -> Iterator[LogRecord]:
+        """Records with ``record.offset >= offset``, in offset order."""
+        for segment in self._segments:
+            if segment.last_offset < offset:
+                continue
+            start = max(0, offset - segment.base_offset)
+            yield from segment.records[start:]
+
+    def offset_for_time(self, point: TimePoint) -> int:
+        """First retained offset whose record time is ``>= point``
+        (``next_offset`` when the whole log is older).  ``point`` may be
+        simulated seconds or an ISO-8601 timestamp."""
+        t = parse_point(point)
+        tails = [s.last_time for s in self._segments]
+        index = bisect_left(tails, t)
+        if index >= len(self._segments):
+            return self._next_offset
+        segment = self._segments[index]
+        times = [r.time for r in segment.records]
+        return segment.base_offset + bisect_left(times, t)
+
+    def seen(self, event_id: tuple) -> bool:
+        """Whether an event with this id is in the retained log."""
+        return event_id in self._by_id
+
+    def watermarks(self) -> Dict[str, int]:
+        """Highest publish sequence ever logged, per publisher (monotone
+        across truncation: a watermark never retreats)."""
+        return dict(self._watermarks)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def truncate_before(self, offset: int) -> int:
+        """Drop whole segments entirely below ``offset``; returns the
+        number of records dropped.  Truncation is segment-granular —
+        :attr:`start_offset` stays ``<= offset`` and lands on a segment
+        boundary — and never splits a segment or touches its file."""
+        dropped = 0
+        while self._segments and self._segments[0].last_offset < offset:
+            segment = self._segments.pop(0)
+            segment.close()
+            for record in segment.records:
+                dropped += 1
+                eid = record.event_id
+                if eid is not None and self._by_id.get(eid) is record:
+                    del self._by_id[eid]
+        return dropped
+
+    # ------------------------------------------------------------------
+    # File persistence
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close any open segment file (append after close reopens none —
+        call only when done writing)."""
+        for segment in self._segments:
+            segment.close()
+
+    @classmethod
+    def load(
+        cls, name: str, directory: str, segment_size: int = 256
+    ) -> "EventLog":
+        """Rebuild a log from a directory of segment files."""
+        log = cls(name, segment_size=segment_size, directory=None)
+        prefix = f"{name}-"
+        files = sorted(
+            f
+            for f in os.listdir(directory)
+            if f.startswith(prefix) and f.endswith(".jsonl")
+        )
+        for filename in files:
+            with open(os.path.join(directory, filename), encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = LogRecord.from_json(line)
+                    log.append(
+                        record.envelope, record.time, record.source_offset
+                    )
+        return log
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLog({self.name!r}, records={len(self)}, "
+            f"segments={len(self._segments)}, next={self._next_offset})"
+        )

@@ -1,0 +1,430 @@
+"""Root-side replay: catch-up subscribers and broker crash recovery.
+
+The :class:`Replayer` lives at the root broker (the only node whose log
+is the complete publish history) and re-injects logged events into the
+overlay for two consumers:
+
+**Catch-up subscribers** (:class:`~repro.overlay.messages.CatchUpRequest`).
+A subscriber that joined late asks for history from a log offset or
+timestamp.  The session snapshots a *fence* (the log's next offset at
+request time) and then runs two streams over one reliable channel:
+
+- *history*: records in ``[origin, fence)`` matching the subscription,
+  pumped at the configured replay rate and, with flow control on,
+  spending per-event credits the subscriber grants back as it consumes —
+  PR 5's credit windows bound the replay exactly like live traffic;
+- *live taps*: every matching event the root processes while the session
+  is open is forwarded immediately (``history=False``).
+
+Events at offsets ``< fence`` arrive via history, ``>= fence`` via taps:
+no gap.  The overlap a wire duplicate can cause — and the handover
+overlap below — is closed by the subscriber's per-session dedup.  Once
+history is drained (``CatchUpDone``) the replayer polls the overlay's
+routing tables along the subscriber's home path; when the normal path
+covers the subscription end-to-end it announces ``CatchUpLive`` and
+stops tapping.  Between the path going live and the announcement an
+event can arrive twice (tap + home); the dedup makes the switchover
+seamless — no gap, no duplicate delivered.
+
+**Recovering brokers** (:class:`~repro.overlay.messages.ReplayRequest`).
+A restarted broker replays from just before its last acked root offset.
+The replayer re-drives the records the broker's subtree would have been
+routed (matched against the live table entries toward that subtree) as
+``ReplayBatch`` frames; the recovering broker deduplicates against its
+own surviving log and feeds the remainder through normal processing.
+"""
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.weakening import weaken_filter
+from repro.log.eventlog import parse_point
+from repro.overlay.messages import (
+    CatchUpBatch,
+    CatchUpDone,
+    CatchUpLive,
+    CatchUpRequest,
+    Publish,
+    ReplayBatch,
+    ReplayRequest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.node import BrokerNode
+
+
+class _CatchUpSession:
+    """One subscriber catching up: cursor walks ``[origin, fence)``."""
+
+    __slots__ = (
+        "subscription_id",
+        "subscriber",
+        "home",
+        "filter",
+        "event_class",
+        "cursor",
+        "fence",
+        "replayed",
+        "taps",
+        "done_sent",
+    )
+
+    def __init__(
+        self, request: CatchUpRequest, cursor: int, fence: int
+    ) -> None:
+        self.subscription_id = request.subscription_id
+        self.subscriber = request.subscriber
+        self.home = request.home
+        self.filter = request.filter
+        self.event_class = request.event_class
+        self.cursor = cursor
+        self.fence = fence
+        self.replayed = 0
+        self.taps = 0
+        self.done_sent = False
+
+
+class _RecoverySession:
+    """One restarted broker being re-driven: cursor walks ``[origin, fence)``."""
+
+    __slots__ = ("requester", "gate", "cursor", "fence", "replayed")
+
+    def __init__(self, requester, gate, cursor: int, fence: int) -> None:
+        self.requester = requester
+        #: The root child whose subtree contains the requester — records
+        #: are replayed iff the live table routes them toward this gate.
+        self.gate = gate
+        self.cursor = cursor
+        self.fence = fence
+        self.replayed = 0
+
+
+class Replayer:
+    """Pumps log history into the overlay at a bounded rate (see module
+    docstring).  Owned lazily by the root broker; all session state is
+    soft (a root crash drops it — requesters re-request)."""
+
+    def __init__(self, node: "BrokerNode") -> None:
+        if node.log is None or node.log_config is None:
+            raise ValueError(f"{node.name} has no event log to replay from")
+        self.node = node
+        self.config = node.log_config
+        #: Catch-up sessions keyed by (subscriber name, subscription id).
+        self._catchup: Dict[Tuple[str, int], _CatchUpSession] = {}
+        #: Recovery sessions keyed by requester name.
+        self._recovery: Dict[str, _RecoverySession] = {}
+        self._tick_handle = None
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return bool(self._catchup) or bool(self._recovery)
+
+    @property
+    def has_catch_up(self) -> bool:
+        return bool(self._catchup)
+
+    def start_catch_up(self, request: CatchUpRequest) -> None:
+        log = self.node.log
+        if request.from_offset is not None:
+            origin = request.from_offset
+        elif request.from_time is not None:
+            origin = log.offset_for_time(parse_point(request.from_time))
+        else:
+            origin = log.start_offset
+        cursor = max(origin, log.start_offset)
+        session = _CatchUpSession(request, cursor, log.next_offset)
+        self._catchup[(request.subscriber.name, request.subscription_id)] = session
+        if self.node.flow is not None:
+            # Materialize the subscriber's credit window now so its
+            # grants are never "stale" at the root.
+            self.node._downlink_for(request.subscriber)
+        self._session_span(
+            "catch-up-start",
+            peer=request.subscriber.name,
+            sid=request.subscription_id,
+            cursor=cursor,
+            fence=session.fence,
+        )
+        self._ensure_tick()
+
+    def start_recovery(self, request: ReplayRequest) -> None:
+        log = self.node.log
+        gate = self._gate_for(request.child)
+        if gate is None:
+            return  # requester is not in this root's tree
+        cursor = max(request.from_offset + 1, log.start_offset)
+        session = _RecoverySession(request.child, gate, cursor, log.next_offset)
+        self._recovery[request.child.name] = session
+        self._session_span(
+            "recovery-start",
+            peer=request.child.name,
+            cursor=cursor,
+            fence=session.fence,
+        )
+        self._ensure_tick()
+
+    def _gate_for(self, requester) -> Optional[object]:
+        node = requester
+        while node is not None and node.parent is not self.node:
+            node = node.parent
+        return node
+
+    def on_peer_reset(self, peer_name: str) -> None:
+        """A neighbour announced a new incarnation: its in-flight replay
+        died with the old one (it will re-request if it still cares)."""
+        self._recovery.pop(peer_name, None)
+        for key in [k for k in self._catchup if k[0] == peer_name]:
+            del self._catchup[key]
+
+    def reset(self) -> None:
+        """Root crash: all session state is soft and vanishes."""
+        self._catchup.clear()
+        self._recovery.clear()
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+
+    # ------------------------------------------------------------------
+    # Live taps
+    # ------------------------------------------------------------------
+
+    def tap_batch(self, batch) -> None:
+        """Forward matching just-processed events into every open
+        catch-up session (called by the root per processed batch)."""
+        for session in list(self._catchup.values()):
+            run: List[Publish] = []
+            for message in batch:
+                if self._session_matches(session, message.envelope):
+                    run.append(message)
+            if not run:
+                continue
+            session.taps += len(run)
+            self.node.counters.catchup_taps += len(run)
+            if self.node.tracer.enabled:
+                for message in run:
+                    self._replay_span(message, "tap", session.subscriber.name)
+            self.node._send_peer(
+                session.subscriber,
+                CatchUpBatch(session.subscription_id, tuple(run), history=False),
+            )
+
+    def _session_matches(self, session: _CatchUpSession, envelope) -> bool:
+        if (
+            session.event_class is not None
+            and envelope.event_class is not None
+            and envelope.event_class != session.event_class
+        ):
+            return False
+        return session.filter.matches(envelope.metadata)
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+
+    def kick(self) -> None:
+        """Credits arrived (or state changed): pump again promptly."""
+        if self._tick_handle is None and self.active:
+            self._tick_handle = self.node.sim.defer(self._tick)
+
+    def _ensure_tick(self) -> None:
+        if self._tick_handle is None and self.active:
+            self._tick_handle = self.node.sim.schedule(
+                self._interval(), self._tick
+            )
+
+    def _interval(self) -> float:
+        return self.config.replay_batch / self.config.replay_rate
+
+    def _tick(self) -> None:
+        self._tick_handle = None
+        for session in list(self._recovery.values()):
+            self._pump_recovery(session)
+        for session in list(self._catchup.values()):
+            self._pump_catch_up(session)
+        self._check_switchovers()
+        self._ensure_tick()
+
+    def _pump_catch_up(self, session: _CatchUpSession) -> None:
+        if session.cursor >= session.fence:
+            self._finish_history(session)
+            return
+        log = self.node.log
+        window = None
+        if self.node.flow is not None:
+            window = self.node._downlink_for(session.subscriber)[0]
+        budget = self.config.replay_batch
+        run: List[Publish] = []
+        while budget > 0 and session.cursor < session.fence:
+            if session.cursor < log.start_offset:
+                session.cursor = log.start_offset
+                continue
+            record = log.record_at(session.cursor)
+            if record is None or not self._session_matches(
+                session, record.envelope
+            ):
+                session.cursor += 1
+                continue
+            if window is not None and not window.take(1):
+                self.node.counters.credit_stalls += 1
+                break
+            session.cursor += 1
+            budget -= 1
+            run.append(Publish(record.envelope, record.offset))
+        if run:
+            session.replayed += len(run)
+            self.node.counters.replay_events_sent += len(run)
+            if self.node.tracer.enabled:
+                for message in run:
+                    self._replay_span(message, "history", session.subscriber.name)
+            self.node._send_peer(
+                session.subscriber,
+                CatchUpBatch(session.subscription_id, tuple(run), history=True),
+            )
+        if session.cursor >= session.fence:
+            self._finish_history(session)
+
+    def _finish_history(self, session: _CatchUpSession) -> None:
+        if session.done_sent:
+            return
+        session.done_sent = True
+        self._session_span(
+            "catch-up-done",
+            peer=session.subscriber.name,
+            sid=session.subscription_id,
+            replayed=session.replayed,
+        )
+        self.node._send_peer(
+            session.subscriber,
+            CatchUpDone(session.subscription_id, session.replayed),
+        )
+
+    def _check_switchovers(self) -> None:
+        for key, session in list(self._catchup.items()):
+            if not session.done_sent or not self._path_live(session):
+                continue
+            del self._catchup[key]
+            self._session_span(
+                "catch-up-live",
+                peer=session.subscriber.name,
+                sid=session.subscription_id,
+                replayed=session.replayed,
+                taps=session.taps,
+            )
+            self.node._send_peer(
+                session.subscriber, CatchUpLive(session.subscription_id)
+            )
+
+    def _path_live(self, session: _CatchUpSession) -> bool:
+        """True when the normal overlay path covers the subscription at
+        every hop from the root down to the subscriber — at that point
+        live delivery needs no tap and the session can hand over."""
+        root = self.node
+        home = session.home
+        advertisement = root.advertisements.get(session.event_class)
+        if advertisement is None or home is None:
+            return False
+        association = advertisement.association
+        node = home
+        if getattr(node, "crashed", False):
+            return False
+        # The home must route the subscription to the subscriber itself.
+        form = weaken_filter(session.filter, association, node.stage)
+        if not self._routes(node, form, session.subscriber):
+            return False
+        # Every broker above must route its stage's weakening downward.
+        while node is not root:
+            parent = node.parent
+            if parent is None or parent.crashed:
+                return False
+            form = weaken_filter(session.filter, association, parent.stage)
+            if not self._routes(parent, form, node):
+                return False
+            node = parent
+        return True
+
+    @staticmethod
+    def _routes(node, form, destination) -> bool:
+        for stored, ids in node.table.entries():
+            if any(d is destination for d in ids) and stored.covers(form):
+                return True
+        return False
+
+    def _pump_recovery(self, session: _RecoverySession) -> None:
+        log = self.node.log
+        routed = [
+            stored
+            for stored, ids in self.node.table.entries()
+            if any(d is session.gate for d in ids)
+        ]
+        window = None
+        if self.node.flow is not None:
+            window = self.node._downlink_for(session.requester)[0]
+        budget = self.config.replay_batch
+        run: List[Publish] = []
+        while budget > 0 and session.cursor < session.fence:
+            if session.cursor < log.start_offset:
+                session.cursor = log.start_offset
+                continue
+            record = log.record_at(session.cursor)
+            if record is None or not any(
+                stored.matches(record.envelope.metadata) for stored in routed
+            ):
+                session.cursor += 1
+                continue
+            if window is not None and not window.take(1):
+                self.node.counters.credit_stalls += 1
+                break
+            session.cursor += 1
+            budget -= 1
+            run.append(Publish(record.envelope, record.offset))
+        if run:
+            session.replayed += len(run)
+            self.node.counters.replay_events_sent += len(run)
+            if self.node.tracer.enabled:
+                for message in run:
+                    self._replay_span(message, "recovery", session.requester.name)
+            self.node._send_peer(session.requester, ReplayBatch(tuple(run)))
+        if session.cursor >= session.fence:
+            del self._recovery[session.requester.name]
+            self._session_span(
+                "recovery-done",
+                peer=session.requester.name,
+                replayed=session.replayed,
+            )
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def _replay_span(self, message: Publish, mode: str, peer: str) -> None:
+        # Replay spans share the original (publisher, seq) trace id, so
+        # reconstruct_paths stitches a replayed delivery onto the
+        # event's original publish/hop history.
+        self.node.tracer.span(
+            self.node.sim.now,
+            "replay",
+            self.node.name,
+            self.node.stage,
+            trace_id=message.envelope.event_id,
+            details=(("peer", peer), ("mode", mode), ("offset", message.offset)),
+        )
+
+    def _session_span(self, kind: str, **details) -> None:
+        if not self.node.tracer.enabled:
+            return
+        self.node.tracer.span(
+            self.node.sim.now,
+            kind,
+            self.node.name,
+            self.node.stage,
+            details=tuple(details.items()),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Replayer({self.node.name}, catchup={len(self._catchup)}, "
+            f"recovery={len(self._recovery)})"
+        )

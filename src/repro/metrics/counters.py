@@ -102,6 +102,21 @@ class NodeCounters:
     overload_transitions: int = 0
     #: Durable offline-buffer drops per subscriber name.
     offline_drops: Dict[str, int] = field(default_factory=dict)
+    #: Events appended to this node's durable event log (new records
+    #: only; idempotent re-appends of wire duplicates excluded).
+    events_logged: int = 0
+    #: Events sent while replaying (catch-up history + recovery replay).
+    replay_events_sent: int = 0
+    #: Replayed events discarded as already seen (subscriber session
+    #: dedup, or a recovering broker's own-log dedup).
+    replay_dupes_discarded: int = 0
+    #: Live events tapped into in-flight catch-up sessions.
+    catchup_taps: int = 0
+    #: Catch-up events delivered to the application (subset of
+    #: ``events_delivered``; subscriber runtimes only).
+    catchup_delivered: int = 0
+    #: Credits returned for events a lossy link swallowed (gap-grant).
+    credit_gap_grants: int = 0
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -160,4 +175,10 @@ class NodeCounters:
             "credit_stalls": self.credit_stalls,
             "rate_limited": self.rate_limited,
             "overload_transitions": self.overload_transitions,
+            "events_logged": self.events_logged,
+            "replay_events_sent": self.replay_events_sent,
+            "replay_dupes_discarded": self.replay_dupes_discarded,
+            "catchup_taps": self.catchup_taps,
+            "catchup_delivered": self.catchup_delivered,
+            "credit_gap_grants": self.credit_gap_grants,
         }

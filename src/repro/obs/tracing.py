@@ -26,6 +26,19 @@ trace id when one exists, so a missing delivery is explainable),
 ``overload`` (a broker's overload-detector transition, with the new
 state and the queue-depth EWMA).
 
+The durable log and replayer (see :mod:`repro.log`) add their own:
+``replay`` (one re-injected event, **sharing the original event's trace
+id** with a ``mode`` of ``history``/``tap``/``recovery``),
+``credit-gap`` (the root re-crediting events a lossy wire swallowed,
+detected via data-frame sequence gaps), ``replay-request`` (a restarted
+broker asking the root to resend from its last logged offset), and the
+session markers ``catch-up-start`` / ``catch-up-done`` /
+``catch-up-live`` and ``recovery-start`` / ``recovery-done`` (all
+``trace_id=None``).  Replayed deliveries at the subscriber are ordinary
+``deliver`` spans with a ``replay`` detail, so the audit verifier
+(:func:`repro.log.audit.verify_exactly_once`) counts live and replayed
+copies uniformly.
+
 Determinism: spans are appended in simulator execution order, which is
 deterministic for a fixed seed; every recorded value is derived from
 names, simulated times, and counters — never from ``id()``, wall clocks,

@@ -10,6 +10,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.filters.index import CountingIndex
 from repro.flow import FlowConfig
+from repro.log.config import LogConfig
 from repro.obs.tracing import EventTracer
 from repro.overlay.node import BrokerNode, MatchEngine
 from repro.sim.kernel import Simulator
@@ -80,6 +81,7 @@ def build_hierarchy(
     flow: Optional[FlowConfig] = None,
     service_rate: Optional[float] = None,
     service_batch: int = 16,
+    log: Optional[LogConfig] = None,
 ) -> Hierarchy:
     """Build a balanced broker tree.
 
@@ -120,6 +122,7 @@ def build_hierarchy(
                 flow=flow,
                 service_rate=service_rate,
                 service_batch=service_batch,
+                log_config=log,
             )
             for i in range(size)
         ]

@@ -192,9 +192,18 @@ class CreditGrant:
 
 @dataclass(frozen=True)
 class Publish:
-    """An event on its way down the hierarchy (or into a subscriber)."""
+    """An event on its way down the hierarchy (or into a subscriber).
+
+    ``offset`` is the root's event-log offset for this event, stamped by
+    the root when it has a log and carried unchanged downstream: every
+    broker that logs the event records the same root offset, which is the
+    coordinate crash recovery replays from (see :mod:`repro.log`).
+    ``None`` means "not yet through a logging root" (publisher→root leg,
+    or a system with no log configured).
+    """
 
     envelope: Envelope
+    offset: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -207,6 +216,104 @@ class PublishBatch:
     Receivers process the contained events in order, so per-destination
     delivery order is exactly that of the equivalent unbatched sends.
     """
+
+    publishes: tuple  # Tuple[Publish, ...]
+
+    def __len__(self) -> int:
+        return len(self.publishes)
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A run of events with a per-link data sequence number.
+
+    With flow control on, every data send (publisher→root and
+    broker→broker) is framed: ``seq`` is the link-local sequence number
+    of the *first* contained event and the run covers ``seq ..
+    seq + len(publishes) - 1``.  Data frames are *not* retransmitted —
+    events remain best-effort, exactly as before — but the numbering
+    lets the receiver detect how many events a lossy link swallowed and
+    return the credits those events consumed (the DESIGN §10 credit-leak
+    fix).  ``publishes`` keeps the attribute name the network tracer
+    duck-types for per-event drop/duplicate spans.
+    """
+
+    seq: int
+    publishes: tuple  # Tuple[Publish, ...]
+
+    def __len__(self) -> int:
+        return len(self.publishes)
+
+
+@dataclass(frozen=True)
+class CatchUpRequest:
+    """A late subscriber asking the root to replay history (catch-up).
+
+    Sent on the subscriber's reliable control channel to the root after
+    the subscription is accepted.  ``from_offset``/``from_time`` pick the
+    replay origin in the root's event log (offset wins when both are
+    set; ``from_time`` may be simulated seconds or an ISO-8601 string).
+    The root streams matching history as :class:`CatchUpBatch` frames at
+    the configured replay rate, fences the live boundary, and announces
+    :class:`CatchUpDone` then :class:`CatchUpLive` (see
+    :mod:`repro.log.replay` for the switchover protocol).
+    """
+
+    subscription_id: int
+    filter: Filter
+    event_class: str
+    subscriber: "Process"
+    home: "Process"
+    from_offset: Optional[int] = None
+    from_time: Optional[object] = None  # float seconds or ISO-8601 str
+
+
+@dataclass(frozen=True)
+class CatchUpBatch:
+    """A run of replayed (``history=True``) or live-tapped events for one
+    catch-up session, sent root→subscriber on the reliable channel."""
+
+    subscription_id: int
+    publishes: tuple  # Tuple[Publish, ...]
+    history: bool = True
+
+    def __len__(self) -> int:
+        return len(self.publishes)
+
+
+@dataclass(frozen=True)
+class CatchUpDone:
+    """History drained: every log record up to the session's fence has
+    been offered.  Live taps continue until :class:`CatchUpLive`."""
+
+    subscription_id: int
+    replayed: int
+
+
+@dataclass(frozen=True)
+class CatchUpLive:
+    """Switchover complete: the normal overlay path now covers the
+    subscription end-to-end, the root stops tapping, and subsequent
+    events arrive only via the subscriber's home broker."""
+
+    subscription_id: int
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """A restarted broker asking the root to re-drive events it may have
+    missed while down, starting after root offset ``from_offset``
+    (exclusive; ``-1`` replays from the log's start)."""
+
+    child: "Process"
+    from_offset: int
+
+
+@dataclass(frozen=True)
+class ReplayBatch:
+    """A run of recovery-replay events for a restarted broker.  The
+    receiver deduplicates against its own log and feeds the remainder
+    through normal event processing."""
 
     publishes: tuple  # Tuple[Publish, ...]
 

@@ -38,6 +38,8 @@ from repro.filters.filter import Filter
 from repro.filters.index import CountingIndex
 from repro.filters.standard import most_general_wildcard, wildcard_attributes
 from repro.flow import BoundedQueue, CreditWindow, FlowConfig, OverloadDetector
+from repro.log.config import LogConfig
+from repro.log.eventlog import EventLog
 from repro.metrics.counters import NodeCounters
 from repro.obs.tracing import EventTracer
 from repro.overlay.channel import ReliableReceiver, ReliableSender
@@ -45,14 +47,18 @@ from repro.overlay.messages import (
     AcceptedAt,
     Ack,
     Advertise,
+    CatchUpRequest,
     ChannelReset,
     CreditGrant,
+    DataFrame,
     Disconnect,
     JoinAt,
     Publish,
     PublishBatch,
     Reconnect,
     Renewal,
+    ReplayBatch,
+    ReplayRequest,
     ReqInsert,
     Sequenced,
     SubscriptionRequest,
@@ -119,6 +125,7 @@ class BrokerNode(Process):
         flow: Optional[FlowConfig] = None,
         service_rate: Optional[float] = None,
         service_batch: int = 16,
+        log_config: Optional[LogConfig] = None,
     ):
         super().__init__(sim, name)
         if stage < 1:
@@ -220,6 +227,26 @@ class BrokerNode(Process):
         self._credit_senders: Dict[str, ReliableSender] = {}
         #: Event sources (by name) we owe credit grants to.
         self._event_sources: Dict[str, Process] = {}
+        # ---- Durable event log and replay (PR 6) -----------------------
+        #: Log knobs (None = no log, the pre-log behaviour).
+        self.log_config = log_config
+        #: Append-only publish log; survives :meth:`crash` (durable).
+        self.log: Optional[EventLog] = (
+            EventLog(
+                name,
+                segment_size=log_config.segment_size,
+                directory=log_config.directory,
+            )
+            if log_config is not None
+            else None
+        )
+        #: Root-side replayer, created lazily on the first replay request.
+        self._replayer: Optional[Any] = None
+        #: Next expected per-link data sequence number, per sender name
+        #: (gap detection for the §10 credit-leak fix).
+        self._data_expected: Dict[str, int] = {}
+        #: Next outgoing data sequence number, per downstream peer name.
+        self._data_seq_out: Dict[str, int] = {}
         self.overload_detector: Optional[OverloadDetector] = (
             OverloadDetector(
                 flow.queue_capacity,
@@ -272,6 +299,9 @@ class BrokerNode(Process):
             return
         if isinstance(message, PublishBatch):
             self._accept_publishes(message.publishes, sender)
+            return
+        if isinstance(message, DataFrame):
+            self._on_data_frame(message, sender)
             return
         if isinstance(message, Ack):
             # Acks touch only channel bookkeeping, never routing state:
@@ -347,6 +377,12 @@ class BrokerNode(Process):
             self._on_reconnect(sender)
         elif isinstance(message, CreditGrant):
             self._on_credit_grant(message, sender)
+        elif isinstance(message, CatchUpRequest):
+            self._on_catch_up_request(message)
+        elif isinstance(message, ReplayRequest):
+            self._on_replay_request(message)
+        elif isinstance(message, ReplayBatch):
+            self._on_replay_batch(message, sender)
         else:
             raise TypeError(f"{self.name}: unexpected message {message!r}")
 
@@ -744,6 +780,10 @@ class BrokerNode(Process):
             return  # duplicate / stale reset
         self._peer_incarnations[sender.name] = message.incarnation
         self._receivers.pop(sender.name, None)
+        # The restarted peer restarts its data-frame numbering too.
+        self._data_expected.pop(sender.name, None)
+        if self._replayer is not None:
+            self._replayer.on_peer_reset(sender.name)
         if self.flow is not None:
             # The peer's incarnation died with whatever credits it held:
             # reset-to-full (see flow.credits) rather than leak them.
@@ -816,6 +856,13 @@ class BrokerNode(Process):
         self._outbound.clear()
         self._downlink_credits.clear()
         self._event_sources.clear()
+        self._data_expected.clear()
+        self._data_seq_out.clear()
+        # The event log is the one durable thing a broker owns: it
+        # survives the crash (that is what recovery replays against).
+        # Replay sessions, by contrast, are soft state and vanish.
+        if self._replayer is not None:
+            self._replayer.reset()
         self._drain_paused = False
         self._busy_until = 0.0
         if self.overload_detector is not None:
@@ -847,6 +894,17 @@ class BrokerNode(Process):
             self.network.send(self, self.parent, reset)
         for child in self.broker_children:
             self.network.send(self, child, reset)
+        if (
+            self.log is not None
+            and self.log_config.auto_recover
+            and self.parent is not None
+        ):
+            # Let the children's reset-triggered renewals rebuild the
+            # routing table first, then ask the root to re-drive what
+            # was missed while down.
+            self.sim.schedule(
+                self.log_config.recovery_delay, self._request_replay, self.incarnation
+            )
         if self._was_maintained:
             self.start_maintenance()
 
@@ -1072,6 +1130,10 @@ class BrokerNode(Process):
         name, arrival time)`` when tracing is on.
         """
         self.counters.on_batch(len(batch))
+        if self.log is not None:
+            batch = self._log_batch(batch)
+            if self._replayer is not None and self._replayer.has_catch_up:
+                self._replayer.tap_batch(batch)
         engine = self._match_engine()
         tracing = self.tracer.enabled
         runs: Dict[int, List[Publish]] = {}
@@ -1138,10 +1200,157 @@ class BrokerNode(Process):
                 self._send_run(destination, run)
 
     def _send_run(self, destination: Process, run: Sequence[Publish]) -> None:
+        if self.flow is not None and isinstance(destination, BrokerNode):
+            # Data frames carry a per-link sequence number so the child
+            # can detect (and re-credit) events a lossy link swallowed.
+            seq = self._data_seq_out.get(destination.name, 0)
+            self._data_seq_out[destination.name] = seq + len(run)
+            self.network.send(self, destination, DataFrame(seq, tuple(run)))
+            return
         if len(run) == 1:
             self.network.send(self, destination, run[0])
         else:
             self.network.send(self, destination, PublishBatch(tuple(run)))
+
+    # ------------------------------------------------------------------
+    # Durable event log, replay, and crash recovery (see repro.log)
+    # ------------------------------------------------------------------
+
+    def _log_batch(self, batch: Sequence[Publish]) -> Sequence[Publish]:
+        """Append a run to the event log (idempotent per event id).
+
+        At the root, each first-seen event gets its log offset stamped
+        into the forwarded :class:`Publish`, so the same root offset
+        travels unchanged to every downstream log (``source_offset``) —
+        the coordinate system recovery replay is phrased in.
+        """
+        log = self.log
+        stamped: List[Publish] = []
+        changed = False
+        for message in batch:
+            before = log.next_offset
+            record = log.append(
+                message.envelope, self.sim.now, source_offset=message.offset
+            )
+            if log.next_offset != before:
+                self.counters.events_logged += 1
+            if self.is_root and message.offset is None:
+                message = Publish(message.envelope, record.offset)
+                changed = True
+            stamped.append(message)
+        return tuple(stamped) if changed else batch
+
+    def _ensure_replayer(self):
+        if self._replayer is None:
+            from repro.log.replay import Replayer
+
+            self._replayer = Replayer(self)
+        return self._replayer
+
+    def _on_catch_up_request(self, message: CatchUpRequest) -> None:
+        if self.log is None:
+            return  # no log configured: nothing to replay
+        self._ensure_replayer().start_catch_up(message)
+
+    def _on_replay_request(self, message: ReplayRequest) -> None:
+        if self.log is None:
+            return
+        self._ensure_replayer().start_recovery(message)
+
+    def _on_replay_batch(self, message: ReplayBatch, sender: Process) -> None:
+        """Recovery replay arriving at a restarted broker: drop what the
+        surviving log already has, process the rest normally (matched,
+        logged, forwarded — the missed-while-down events reach this
+        subtree's subscribers through the regular path)."""
+        fresh: List[Publish] = []
+        dropped = 0
+        for publish in message.publishes:
+            eid = publish.envelope.event_id
+            if self.log is not None and eid is not None and self.log.seen(eid):
+                dropped += 1
+                continue
+            fresh.append(publish)
+        if dropped:
+            self.counters.replay_dupes_discarded += dropped
+            if self.flow is not None:
+                # The sender spent window credits on the dropped events;
+                # they will never be processed, so return their credits
+                # here (processing grants back only for accepted ones).
+                self._event_sources[sender.name] = sender
+                self._grant_credits(sender.name, dropped)
+        if fresh:
+            self._accept_publishes(tuple(fresh), sender)
+
+    def _request_replay(self, incarnation: int) -> None:
+        """Ask the root to re-drive events missed while down (scheduled
+        ``recovery_delay`` after restart, once renewals rebuilt the
+        table the replay is matched against)."""
+        if self.crashed or incarnation != self.incarnation or self.log is None:
+            return
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        if root is self:
+            return
+        from_offset = -1
+        if self.log.max_source_offset is not None:
+            from_offset = max(
+                -1, self.log.max_source_offset - self.log_config.recovery_rewind
+            )
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.sim.now,
+                "replay-request",
+                self.name,
+                self.stage,
+                details=(("root", root.name), ("from_offset", from_offset)),
+            )
+        payload = ReplayRequest(self, from_offset)
+        if self.parent is root:
+            # Ride the existing uplink channel (one Sequenced stream per
+            # sender/receiver pair; a second would collide with it).
+            self._send_up(payload)
+        else:
+            self._send_peer(root, payload)
+
+    # ------------------------------------------------------------------
+    # Gap-granting data frames (DESIGN §10 credit-leak fix)
+    # ------------------------------------------------------------------
+
+    def _on_data_frame(self, frame: DataFrame, sender: Process) -> None:
+        """Admit a sequenced data frame, re-crediting any gap.
+
+        ``frame.seq`` numbers the first contained event on this link; a
+        jump past the expected number means a lossy link swallowed
+        frames whose events had spent sender-side credits.  Granting the
+        missing count back (capped at one window — the most that can be
+        in flight) stops the §10 permanent window shrink.  The first
+        frame from an unknown sender adopts its position silently: any
+        earlier losses are unknowable.
+        """
+        if self.flow is not None:
+            expected = self._data_expected.get(sender.name)
+            if expected is not None and frame.seq > expected:
+                missing = min(frame.seq - expected, self.flow.link_window)
+                if self.flow.gap_grant:
+                    self.counters.credit_gap_grants += missing
+                    self._event_sources[sender.name] = sender
+                    if self.tracer.enabled:
+                        self.tracer.span(
+                            self.sim.now,
+                            "credit-gap",
+                            self.name,
+                            self.stage,
+                            details=(
+                                ("peer", sender.name),
+                                ("missing", missing),
+                            ),
+                        )
+                    self._grant_credits(sender.name, missing)
+            advance = frame.seq + len(frame.publishes)
+            if expected is None or advance > expected:
+                self._data_expected[sender.name] = advance
+        self._accept_publishes(frame.publishes, sender)
 
     # ------------------------------------------------------------------
     # Flow control, backpressure, and overload protection (see repro.flow)
@@ -1291,18 +1500,29 @@ class BrokerNode(Process):
         target = self._event_sources.get(source)
         if target is None:
             return
-        if not self.reliable_enabled:
-            self.network.send(self, target, CreditGrant(count))
-            return
-        credit_sender = self._credit_senders.get(source)
-        if credit_sender is None:
-            credit_sender = self._credit_senders[source] = ReliableSender(
+        self._send_peer(target, CreditGrant(count))
+
+    def _peer_sender(self, target: Process) -> ReliableSender:
+        """The reliable channel toward an arbitrary peer (publisher
+        credit grants, catch-up streams, recovery replay).  One channel
+        per peer: acks from ``target`` route back to it by name."""
+        sender = self._credit_senders.get(target.name)
+        if sender is None:
+            sender = self._credit_senders[target.name] = ReliableSender(
                 self.sim,
                 lambda frame, peer=target: self.network.send(self, peer, frame),
                 self._count_retransmits,
                 window=self.flow.control_window if self.flow is not None else None,
             )
-        credit_sender.send(CreditGrant(count))
+        return sender
+
+    def _send_peer(self, target: Process, payload: Any) -> None:
+        """Send one control payload to a non-parent peer (reliably when
+        enabled)."""
+        if not self.reliable_enabled:
+            self.network.send(self, target, payload)
+            return
+        self._peer_sender(target).send(payload)
 
     # -- downstream credit spending ------------------------------------
 
@@ -1345,6 +1565,9 @@ class BrokerNode(Process):
             return  # stale grant for a link we no longer track
         window.grant(message.credits)
         self._flush_outbound(sender)
+        if self._replayer is not None:
+            # A replay stalled on this window can resume immediately.
+            self._replayer.kick()
 
     def _flush_outbound(self, destination: Process) -> None:
         queue = self._outbound.get(destination.name)
@@ -1368,6 +1591,8 @@ class BrokerNode(Process):
         queue = self._outbound.get(peer.name)
         if queue is not None and queue:
             self._shed_publishes(queue.drain(), "peer-reset", peer=peer.name)
+        # The peer's data-frame numbering died with its incarnation.
+        self._data_seq_out.pop(peer.name, None)
         self._maybe_resume_drain()
 
     # -- shedding accounting -------------------------------------------

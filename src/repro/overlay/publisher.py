@@ -28,6 +28,7 @@ from repro.overlay.channel import ReliableReceiver
 from repro.overlay.messages import (
     Advertise,
     CreditGrant,
+    DataFrame,
     Publish,
     PublishBatch,
     Sequenced,
@@ -86,6 +87,10 @@ class PublisherRuntime(Process):
         )
         #: Reliable-channel receiver for the root's credit grants.
         self._grant_receiver = ReliableReceiver()
+        #: Next data-frame sequence number on the link to the root (flow
+        #: mode only): lets the root detect and re-credit events a lossy
+        #: wire swallowed (the DESIGN §10 credit-leak fix).
+        self._data_seq = 0
 
     def advertise(self, advertisement: Advertisement) -> None:
         """Disseminate an advertisement (schema + ``Gc``) into the overlay."""
@@ -155,7 +160,7 @@ class PublisherRuntime(Process):
             self.network.send(self, self.root, message)
             return True
         if not self._pending and self._window.take(1):
-            self.network.send(self, self.root, message)
+            self._send_data((message,))
             return True
         self.counters.credit_stalls += 1
         accepted, shed = self._pending.offer(message)
@@ -232,12 +237,16 @@ class PublisherRuntime(Process):
         sendable = deque()
         while self._pending and self._window.take(1):
             sendable.append(self._pending.popleft())
-        if not sendable:
-            return
-        if len(sendable) == 1:
-            self.network.send(self, self.root, sendable[0])
-        else:
-            self.network.send(self, self.root, PublishBatch(tuple(sendable)))
+        if sendable:
+            self._send_data(tuple(sendable))
+
+    def _send_data(self, publishes) -> None:
+        """Put a run of credit-backed events on the wire as one sequenced
+        data frame (the numbering is what makes lost-frame credit gaps
+        detectable at the root)."""
+        frame = DataFrame(self._data_seq, tuple(publishes))
+        self._data_seq += len(frame.publishes)
+        self.network.send(self, self.root, frame)
 
     def __repr__(self) -> str:
         return f"PublisherRuntime({self.name}, published={self.events_published})"

@@ -18,16 +18,22 @@ from repro.filters.filter import Filter
 from repro.flow import FlowConfig
 from repro.metrics.counters import NodeCounters
 from repro.obs.tracing import SUBSCRIBER_STAGE, EventTracer
-from repro.overlay.channel import ReliableSender
+from repro.overlay.channel import ReliableReceiver, ReliableSender
 from repro.overlay.messages import (
     AcceptedAt,
     Ack,
+    CatchUpBatch,
+    CatchUpDone,
+    CatchUpLive,
+    CatchUpRequest,
+    CreditGrant,
     Disconnect,
     JoinAt,
     Publish,
     PublishBatch,
     Reconnect,
     Renewal,
+    Sequenced,
     SubscriptionRequest,
     Unsubscribe,
 )
@@ -51,6 +57,52 @@ class _SubscriptionState:
     @property
     def joined(self) -> bool:
         return self.home is not None
+
+
+class _CatchUpSession:
+    """Subscriber-side state of one catch-up (see :mod:`repro.log.replay`).
+
+    The ``seen`` set is the exactly-once keystone: history, live taps,
+    and (after the path goes live) the normal home-broker stream all
+    overlap around the handover, and whichever copy of an event arrives
+    first wins — every later copy is discarded.  The set is a bounded
+    LRU; the overlap it must remember is recent by construction (the
+    fence and the handover are both "now"-ish), so eviction of old ids
+    is safe long before the bound matters.
+    """
+
+    __slots__ = (
+        "subscription_id",
+        "history_done",
+        "live",
+        "history_delivered",
+        "tap_delivered",
+        "dupes",
+        "_seen",
+        "_seen_limit",
+    )
+
+    def __init__(self, subscription_id: int, seen_limit: int = 65536) -> None:
+        self.subscription_id = subscription_id
+        #: The root drained every record up to the session fence.
+        self.history_done = False
+        #: Switchover announced: the overlay path now serves this alone.
+        self.live = False
+        self.history_delivered = 0
+        self.tap_delivered = 0
+        #: Copies discarded because another stream delivered them first.
+        self.dupes = 0
+        self._seen: "OrderedDict[Tuple, None]" = OrderedDict()
+        self._seen_limit = seen_limit
+
+    def remember(self, event_id: Tuple) -> bool:
+        """Record one delivery; False when the event was already seen."""
+        if event_id in self._seen:
+            return False
+        self._seen[event_id] = None
+        if len(self._seen) > self._seen_limit:
+            self._seen.popitem(last=False)
+        return True
 
 
 class SubscriberRuntime(Process):
@@ -94,6 +146,12 @@ class SubscriberRuntime(Process):
         # bounded LRU (branches of one OR can arrive over several paths).
         self._delivered_groups: "OrderedDict[Tuple, None]" = OrderedDict()
         self._delivered_groups_limit = 4096
+        # Catch-up replay (see repro.log.replay): per-subscription
+        # sessions (kept after switchover — their seen-sets are the
+        # handover dedup) and per-peer receivers for the root's reliable
+        # replay stream.
+        self._catch_up: Dict[int, _CatchUpSession] = {}
+        self._framed_in: Dict[str, ReliableReceiver] = {}
 
     # ------------------------------------------------------------------
     # Subscribing (Figure 5a)
@@ -133,6 +191,69 @@ class SubscriberRuntime(Process):
         self.counters.set_filters_held(len(self._active_states()))
         if explicit and state.joined and state.stored_filter is not None:
             self._send_control(state.home, Unsubscribe(state.stored_filter, self))
+
+    # ------------------------------------------------------------------
+    # Catch-up replay (late joiners; see repro.log.replay)
+    # ------------------------------------------------------------------
+
+    def catch_up(
+        self,
+        subscription_id: int,
+        from_offset: Optional[int] = None,
+        from_time: Optional[Any] = None,
+    ) -> None:
+        """Ask the root to replay history for a joined subscription.
+
+        ``from_offset`` picks a root-log line offset, ``from_time`` a
+        point in time (simulated seconds or an ISO-8601 string anchored
+        at :data:`repro.log.EPOCH_ISO`); neither means "everything the
+        log retains".  History arrives at the configured replay rate
+        (credit-bounded when flow control is on), live events are tapped
+        in from the request onward, and once the normal overlay path
+        covers the subscription the root hands over
+        (:meth:`catch_up_live` turns True) — no gap, no duplicate.
+        """
+        state = self._states.get(subscription_id)
+        if state is None or not state.active:
+            raise KeyError(f"no active subscription {subscription_id}")
+        if not state.joined:
+            raise RuntimeError(
+                f"subscription {subscription_id} must be joined before catch-up"
+            )
+        self._catch_up[subscription_id] = _CatchUpSession(subscription_id)
+        self._send_control(
+            self.root,
+            CatchUpRequest(
+                subscription_id,
+                state.subscription.filter,
+                state.subscription.event_class,
+                self,
+                state.home,
+                from_offset,
+                from_time,
+            ),
+        )
+
+    def catch_up_history_done(self, subscription_id: int) -> bool:
+        """True when the root has drained this session's history."""
+        session = self._catch_up.get(subscription_id)
+        return session is not None and session.history_done
+
+    def catch_up_live(self, subscription_id: int) -> bool:
+        """True when the switchover to normal live delivery completed."""
+        session = self._catch_up.get(subscription_id)
+        return session is not None and session.live
+
+    def catch_up_stats(self, subscription_id: int) -> Optional[Dict[str, int]]:
+        """Replay bookkeeping for one session (None when unknown)."""
+        session = self._catch_up.get(subscription_id)
+        if session is None:
+            return None
+        return {
+            "history_delivered": session.history_delivered,
+            "tap_delivered": session.tap_delivered,
+            "dupes_discarded": session.dupes,
+        }
 
     def _send_control(self, home: Process, payload: Any) -> None:
         """Send one control message to a home node (reliably when enabled)."""
@@ -272,8 +393,135 @@ class SubscriberRuntime(Process):
             channel = self._control_out.get(sender.name)
             if channel is not None:
                 channel.on_ack(message)
+        elif isinstance(message, Sequenced):
+            # The root's reliable replay stream (catch-up batches and
+            # session control), one receiver per framing peer.
+            receiver = self._framed_in.get(sender.name)
+            if receiver is None:
+                capacity = (
+                    self.flow.control_window if self.flow is not None else None
+                )
+                receiver = self._framed_in[sender.name] = ReliableReceiver(
+                    capacity=capacity
+                )
+            before = receiver.dups_discarded
+            ack = receiver.on_frame(
+                message, lambda payload: self._on_framed(payload, sender)
+            )
+            self.counters.control_dups_discarded += (
+                receiver.dups_discarded - before
+            )
+            self.network.send(self, sender, ack)
+        elif isinstance(message, (CatchUpBatch, CatchUpDone, CatchUpLive)):
+            # Plain (unframed) replay stream: the unreliable ablation.
+            self._on_framed(message, sender)
         else:
             raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    def _on_framed(self, payload: Any, sender: Process) -> None:
+        if isinstance(payload, CatchUpBatch):
+            self._on_catch_up_batch(payload, sender)
+            return
+        self.counters.control_messages += 1
+        if isinstance(payload, CatchUpDone):
+            session = self._catch_up.get(payload.subscription_id)
+            if session is not None:
+                session.history_done = True
+        elif isinstance(payload, CatchUpLive):
+            session = self._catch_up.get(payload.subscription_id)
+            if session is not None:
+                session.live = True
+        else:
+            raise TypeError(f"{self.name}: unexpected framed {payload!r}")
+
+    def _on_catch_up_batch(self, message: CatchUpBatch, sender: Process) -> None:
+        session = self._catch_up.get(message.subscription_id)
+        if session is None:
+            return  # stale stream for a session we no longer track
+        state = self._states.get(message.subscription_id)
+        for publish in message.publishes:
+            self._deliver_catch_up(
+                session, state, publish.envelope, sender, message.history
+            )
+        if message.history and self.flow is not None and message.publishes:
+            # One credit per consumed history event, back on the control
+            # channel: the replay rate composes with PR 5's credit
+            # windows exactly like live traffic does.
+            self._send_control(sender, CreditGrant(len(message.publishes)))
+
+    def _deliver_catch_up(
+        self,
+        session: _CatchUpSession,
+        state: Optional[_SubscriptionState],
+        envelope: Envelope,
+        sender: Process,
+        history: bool,
+    ) -> None:
+        """Deliver one replayed (or tapped) event with session dedup.
+
+        Stage-0 semantics are identical to live delivery — exact filter,
+        disjunction-group dedup, residual closure, unmarshal-once —
+        except that replayed events never enter the delivery-latency
+        series (a historical event's publish-to-now span measures the
+        subscriber's lateness, not the system's delivery latency).
+        """
+        matched = (
+            state is not None
+            and state.active
+            and state.subscription.filter.matches(envelope.metadata)
+        )
+        self.counters.on_event(matched=matched, forwarded_to=0, evaluations=1)
+        tracing = self.tracer.enabled
+        delivered_before = self.counters.events_delivered if tracing else 0
+        if matched:
+            if envelope.event_id is not None and not session.remember(
+                envelope.event_id
+            ):
+                session.dupes += 1
+                self.counters.replay_dupes_discarded += 1
+            else:
+                subscription = state.subscription
+                event = unmarshal(envelope)
+                deliver = True
+                if subscription.group is not None and envelope.event_id is not None:
+                    key = (subscription.group, envelope.event_id)
+                    if key in self._delivered_groups:
+                        deliver = False
+                    else:
+                        self._delivered_groups[key] = None
+                        if len(self._delivered_groups) > self._delivered_groups_limit:
+                            self._delivered_groups.popitem(last=False)
+                closure = subscription.closure
+                if deliver and closure is not None and closure.residual is not None:
+                    if not closure.residual(event):
+                        deliver = False
+                if deliver:
+                    if history:
+                        session.history_delivered += 1
+                    else:
+                        session.tap_delivered += 1
+                    self.counters.events_delivered += 1
+                    self.counters.catchup_delivered += 1
+                    if state.handler is not None:
+                        state.handler(event, envelope.metadata, subscription)
+        if tracing:
+            self.tracer.span(
+                self.sim.now,
+                "deliver",
+                self.name,
+                SUBSCRIBER_STAGE,
+                trace_id=envelope.event_id,
+                details=(
+                    ("src", sender.name),
+                    ("matched", matched),
+                    (
+                        "delivered",
+                        self.counters.events_delivered - delivered_before,
+                    ),
+                    ("latency", None),
+                    ("replay", "history" if history else "tap"),
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Perfect filtering and delivery (stage 0)
@@ -303,6 +551,15 @@ class SubscriberRuntime(Process):
             event = unmarshal(envelope)
             for state in matched_states:
                 subscription = state.subscription
+                session = self._catch_up.get(subscription.subscription_id)
+                if session is not None and envelope.event_id is not None:
+                    # Around the catch-up handover the same event can
+                    # also arrive via the replay stream; first copy in
+                    # wins, later ones are discarded (exactly-once).
+                    if not session.remember(envelope.event_id):
+                        session.dupes += 1
+                        self.counters.replay_dupes_discarded += 1
+                        continue
                 if subscription.group is not None and envelope.event_id is not None:
                     key = (subscription.group, envelope.event_id)
                     if key in self._delivered_groups:
