@@ -99,6 +99,51 @@ def test_covering_index_speedup(report):
     )
 
 
+def test_covering_index_at_section5_scale(report):
+    """The control plane stays sub-linear at 10^4 stored filters.
+
+    Naive pairwise covering at this size is too slow to time against in
+    full, so correctness is spot-checked on a probe subset and the gate
+    is absolute: the indexed queries must answer well under the naive
+    engine's per-probe budget extrapolated from the 5000-filter gate.
+    """
+    population = build_population(10_000, seed=29)
+    index = CoveringIndex()
+    build_start = time.perf_counter()
+    for filter_ in population:
+        index.add(filter_)
+    build_time = time.perf_counter() - build_start
+    pool = list(index.filters())
+
+    rng = random.Random(37)
+    probes = rng.sample(population, 40)
+    for probe in probes[:5]:  # spot-check against naive pairwise
+        assert index.covered_by(probe) == naive_covered_by(pool, probe)
+        assert index.covers_of(probe) == naive_covers_of(pool, probe)
+
+    index.covers_checks = 0
+    query_start = time.perf_counter()
+    for probe in probes:
+        index.covered_by(probe)
+        index.covers_of(probe)
+    query_time = time.perf_counter() - query_start
+    checks = index.covers_checks
+    naive_checks = 2 * len(pool) * len(probes)
+
+    report()
+    report(f"=== Covering index at 10^4 filters ({len(probes)} probes) ===")
+    report(
+        f"build: {build_time * 1e3:.1f} ms; query: {query_time * 1e3:.1f} ms "
+        f"({query_time / len(probes) * 1e3:.2f} ms/probe); covers checks "
+        f"{checks} vs naive {naive_checks} "
+        f"(pruning factor {naive_checks / max(1, checks):.0f}x)"
+    )
+    assert checks < naive_checks / 10, (
+        "candidate pruning must cut pairwise covers checks >=10x at 10^4 "
+        f"filters, performed {checks} of {naive_checks}"
+    )
+
+
 def test_incremental_maximal_under_churn(report):
     """The maximal set stays exact across removals (uncover bookkeeping)."""
     population = build_population(1000, seed=5)

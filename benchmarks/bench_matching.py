@@ -6,6 +6,10 @@ between that table and the counting index on identical populations, at
 the per-node filter counts the macro scenarios produce and beyond.
 The cached variants measure the routing-decision memo on top of either
 engine, including the cache-on/off speedup on a repetitive workload.
+``test_compiled_speedup_sweep`` extends the table-size sweep to the
+10^4/10^5-filter populations of the paper's Section 5 scalability story
+and gates the compiled bitmap engine's >=10x speedup over the counting
+index (the results land in ``benchmarks/results/``).
 """
 
 import random
@@ -13,6 +17,7 @@ import time
 
 import pytest
 
+from repro.filters.compiled import CompiledMatchEngine
 from repro.filters.engine import CachedMatchEngine
 from repro.filters.index import CountingIndex
 from repro.filters.table import FilterTable
@@ -27,8 +32,12 @@ GENERATOR = SubscriptionGenerator(
 ENGINES = {
     "table": FilterTable,
     "index": CountingIndex,
+    "compiled": lambda: CompiledMatchEngine(use_numpy=False),
     "cached-table": lambda: CachedMatchEngine(FilterTable()),
     "cached-index": lambda: CachedMatchEngine(CountingIndex()),
+    "cached-compiled": lambda: CachedMatchEngine(
+        CompiledMatchEngine(use_numpy=False)
+    ),
 }
 
 
@@ -62,7 +71,7 @@ def build_repetitive_events(distinct=50, repeats=40, seed=13):
 
 
 @pytest.mark.parametrize(
-    "engine_name", ["table", "index", "cached-table", "cached-index"]
+    "engine_name", ["table", "index", "compiled", "cached-table", "cached-index"]
 )
 @pytest.mark.parametrize("population_size", [100, 1000, 5000])
 def test_match_throughput(benchmark, engine_name, population_size):
@@ -137,12 +146,68 @@ def test_cache_speedup_on_repetitive_workload(report):
     )
 
 
-@pytest.mark.parametrize("engine_name", ["table", "index"])
+def test_compiled_speedup_sweep(report):
+    """Acceptance gate: compiled bitmap matching >=10x the counting index
+    at 10^4- and 10^5-filter tables (§5-scale subscription populations).
+
+    Events run through ``match_batch`` on the compiled engine — the shape
+    broker dispatch uses — and through per-event ``match`` on the
+    counting index (its only shape).  Every event's match list must be
+    identical between engines before any timing is trusted.
+    """
+    numpy_engine = CompiledMatchEngine()
+    variants = [("compiled", lambda: CompiledMatchEngine(use_numpy=False))]
+    if numpy_engine.use_numpy:
+        variants.append(("compiled+numpy", CompiledMatchEngine))
+
+    report()
+    report("=== Compiled bitmap engine vs counting index (table-size sweep) ===")
+    gate_sizes = {10_000, 100_000}
+    gated_speedups = {}
+    for size, event_count in ((1_000, 100), (10_000, 50), (100_000, 20)):
+        population = build_population(size)
+        events = build_events(event_count)
+
+        index = CountingIndex()
+        for position, filter_ in enumerate(population):
+            index.insert(filter_, position)
+        index.match(events[0])  # warm
+        index_start = time.perf_counter()
+        expected = [index.match(event) for event in events]
+        index_time = time.perf_counter() - index_start
+
+        row = [
+            f"{size:>7} filters, {event_count:>3} events: "
+            f"index {index_time * 1e3:8.2f} ms"
+        ]
+        for name, factory in variants:
+            engine = factory()
+            for position, filter_ in enumerate(population):
+                engine.insert(filter_, position)
+            engine.match_batch(events[:2])  # warm: compile + float cache
+            compiled_start = time.perf_counter()
+            results = engine.match_batch(events)
+            compiled_time = time.perf_counter() - compiled_start
+            assert results == expected, f"{name} diverged at {size} filters"
+            speedup = index_time / compiled_time
+            row.append(f"{name} {compiled_time * 1e3:7.2f} ms ({speedup:6.1f}x)")
+            if size in gate_sizes and name == "compiled":
+                gated_speedups[size] = speedup
+        report("  " + ", ".join(row))
+
+    for size, speedup in sorted(gated_speedups.items()):
+        assert speedup >= 10.0, (
+            f"compiled engine must be >=10x the counting index at {size} "
+            f"filters, got {speedup:.1f}x"
+        )
+
+
+@pytest.mark.parametrize("engine_name", ["table", "index", "compiled"])
 def test_insert_throughput(benchmark, engine_name):
     population = build_population(1000)
 
     def insert_all():
-        engine = FilterTable() if engine_name == "table" else CountingIndex()
+        engine = ENGINES[engine_name]()
         for position, filter_ in enumerate(population):
             engine.insert(filter_, position)
         return engine

@@ -33,6 +33,7 @@ from repro.events.closures import FilterClosure
 from repro.events.hierarchy import TypeRegistry
 from repro.filters.disjunction import Disjunction
 from repro.filters.filter import Filter
+from repro.filters.compiled import CompiledMatchEngine
 from repro.filters.index import CountingIndex
 from repro.filters.parser import parse_filter
 from repro.filters.table import FilterTable
@@ -93,8 +94,10 @@ class MultiStageEventSystem:
         service_batch: int = 16,
         log: Optional[LogConfig] = None,
     ):
-        if engine not in ("index", "table"):
-            raise ValueError(f"engine must be 'index' or 'table', got {engine!r}")
+        if engine not in ("index", "table", "compiled"):
+            raise ValueError(
+                f"engine must be 'index', 'table' or 'compiled', got {engine!r}"
+            )
         self.sim = Simulator()
         #: Causal span tracer shared by every process of this system
         #: (publishers, brokers, subscribers, and the network fabric).
@@ -111,7 +114,11 @@ class MultiStageEventSystem:
         self.log = log
         self.rngs = RngRegistry(seed)
         self.trace = TraceRecorder(enabled=trace)
-        engine_factory = CountingIndex if engine == "index" else FilterTable
+        engine_factory = {
+            "index": CountingIndex,
+            "table": FilterTable,
+            "compiled": CompiledMatchEngine,
+        }[engine]
         self.hierarchy: Hierarchy = build_hierarchy(
             self.sim,
             self.network,

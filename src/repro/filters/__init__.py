@@ -21,13 +21,17 @@ paper's overlay nodes evaluate and weaken.  This package provides:
   fingerprint-keyed routing-decision cache for the broker hot path;
 - :mod:`~repro.filters.covering_index` — :class:`CoveringIndex`, a
   candidate-pruned subsumption structure the broker control plane uses
-  to aggregate subscriptions along the covering relation.
+  to aggregate subscriptions along the covering relation;
+- :mod:`~repro.filters.compiled` — :class:`CompiledMatchEngine`, the
+  batch hot path: indexable conjunctive parts compiled into flat
+  bitmap/bisect structures with residual predicates on survivors only.
 
 Covering here is *sound but not complete*: ``f.covers(g)`` returning True
 guarantees every event matching ``g`` matches ``f`` (what Proposition 1
 needs); False may simply mean "could not prove it".
 """
 
+from repro.filters.compiled import CompiledMatchEngine
 from repro.filters.constraints import AttributeConstraint
 from repro.filters.covering_index import CoveringIndex, filter_shape
 from repro.filters.disjunction import Disjunction
@@ -57,6 +61,7 @@ __all__ = [
     "AttributeConstraint",
     "CONTAINS",
     "CachedMatchEngine",
+    "CompiledMatchEngine",
     "CountingIndex",
     "CoveringIndex",
     "filter_shape",

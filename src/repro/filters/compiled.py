@@ -1,0 +1,711 @@
+"""Compiled bitmap matching engine — the batch hot path of the broker.
+
+:class:`CountingIndex` already reduces matching to "harvest satisfied
+constraints, count per filter", but every harvested constraint still
+costs one interpreted Python dict increment, so an event that satisfies
+many constraints (low-selectivity attributes, permissive range bounds)
+pays thousands of per-handle operations.  This module compiles the
+*indexable conjunctive parts* of the filter table into flat structures
+evaluated with arbitrary-precision integers as bitsets, so the per-event
+cost is a handful of attribute-granular bitmap operations (each a single
+C-level pass over ``n/64`` machine words) instead of per-constraint
+Python bookkeeping:
+
+- every distinct stored filter owns a *slot* (a bit position);
+- **equality** constraints become per-attribute hash buckets mapping
+  ``value_key(operand)`` to a bitmap of the slots satisfied by that
+  value;
+- **ordering** constraints (``<``, ``<=``, ``>``, ``>=``) become, per
+  attribute / operator / operand family, sorted operand arrays with
+  precomputed block-cumulative prefix (or suffix) bitmaps: one bisect
+  plus one block lookup plus at most ``_BLOCK - 1`` single-bit unions
+  yields the whole satisfied-slot set.  (Per-position cumulative
+  bitmaps would answer in exactly one lookup but cost O(n²/64) words of
+  memory — 1.25 GB at 10⁵ operands — so cumulation is materialized at
+  block granularity, an explicit time/space trade documented in
+  DESIGN §12.);
+- **conjunction satisfaction** is attribute-granular: ``C[a]`` is the
+  bitmap of slots whose filter has an indexed constraint group on
+  attribute ``a``, ``S[a]`` the slots whose group is satisfied by the
+  event's value.  A slot matches the indexed tiers iff no attribute
+  clears it: ``acc &= ~(C[a] & ~S[a])`` for present attributes and
+  ``acc &= ~C[a]`` for absent ones — the bitmap-intersection equivalent
+  of the counting algorithm's per-handle required-count check, with the
+  popcount bookkeeping replaced by word-parallel masking;
+- **residual** predicates (``NE``/``PREFIX``/``CONTAINS``, multi-
+  constraint groups on one attribute, boolean or unhashable operands)
+  are evaluated interpretively, but only on the candidates that
+  survived every indexed tier.
+
+Mutations never rebuild eagerly: they update cheap per-attribute source
+structures (operand lists, slot sets) and mark the attribute *dirty*;
+the next match recompiles only the dirty attributes' bitmaps (bulk bit
+assembly goes through a ``bytearray`` so a full attribute rebuild is
+O(n/8) bytes plus one ``int.from_bytes``).  Control-plane churn
+(insert / remove / lease expiry) therefore costs amortized O(affected
+attributes), not a full table recompile.
+
+Semantics are bit-for-bit identical to :class:`CountingIndex` /
+:class:`FilterTable` (the differential hypothesis suite in
+``tests/filters/test_differential.py`` arbitrates), including the
+bool-vs-number equality discrimination of :func:`value_key` and the
+operand-family separation of :func:`values_comparable`.
+
+An optional numpy fast path (extra ``perf = ["numpy"]``) vectorizes the
+range-tier bisects across a whole :meth:`match_batch` call; the pure-
+Python bitmap tier stands alone and remains the default.
+"""
+
+import bisect
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.engine import MatchEngine, value_key
+from repro.filters.filter import Filter
+from repro.filters.operators import ALL, EQ, EXISTS, GE, GT, LE, LT
+
+try:  # pragma: no cover - exercised via the numpy-path tests when present
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: Block size of the cumulative range-tier bitmaps: memory is
+#: ``n / _BLOCK`` full-width bitmaps per tier, query cost is one block
+#: lookup plus at most ``_BLOCK - 1`` single-bit unions.
+_BLOCK = 32
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def _family_of(value: Any) -> Optional[str]:
+    """Operand family for the range tier (None = not range-indexable).
+
+    Mirrors :func:`~repro.filters.operators.values_comparable`: booleans
+    are excluded from the numeric family, so a boolean operand (or probe
+    value) never touches the sorted arrays.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
+def _bitmap_of(slots: Sequence[int], size: int) -> int:
+    """Assemble a bitmap from slot indices via bytearray bit-setting.
+
+    O(size/8) bytes + O(len(slots)) single-byte ORs + one
+    ``int.from_bytes`` — the bulk-rebuild primitive that keeps dirty-
+    attribute recompiles linear instead of quadratic (repeated
+    ``bitmap |= 1 << slot`` copies the growing bitmap every time).
+    """
+    if not slots:
+        return 0
+    raw = bytearray((size >> 3) + 1)
+    for slot in slots:
+        raw[slot >> 3] |= 1 << (slot & 7)
+    return int.from_bytes(raw, "little")
+
+
+class _RangeTier:
+    """Sorted operands + block-cumulative bitmaps for one (op, family).
+
+    ``cumulative[k]`` is the OR of the slot bits of the first
+    ``k * _BLOCK`` sorted entries (``reverse=False``, the prefix form
+    used by ``>`` / ``>=``) or of the entries from ``k * _BLOCK`` on
+    (``reverse=True``, the suffix form used by ``<`` / ``<=``).  A
+    query bisects to the satisfied run's boundary and assembles
+    ``cumulative[boundary block] | partial-block bits``.
+    """
+
+    __slots__ = ("operands", "slots", "cumulative", "reverse", "float_cache")
+
+    def __init__(self, reverse: bool) -> None:
+        self.operands: List[Any] = []
+        self.slots: List[int] = []
+        self.cumulative: List[int] = []
+        self.reverse = reverse
+        #: Lazily built numpy float64 copy of ``operands`` for the
+        #: vectorized batch path: ``None`` = not built yet, ``False`` =
+        #: operands don't round-trip exactly through float (ineligible).
+        self.float_cache: Any = None
+
+    def insert(self, operand: Any, slot: int) -> None:
+        position = bisect.bisect_right(self.operands, operand)
+        self.operands.insert(position, operand)
+        self.slots.insert(position, slot)
+
+    def remove(self, operand: Any, slot: int) -> bool:
+        position = bisect.bisect_left(self.operands, operand)
+        end = len(self.operands)
+        while position < end and self.operands[position] == operand:
+            if self.slots[position] == slot:
+                del self.operands[position]
+                del self.slots[position]
+                return True
+            position += 1
+        return False
+
+    def recompile(self) -> None:
+        """Rebuild the block-cumulative bitmaps from the sorted arrays."""
+        self.float_cache = None
+        slots = self.slots
+        n = len(slots)
+        blocks = (n + _BLOCK - 1) // _BLOCK
+        self.cumulative = cumulative = [0] * (blocks + 1)
+        if not n:
+            return
+        size = max(slots)
+        running = 0
+        if self.reverse:
+            for k in range(blocks - 1, -1, -1):
+                running |= _bitmap_of(slots[k * _BLOCK:(k + 1) * _BLOCK], size)
+                cumulative[k] = running
+        else:
+            for k in range(1, blocks + 1):
+                running |= _bitmap_of(slots[(k - 1) * _BLOCK:k * _BLOCK], size)
+                cumulative[k] = running
+
+    def satisfied_from(self, boundary: int) -> int:
+        """Bitmap of slots in the satisfied run.
+
+        For the prefix form the run is ``[0, boundary)``; for the suffix
+        form it is ``[boundary, n)``.  ``boundary`` comes from a bisect.
+        """
+        slots = self.slots
+        if self.reverse:
+            if boundary >= len(slots):
+                return 0
+            block = (boundary + _BLOCK - 1) // _BLOCK
+            result = self.cumulative[block]
+            for position in range(boundary, min(block * _BLOCK, len(slots))):
+                result |= 1 << slots[position]
+        else:
+            if boundary <= 0:
+                return 0
+            block = boundary // _BLOCK
+            result = self.cumulative[block]
+            for position in range(block * _BLOCK, boundary):
+                result |= 1 << slots[position]
+        return result
+
+
+class _CompiledAttribute:
+    """Compiled structures for every indexed constraint group on one
+    attribute, rebuilt lazily while ``dirty`` is set."""
+
+    __slots__ = (
+        "eq_slots",
+        "eq_bitmaps",
+        "exists_slots",
+        "exists_bitmap",
+        "tiers",
+        "constrained",
+        "dirty",
+    )
+
+    #: (operator, tier key, suffix?) rows of the range tier layout.
+    _TIER_OPS = ((LT, "lt", True), (LE, "le", True), (GT, "gt", False), (GE, "ge", False))
+
+    def __init__(self) -> None:
+        #: value_key -> insertion-ordered slot dict (the mutation-side
+        #: source of truth; bitmaps are compiled from it).
+        self.eq_slots: Dict[Any, Dict[int, None]] = {}
+        self.eq_bitmaps: Dict[Any, int] = {}
+        self.exists_slots: Dict[int, None] = {}
+        self.exists_bitmap = 0
+        #: (tier key, family) -> _RangeTier.
+        self.tiers: Dict[Tuple[str, str], _RangeTier] = {}
+        #: Bitmap of slots with an indexed group on this attribute (C[a]).
+        self.constrained = 0
+        self.dirty = True
+
+    def is_empty(self) -> bool:
+        return not (self.eq_slots or self.exists_slots or any(
+            tier.slots for tier in self.tiers.values()
+        ))
+
+    # -- mutation side (cheap; bitmaps rebuilt lazily) -------------------
+
+    def insert(self, constraint: AttributeConstraint, slot: int) -> None:
+        op = constraint.operator
+        if op is EQ:
+            self.eq_slots.setdefault(value_key(constraint.operand), {})[slot] = None
+        elif op is EXISTS:
+            self.exists_slots[slot] = None
+        else:
+            self._tier_for(constraint).insert(constraint.operand, slot)
+        self.dirty = True
+
+    def remove(self, constraint: AttributeConstraint, slot: int) -> None:
+        op = constraint.operator
+        if op is EQ:
+            key = value_key(constraint.operand)
+            slots = self.eq_slots.get(key)
+            if slots is not None:
+                slots.pop(slot, None)
+                if not slots:
+                    del self.eq_slots[key]
+        elif op is EXISTS:
+            self.exists_slots.pop(slot, None)
+        else:
+            self._tier_for(constraint).remove(constraint.operand, slot)
+        self.dirty = True
+
+    def _tier_for(self, constraint: AttributeConstraint) -> _RangeTier:
+        family = _family_of(constraint.operand)
+        assert family is not None, "caller guarantees range-indexability"
+        for op, key, reverse in self._TIER_OPS:
+            if constraint.operator is op:
+                tier = self.tiers.get((key, family))
+                if tier is None:
+                    tier = self.tiers[(key, family)] = _RangeTier(reverse)
+                return tier
+        raise AssertionError(f"not a range operator: {constraint.operator!r}")
+
+    # -- compilation -----------------------------------------------------
+
+    def recompile(self, size: int) -> None:
+        """Rebuild every bitmap of this attribute (dirty-granularity)."""
+        self.eq_bitmaps = {
+            key: _bitmap_of(list(slots), size)
+            for key, slots in self.eq_slots.items()
+        }
+        self.exists_bitmap = _bitmap_of(list(self.exists_slots), size)
+        constrained = self.exists_bitmap
+        for bitmap in self.eq_bitmaps.values():
+            constrained |= bitmap
+        for key in [k for k, tier in self.tiers.items() if not tier.slots]:
+            del self.tiers[key]
+        for tier in self.tiers.values():
+            tier.recompile()
+            constrained |= _bitmap_of(tier.slots, size)
+        self.constrained = constrained
+        self.dirty = False
+
+    # -- the hot path ----------------------------------------------------
+
+    def satisfied_by(self, value: Any) -> int:
+        """Bitmap of slots whose indexed group is satisfied by ``value``."""
+        satisfied = self.exists_bitmap
+        if _hashable(value):
+            bucket = self.eq_bitmaps.get(value_key(value))
+            if bucket is not None:
+                satisfied |= bucket
+        if self.tiers:
+            family = _family_of(value)
+            if family is not None:
+                satisfied |= self._ranges_satisfied(family, value)
+        return satisfied
+
+    def _ranges_satisfied(self, family: str, value: Any) -> int:
+        satisfied = 0
+        tiers = self.tiers
+        # attr < x satisfied iff x > value: suffix past bisect_right.
+        tier = tiers.get(("lt", family))
+        if tier is not None:
+            satisfied |= tier.satisfied_from(bisect.bisect_right(tier.operands, value))
+        # attr <= x satisfied iff x >= value: suffix past bisect_left.
+        tier = tiers.get(("le", family))
+        if tier is not None:
+            satisfied |= tier.satisfied_from(bisect.bisect_left(tier.operands, value))
+        # attr > x satisfied iff x < value: prefix up to bisect_left.
+        tier = tiers.get(("gt", family))
+        if tier is not None:
+            satisfied |= tier.satisfied_from(bisect.bisect_left(tier.operands, value))
+        # attr >= x satisfied iff x <= value: prefix up to bisect_right.
+        tier = tiers.get(("ge", family))
+        if tier is not None:
+            satisfied |= tier.satisfied_from(bisect.bisect_right(tier.operands, value))
+        return satisfied
+
+
+def _indexable_group(
+    constraints: Sequence[AttributeConstraint],
+) -> Optional[AttributeConstraint]:
+    """The group's single indexable constraint, or None (residual group).
+
+    A group compiles iff it holds exactly one constraint and that
+    constraint fits a flat tier: equality with a hashable operand,
+    ``exists``, or an ordering operator with a non-boolean numeric or
+    string operand.  Everything else — multi-constraint conjunctions on
+    one attribute (interval subscriptions), ``NE``/``PREFIX``/
+    ``CONTAINS``, boolean or unhashable operands — stays interpreted,
+    but only runs on candidates that survived the compiled tiers.
+    """
+    if len(constraints) != 1:
+        return None
+    constraint = constraints[0]
+    op = constraint.operator
+    if op is EQ:
+        return constraint if _hashable(constraint.operand) else None
+    if op is EXISTS:
+        return constraint
+    if op in (LT, LE, GT, GE) and _family_of(constraint.operand) is not None:
+        return constraint
+    return None
+
+
+class CompiledMatchEngine(MatchEngine):
+    """Drop-in :class:`MatchEngine` with a compiled bitmap hot path.
+
+    Match results — entries, ordering, destination tuples — are
+    identical to :class:`CountingIndex`; only the evaluation strategy
+    (and therefore the ``evaluations`` work accounting) differs.
+
+    ``use_numpy=None`` (default) auto-detects numpy and uses it to
+    vectorize :meth:`match_batch` range bisects; ``False`` forces the
+    pure-Python path (the two are result-identical — numpy only
+    computes bisect positions, and only over operand runs that
+    round-trip exactly through ``float``).
+    """
+
+    def __init__(self, use_numpy: Optional[bool] = None) -> None:
+        self._attributes: Dict[str, _CompiledAttribute] = {}
+        self._filters: Dict[Filter, int] = {}
+        self._by_handle: Dict[int, Filter] = {}
+        self._ids: Dict[int, Dict[Hashable, None]] = {}
+        self._dests: Dict[Hashable, Dict[int, None]] = {}
+        #: handle -> slot (bit position); slots are recycled on removal
+        #: so bitmaps stay dense, handles stay monotonic for ordering.
+        self._slot_of: Dict[int, int] = {}
+        self._handle_at: Dict[int, int] = {}
+        self._free_slots: List[int] = []
+        self._next_handle = 0
+        self._next_slot = 0
+        #: Bitmap of live slots (the all-candidates starting mask).
+        self._live = 0
+        #: Bitmap of slots with at least one residual constraint group.
+        self._residual_mask = 0
+        #: slot -> tuple of residual constraints (absence-aware eval).
+        self._residuals: Dict[int, Tuple[AttributeConstraint, ...]] = {}
+        #: Constraint probes performed (LC bookkeeping: one per present
+        #: indexed attribute probed + one per residual predicate run).
+        self.evaluations = 0
+        #: Dirty-attribute recompiles performed (metrics counter feed).
+        self.rebuilds = 0
+        #: Residual predicates evaluated on surviving candidates.
+        self.residual_evaluations = 0
+        if use_numpy is None:
+            use_numpy = _numpy is not None
+        if use_numpy and _numpy is None:
+            raise ValueError("use_numpy=True but numpy is not importable")
+        self.use_numpy = bool(use_numpy)
+
+    # ------------------------------------------------------------------
+    # Introspection (MatchEngine surface)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __contains__(self, filter_: Filter) -> bool:
+        return filter_ in self._filters
+
+    def filters(self) -> Iterator[Filter]:
+        return iter(self._filters)
+
+    def entries(self) -> Iterator[Tuple[Filter, Tuple[Hashable, ...]]]:
+        for filter_, handle in self._filters.items():
+            yield filter_, tuple(self._ids[handle])
+
+    def destinations_for(self, filter_: Filter) -> Tuple[Hashable, ...]:
+        handle = self._filters.get(filter_)
+        if handle is None:
+            return ()
+        return tuple(self._ids[handle])
+
+    # ------------------------------------------------------------------
+    # Mutation (updates source structures, marks attributes dirty)
+    # ------------------------------------------------------------------
+
+    def insert(self, filter_: Filter, destination: Hashable) -> None:
+        if filter_.matches_nothing:
+            raise ValueError("cannot index fF (matches nothing)")
+        handle = self._filters.get(filter_)
+        if handle is None:
+            handle = self._next_handle
+            self._next_handle += 1
+            slot = self._free_slots.pop() if self._free_slots else self._next_slot
+            if slot == self._next_slot:
+                self._next_slot += 1
+            self._filters[filter_] = handle
+            self._by_handle[handle] = filter_
+            self._ids[handle] = {}
+            self._slot_of[handle] = slot
+            self._handle_at[slot] = handle
+            self._live |= 1 << slot
+            self._register(filter_, slot)
+        ids = self._ids[handle]
+        if destination not in ids:
+            ids[destination] = None
+            self._dests.setdefault(destination, {})[handle] = None
+
+    def remove(self, filter_: Filter, destination: Hashable) -> bool:
+        handle = self._filters.get(filter_)
+        if handle is None:
+            return False
+        ids = self._ids[handle]
+        if destination not in ids:
+            return False
+        del ids[destination]
+        handles = self._dests[destination]
+        handles.pop(handle, None)
+        if not handles:
+            del self._dests[destination]
+        if not ids:
+            self._unregister(filter_, handle)
+        return True
+
+    def remove_destination(self, destination: Hashable) -> int:
+        handles = self._dests.get(destination)
+        if not handles:
+            return 0
+        removed = 0
+        for handle in sorted(handles):
+            if self.remove(self._by_handle[handle], destination):
+                removed += 1
+        return removed
+
+    def _register(self, filter_: Filter, slot: int) -> None:
+        residuals: List[AttributeConstraint] = []
+        for attribute, group in filter_.constraints_by_attribute().items():
+            countable = tuple(c for c in group if c.operator is not ALL)
+            if not countable:
+                continue
+            indexed = _indexable_group(countable)
+            if indexed is None:
+                residuals.extend(countable)
+                continue
+            index = self._attributes.get(attribute)
+            if index is None:
+                index = self._attributes[attribute] = _CompiledAttribute()
+            index.insert(indexed, slot)
+        if residuals:
+            self._residuals[slot] = tuple(residuals)
+            self._residual_mask |= 1 << slot
+
+    def _unregister(self, filter_: Filter, handle: int) -> None:
+        slot = self._slot_of.pop(handle)
+        del self._handle_at[slot]
+        for attribute, group in filter_.constraints_by_attribute().items():
+            countable = tuple(c for c in group if c.operator is not ALL)
+            if not countable:
+                continue
+            indexed = _indexable_group(countable)
+            if indexed is None:
+                continue
+            index = self._attributes.get(attribute)
+            if index is not None:
+                index.remove(indexed, slot)
+                if index.is_empty():
+                    del self._attributes[attribute]
+        if slot in self._residuals:
+            del self._residuals[slot]
+            self._residual_mask &= ~(1 << slot)
+        self._live &= ~(1 << slot)
+        self._free_slots.append(slot)
+        del self._filters[filter_]
+        del self._by_handle[handle]
+        del self._ids[handle]
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def _recompile_dirty(self) -> None:
+        """Rebuild only the attributes mutated since the last match."""
+        size = self._next_slot
+        for index in self._attributes.values():
+            if index.dirty:
+                index.recompile(size)
+                self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def match(self, event: Any) -> List[Tuple[Filter, Tuple[Hashable, ...]]]:
+        if not self._filters:
+            return []
+        self._recompile_dirty()
+        properties = getattr(event, "properties", event)
+        return self._materialize(self._match_bitmap(properties))
+
+    def match_batch(
+        self, events: Sequence[Any]
+    ) -> List[List[Tuple[Filter, Tuple[Hashable, ...]]]]:
+        """Match a whole run of events in one pass over the structures.
+
+        Dirty attributes recompile once for the run; with numpy present
+        the range-tier bisect positions for all events are computed in a
+        single vectorized ``searchsorted`` per tier.
+        """
+        if not self._filters:
+            return [[] for _ in events]
+        self._recompile_dirty()
+        properties = [getattr(event, "properties", event) for event in events]
+        hints = self._numpy_hints(properties) if self.use_numpy else None
+        return [
+            self._materialize(self._match_bitmap(props, hints, position))
+            for position, props in enumerate(properties)
+        ]
+
+    def _match_bitmap(
+        self,
+        properties: Any,
+        hints: Optional[Dict[Tuple[str, str, str], Any]] = None,
+        position: int = 0,
+    ) -> int:
+        acc = self._live
+        probes = 0
+        for attribute, index in self._attributes.items():
+            constrained = index.constrained
+            if not acc & constrained:
+                continue
+            if attribute in properties:
+                probes += 1
+                value = properties[attribute]
+                if hints is not None:
+                    satisfied = self._satisfied_with_hints(
+                        index, attribute, value, hints, position
+                    )
+                else:
+                    satisfied = index.satisfied_by(value)
+                acc &= ~(constrained & ~satisfied)
+            else:
+                # Absent attribute: every non-ALL constraint on it fails.
+                acc &= ~constrained
+            if not acc:
+                break
+        self.evaluations += probes
+        if acc & self._residual_mask:
+            acc = self._apply_residuals(acc, properties)
+        return acc
+
+    def _apply_residuals(self, acc: int, properties: Any) -> int:
+        pending = acc & self._residual_mask
+        evaluated = 0
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            slot = low.bit_length() - 1
+            for constraint in self._residuals[slot]:
+                evaluated += 1
+                if not constraint.matches(properties):
+                    acc ^= low
+                    break
+        self.residual_evaluations += evaluated
+        self.evaluations += evaluated
+        return acc
+
+    def _materialize(self, acc: int) -> List[Tuple[Filter, Tuple[Hashable, ...]]]:
+        if not acc:
+            return []
+        handle_at = self._handle_at
+        matched: List[int] = []
+        while acc:
+            low = acc & -acc
+            acc ^= low
+            matched.append(handle_at[low.bit_length() - 1])
+        matched.sort()  # filter insertion order, like CountingIndex
+        return [
+            (self._by_handle[handle], tuple(self._ids[handle])) for handle in matched
+        ]
+
+    # ------------------------------------------------------------------
+    # Optional numpy fast path (vectorized batch bisects)
+    # ------------------------------------------------------------------
+
+    def _numpy_hints(
+        self, properties: Sequence[Any]
+    ) -> Optional[Dict[Tuple[str, str, str], Any]]:
+        """Precompute per-tier bisect positions for the whole batch.
+
+        Only numeric tiers whose operands (and the batch's probe values)
+        round-trip exactly through ``float`` are vectorized; anything
+        else silently falls back to the per-event pure-Python bisect, so
+        the fast path can never change a match result.
+        """
+        hints: Dict[Tuple[str, str, str], Any] = {}
+        for attribute, index in self._attributes.items():
+            for (key, family), tier in index.tiers.items():
+                if family != "num" or len(tier.operands) < _BLOCK:
+                    continue
+                if tier.float_cache is None:
+                    if all(_exact_float(op) for op in tier.operands):
+                        tier.float_cache = _numpy.asarray(tier.operands, dtype=float)
+                    else:
+                        tier.float_cache = False
+                if tier.float_cache is False:
+                    continue
+                values = []
+                for props in properties:
+                    value = props.get(attribute) if hasattr(props, "get") else None
+                    if (
+                        value is not None
+                        and _family_of(value) == "num"
+                        and _exact_float(value)
+                    ):
+                        values.append(float(value))
+                    else:
+                        values.append(_numpy.nan)
+                side = "right" if key in ("lt", "ge") else "left"
+                positions = _numpy.searchsorted(
+                    tier.float_cache, _numpy.asarray(values), side=side
+                )
+                hints[(attribute, key, family)] = (positions, values)
+        return hints or None
+
+    def _satisfied_with_hints(
+        self,
+        index: _CompiledAttribute,
+        attribute: str,
+        value: Any,
+        hints: Dict[Tuple[str, str, str], Any],
+        position: int,
+    ) -> int:
+        satisfied = index.exists_bitmap
+        if _hashable(value):
+            bucket = index.eq_bitmaps.get(value_key(value))
+            if bucket is not None:
+                satisfied |= bucket
+        if index.tiers:
+            family = _family_of(value)
+            if family is not None:
+                for (key, tier_family), tier in index.tiers.items():
+                    if tier_family != family:
+                        continue
+                    hint = hints.get((attribute, key, tier_family))
+                    if hint is not None and hint[1][position] == hint[1][position]:
+                        boundary = int(hint[0][position])
+                    elif key in ("lt", "ge"):
+                        boundary = bisect.bisect_right(tier.operands, value)
+                    else:
+                        boundary = bisect.bisect_left(tier.operands, value)
+                    satisfied |= tier.satisfied_from(boundary)
+        return satisfied
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledMatchEngine({len(self)} filters, "
+            f"{len(self._attributes)} attributes, {self.rebuilds} rebuilds)"
+        )
+
+
+def _exact_float(value: Any) -> bool:
+    """True when ``float(value)`` represents ``value`` exactly."""
+    if isinstance(value, float):
+        return value == value  # NaN operands stay on the exact path's fallback
+    try:
+        return float(value) == value
+    except OverflowError:
+        return False

@@ -42,6 +42,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -101,6 +102,19 @@ class MatchEngine(ABC):
         for _, ids in self.match(event):
             result.update(ids)
         return result
+
+    def match_batch(
+        self, events: Sequence[Any]
+    ) -> List[List[Tuple[Filter, Tuple[Hashable, ...]]]]:
+        """Match a run of events; result ``i`` is ``match(events[i])``.
+
+        The default simply loops — which preserves the per-event
+        memoization of :class:`CachedMatchEngine` — while engines with a
+        real batch mode (:class:`~repro.filters.compiled.
+        CompiledMatchEngine`) override it to amortize recompilation and
+        vectorize lookups across the whole run.
+        """
+        return [self.match(event) for event in events]
 
 
 def value_key(value: Any) -> Any:
@@ -206,6 +220,58 @@ class CachedMatchEngine(MatchEngine):
             if len(self._cache) > self.max_entries:
                 self._cache.popitem(last=False)
         return result
+
+    def match_batch(
+        self, events: Sequence[Any]
+    ) -> List[List[Tuple[Filter, Tuple[Hashable, ...]]]]:
+        """Batch match preserving the memo semantics of :meth:`match`.
+
+        Memoized fingerprints are answered from the cache; the remaining
+        *distinct* fingerprints (plus every unhashable-fingerprint event)
+        are evaluated through the inner engine's own ``match_batch`` in
+        one pass.  Hit/miss/eviction accounting is identical to calling
+        :meth:`match` sequentially: a fingerprint recurring within one
+        batch is a miss the first time and a hit after, exactly as if the
+        memo had been populated between the two calls.
+        """
+        relevant = self._relevant_attributes()
+        results: List[Optional[List[Tuple[Filter, Tuple[Hashable, ...]]]]] = (
+            [None] * len(events)
+        )
+        miss_events: List[Any] = []
+        miss_keys: List[Optional[Tuple]] = []
+        miss_slots: List[List[int]] = []
+        key_to_miss: dict = {}
+        for position, event in enumerate(events):
+            key = event_fingerprint(event, relevant)
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.hits += 1
+                    results[position] = list(cached)
+                    continue
+                pending = key_to_miss.get(key)
+                if pending is not None:
+                    self.stats.hits += 1
+                    miss_slots[pending].append(position)
+                    continue
+                key_to_miss[key] = len(miss_events)
+            self.stats.misses += 1
+            miss_events.append(event)
+            miss_keys.append(key)
+            miss_slots.append([position])
+        if miss_events:
+            for key, slots, result in zip(
+                miss_keys, miss_slots, self.inner.match_batch(miss_events)
+            ):
+                if key is not None:
+                    self._cache[key] = tuple(result)
+                    if len(self._cache) > self.max_entries:
+                        self._cache.popitem(last=False)
+                for position in slots:
+                    results[position] = list(result)
+        return results  # type: ignore[return-value]
 
     # -- read-only delegation -------------------------------------------
 

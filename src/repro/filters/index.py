@@ -49,13 +49,19 @@ class _SortedOperands:
         return True
 
     def remove(self, operand: Any, handle: int) -> bool:
-        left = bisect.bisect_left(self.operands, operand)
-        right = bisect.bisect_right(self.operands, operand)
-        for position in range(left, right):
+        # One bisect to the start of the operand's run, then an
+        # early-exit scan bounded by the run itself: O(log n + run)
+        # instead of a second full bisect plus an unconditional
+        # whole-run walk — the run is usually tiny even in huge tables.
+        operands = self.operands
+        position = bisect.bisect_left(operands, operand)
+        end = len(operands)
+        while position < end and operands[position] == operand:
             if self.handles[position] == handle:
-                del self.operands[position]
+                del operands[position]
                 del self.handles[position]
                 return True
+            position += 1
         return False
 
     def satisfied_lt(self, value: Any) -> List[int]:

@@ -117,6 +117,14 @@ class NodeCounters:
     catchup_delivered: int = 0
     #: Credits returned for events a lossy link swallowed (gap-grant).
     credit_gap_grants: int = 0
+    #: Events matched through a single ``match_batch`` engine pass
+    #: (subset of ``events_received``; compiled-engine brokers only).
+    events_matched_batch: int = 0
+    #: Dirty-attribute recompiles performed by a compiled match engine.
+    compile_rebuilds: int = 0
+    #: Residual (non-indexable) predicates evaluated on candidates that
+    #: survived the compiled bitmap tiers.
+    residual_evaluations: int = 0
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -181,4 +189,7 @@ class NodeCounters:
             "catchup_taps": self.catchup_taps,
             "catchup_delivered": self.catchup_delivered,
             "credit_gap_grants": self.credit_gap_grants,
+            "events_matched_batch": self.events_matched_batch,
+            "compile_rebuilds": self.compile_rebuilds,
+            "residual_evaluations": self.residual_evaluations,
         }

@@ -124,6 +124,74 @@ def render_cache_summary(
     return f"{title}\n{table}"
 
 
+def aggregate_matching_counters(
+    counters: Iterable[NodeCounters],
+) -> dict:
+    """Fold per-node compiled-engine counters into system-wide totals."""
+    totals = {
+        "events_received": 0,
+        "events_matched_batch": 0,
+        "compile_rebuilds": 0,
+        "residual_evaluations": 0,
+        "filter_evaluations": 0,
+    }
+    for counter in counters:
+        totals["events_received"] += counter.events_received
+        totals["events_matched_batch"] += counter.events_matched_batch
+        totals["compile_rebuilds"] += counter.compile_rebuilds
+        totals["residual_evaluations"] += counter.residual_evaluations
+        totals["filter_evaluations"] += counter.filter_evaluations
+    totals["batch_match_rate"] = (
+        totals["events_matched_batch"] / totals["events_received"]
+        if totals["events_received"]
+        else 0.0
+    )
+    return totals
+
+
+def render_matching_summary(
+    named_counters: Iterable[Tuple[str, NodeCounters]],
+    title: str = "Compiled matching engine",
+) -> str:
+    """Per-location compiled-engine counters, plus a totals row.
+
+    ``Batched`` is how many events went through a single whole-batch
+    engine pass, ``Rebuilds`` the dirty-attribute recompiles the
+    control-plane churn forced, and ``Residual`` the non-indexable
+    predicates that had to run interpretively on surviving candidates.
+    """
+    rows: List[List[Any]] = []
+    all_counters: List[NodeCounters] = []
+    for name, counter in named_counters:
+        all_counters.append(counter)
+        rows.append(
+            [
+                name,
+                counter.events_received,
+                counter.events_matched_batch,
+                counter.compile_rebuilds,
+                counter.residual_evaluations,
+                counter.filter_evaluations,
+            ]
+        )
+    totals = aggregate_matching_counters(all_counters)
+    rows.append(
+        [
+            "TOTAL",
+            totals["events_received"],
+            totals["events_matched_batch"],
+            totals["compile_rebuilds"],
+            totals["residual_evaluations"],
+            totals["filter_evaluations"],
+        ]
+    )
+    table = render_table(
+        ["Location", "Received", "Batched", "Rebuilds", "Residual", "Probes"],
+        rows,
+    )
+    return f"{title}\n{table}"
+
+
 def aggregate_aggregation_counters(
     counters: Iterable[NodeCounters],
 ) -> dict:

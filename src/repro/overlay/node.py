@@ -1136,12 +1136,47 @@ class BrokerNode(Process):
                 self._replayer.tap_batch(batch)
         engine = self._match_engine()
         tracing = self.tracer.enabled
+        raw = engine.inner if isinstance(engine, CachedMatchEngine) else engine
+        # Whole-batch evaluation when the underlying engine has a native
+        # match_batch (the compiled bitmap engine): one dirty recompile
+        # and one structure pass for the entire run.  The tracing path
+        # keeps per-event match calls so each hop span can report its own
+        # probe delta and cache verdict — results are identical.
+        use_batch = (
+            not tracing
+            and len(batch) > 1
+            and type(raw).match_batch is not MatchEngine.match_batch
+        )
+        all_matches = None
+        if use_batch:
+            probes_before = engine.evaluations
+            rebuilds_before = getattr(raw, "rebuilds", 0)
+            residual_before = getattr(raw, "residual_evaluations", 0)
+            all_matches = engine.match_batch(
+                tuple(message.envelope.metadata for message in batch)
+            )
+            # Per-event on_event() calls below pass evaluations=0; the
+            # whole run's probe delta lands here once, so the totals are
+            # identical to the per-event accounting.
+            self.counters.filter_evaluations += engine.evaluations - probes_before
+            self.counters.events_matched_batch += len(batch)
+            self.counters.compile_rebuilds += (
+                getattr(raw, "rebuilds", 0) - rebuilds_before
+            )
+            self.counters.residual_evaluations += (
+                getattr(raw, "residual_evaluations", 0) - residual_before
+            )
         runs: Dict[int, List[Publish]] = {}
         run_order: List[Process] = []
         for position, message in enumerate(batch):
-            probes_before = engine.evaluations
-            hits_before = self.counters.cache.hits if tracing else 0
-            matches = engine.match(message.envelope.metadata)
+            if all_matches is not None:
+                matches = all_matches[position]
+                probes_delta = 0
+            else:
+                probes_before = engine.evaluations
+                hits_before = self.counters.cache.hits if tracing else 0
+                matches = engine.match(message.envelope.metadata)
+                probes_delta = engine.evaluations - probes_before
             destinations: List[Process] = []
             seen = set()
             for _, ids in matches:
@@ -1152,7 +1187,7 @@ class BrokerNode(Process):
             self.counters.on_event(
                 matched=bool(matches),
                 forwarded_to=len(destinations),
-                evaluations=engine.evaluations - probes_before,
+                evaluations=probes_delta,
             )
             if tracing:
                 if metas is not None and position < len(metas):
@@ -1174,7 +1209,7 @@ class BrokerNode(Process):
                     details=(
                         ("src", src),
                         ("cache", cache),
-                        ("probed", engine.evaluations - probes_before),
+                        ("probed", probes_delta),
                         ("matched", bool(matches)),
                         ("fanout", len(destinations)),
                         ("defer", self.sim.now - arrived),

@@ -5,19 +5,25 @@ A hypothesis state machine drives random interleavings of ``insert`` /
 
 - the Figure-6 :class:`FilterTable` (the paper's algorithm — the oracle),
 - a plain :class:`CountingIndex`,
+- :class:`CompiledMatchEngine` (pure-Python bitmaps, and the numpy batch
+  path when numpy is importable),
 - :class:`CachedMatchEngine` wrapping each of the above,
 
-and asserts after every step that all four return identical *ordered*
-match results (both engines yield filter-insertion order) and identical
+and asserts after every step that all engines return identical *ordered*
+match results (every engine yields filter-insertion order) and identical
 introspection state.  This is the harness that keeps the routing-decision
-cache honest: any unsound memoization or missed invalidation shows up as
-a divergence from the uncached oracle within a few dozen random steps.
+cache and the compiled bitmap structures honest: any unsound memoization,
+missed invalidation, or stale compiled tier shows up as a divergence from
+the uncached oracle within a few dozen random steps.  ``match_batch`` is
+driven through the same machine so the batched entry point (including the
+cached wrapper's miss-dedup batching) is held to the same oracle.
 """
 
 import hypothesis.strategies as st
 from hypothesis import settings
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
+from repro.filters.compiled import CompiledMatchEngine, _numpy
 from repro.filters.constraints import AttributeConstraint
 from repro.filters.engine import CachedMatchEngine
 from repro.filters.filter import Filter
@@ -79,9 +85,13 @@ class EngineDifferential(RuleBasedStateMachine):
         self.oracle = FilterTable()
         self.others = [
             CountingIndex(),
+            CompiledMatchEngine(use_numpy=False),
             CachedMatchEngine(FilterTable()),
             CachedMatchEngine(CountingIndex()),
+            CachedMatchEngine(CompiledMatchEngine(use_numpy=False)),
         ]
+        if _numpy is not None:
+            self.others.append(CompiledMatchEngine(use_numpy=True))
         #: (filter, destination) pairs currently stored, for removals that
         #: actually hit (pure misses exercise nothing after the first one).
         self.live = []
@@ -137,6 +147,20 @@ class EngineDifferential(RuleBasedStateMachine):
         for engine in self.others:
             engine.match(event)
             assert engine.match(event) == expected
+
+    @rule(batch=st.lists(events, min_size=1, max_size=4))
+    def match_batch(self, batch):
+        """The batched entry point must equal event-by-event matching.
+
+        Repeating the batch back-to-back covers the repeated-fingerprint
+        paths: in-batch dedup on the first call, memo hits on the second.
+        """
+        expected = [self.oracle.match(event) for event in batch]
+        for engine in self.others:
+            assert engine.match_batch(batch) == expected, (
+                f"{engine!r} batch diverged from oracle on {batch}"
+            )
+            assert engine.match_batch(batch + batch) == expected + expected
 
     @invariant()
     def same_population(self):

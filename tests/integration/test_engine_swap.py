@@ -1,0 +1,117 @@
+"""Swapping the compiled engine into the overlay is observationally invisible.
+
+``MultiStageEventSystem(engine="compiled")`` routes every broker's
+matching through :class:`CompiledMatchEngine`.  Like the routing cache
+and batched dispatch before it, the compiled hot path must change only
+how much work matching takes — never what the system delivers: with the
+engine swapped, same-seed runs must produce byte-identical per-subscriber
+delivery traces (timestamps included) and identical LC/RLC/MR counter
+inputs, node for node, against the default counting index.
+"""
+
+import pytest
+
+from repro.core.engine import MultiStageEventSystem
+from repro.sim.rng import RngRegistry
+from repro.workloads.bibliographic import BIB_EVENT_CLASS, BibliographicWorkload
+
+#: Counter fields feeding LC/RLC/MR — invariant across engine choices.
+#: ``filter_evaluations`` is excluded: the compiled engine's bitmap
+#: probes are accounted differently from the counting index's harvests
+#: by design (that asymmetry is the speedup).
+INVARIANT_FIELDS = (
+    "events_received",
+    "events_matched",
+    "events_forwarded",
+    "events_delivered",
+    "filters_held",
+    "max_filters_held",
+)
+
+
+def run(seed, engine, cache=True, batch=True):
+    rngs = RngRegistry(seed)
+    workload = BibliographicWorkload(rngs.stream("records"), n_records=150)
+    system = MultiStageEventSystem(
+        stage_sizes=(6, 3, 1), seed=seed, engine=engine, cache=cache, batch=batch
+    )
+    system.advertise(
+        BIB_EVENT_CLASS, schema=workload.schema,
+        association=workload.association(4),
+    )
+    system.drain()
+    traces = {}
+    sub_rng = rngs.stream("subs")
+    for index in range(40):
+        subscriber = system.create_subscriber(f"s{index}")
+        trace = traces.setdefault(subscriber.name, [])
+        system.subscribe(
+            subscriber,
+            workload.sample_subscription(sub_rng),
+            event_class=BIB_EVENT_CLASS,
+            handler=lambda e, m, s, _t=trace: _t.append(
+                (system.sim.now, m["title"])
+            ),
+        )
+        system.drain()
+    publisher = system.create_publisher()
+    event_rng = rngs.stream("events")
+    for _ in range(80):
+        publisher.publish(workload.sample_record(event_rng))
+    system.drain()
+    return system, traces
+
+
+def counters_projection(system):
+    return {
+        stage: [
+            (name, {f: getattr(c, f) for f in INVARIANT_FIELDS})
+            for name, c in entries
+        ]
+        for stage, entries in system.counters_by_stage().items()
+    }
+
+
+@pytest.mark.parametrize("seed", [5, 9])
+def test_compiled_engine_preserves_delivery_traces_exactly(seed):
+    compiled, traces_compiled = run(seed, engine="compiled")
+    index, traces_index = run(seed, engine="index")
+
+    # Byte-identical ordered (time, event) delivery sequences.
+    assert repr(traces_compiled).encode() == repr(traces_index).encode()
+    assert any(traces_compiled.values())  # non-trivial run
+
+    assert counters_projection(compiled) == counters_projection(index)
+    assert compiled.sim.now == index.sim.now
+
+
+def test_compiled_engine_batch_path_engages():
+    compiled, _ = run(7, engine="compiled")
+    counters = [n.counters for n in compiled.hierarchy.nodes()]
+    assert sum(c.events_matched_batch for c in counters) > 0
+    assert sum(c.compile_rebuilds for c in counters) > 0
+    # Every batched event was still received/filtered exactly once.
+    for counter in counters:
+        assert counter.events_matched_batch <= counter.events_received
+
+
+def test_compiled_engine_without_cache_or_batch_still_identical():
+    compiled, traces_compiled = run(13, engine="compiled", cache=False, batch=False)
+    index, traces_index = run(13, engine="index", cache=False, batch=False)
+    assert repr(traces_compiled).encode() == repr(traces_index).encode()
+    assert counters_projection(compiled) == counters_projection(index)
+    # Without batching there are no multi-event runs to batch-match.
+    assert all(
+        n.counters.events_matched_batch == 0 for n in compiled.hierarchy.nodes()
+    )
+
+
+def test_compiled_engine_composes_with_routing_cache():
+    compiled, _ = run(17, engine="compiled", cache=True)
+    counters = [n.counters for n in compiled.hierarchy.nodes()]
+    assert sum(c.cache.hits for c in counters) > 0  # memo engaged on top
+
+
+def test_engine_argument_validation():
+    with pytest.raises(ValueError):
+        MultiStageEventSystem(engine="bitmap")
