@@ -1,0 +1,87 @@
+"""Wall-clock smoke benchmark: the asyncio/TCP backend vs the simulator.
+
+Not a reproduction of a paper table — a release gate for the
+real-runtime backend (DESIGN §13).  The same pub/sub workload runs on
+both runtimes; the asyncio side must finish within a hard wall-clock
+budget and deliver the same event sets, or the runtime-gates CI job
+fails.  The measured numbers (events/s over real sockets vs simulated
+ones) land in ``benchmarks/results/``.
+"""
+
+import time
+
+from repro.core.engine import MultiStageEventSystem
+
+QUOTE_SCHEMA = ("class", "symbol", "price")
+EVENT_COUNT = 200
+#: Hard ceiling for the socket run; generous (CI machines are noisy)
+#: but low enough to catch a stalled loop or a reconnect storm.
+WALL_CLOCK_BUDGET_S = 30.0
+
+
+class Quote:
+    def __init__(self, symbol, price):
+        self._symbol = symbol
+        self._price = price
+
+    def get_symbol(self):
+        return self._symbol
+
+    def get_price(self):
+        return self._price
+
+
+def run_workload(runtime):
+    system = MultiStageEventSystem(stage_sizes=(3, 1), seed=1, runtime=runtime)
+    try:
+        system.register_type(Quote)
+        system.advertise("Quote", schema=QUOTE_SCHEMA)
+        publisher = system.create_publisher()
+        subscriber = system.create_subscriber()
+        got = []
+        system.subscribe(
+            subscriber,
+            'class = "Quote" and price < 50.0',
+            handler=lambda e, m, s: got.append(e.get_price()),
+        )
+        if runtime == "sim":
+            system.drain()
+        else:
+            assert system.run_until(lambda: subscriber._homes(), timeout=15.0)
+        expected = sum(1 for i in range(EVENT_COUNT) if float(i % 100) < 50.0)
+        start = time.perf_counter()
+        for i in range(EVENT_COUNT):
+            publisher.publish(Quote("Q", float(i % 100)))
+        if runtime == "sim":
+            system.drain()
+        else:
+            assert system.run_until(
+                lambda: len(got) >= expected, timeout=WALL_CLOCK_BUDGET_S
+            ), f"asyncio run delivered {len(got)}/{expected} in budget"
+        elapsed = time.perf_counter() - start
+        return sorted(got), elapsed
+    finally:
+        system.close()
+
+
+def test_runtime_smoke(report):
+    sim_got, sim_elapsed = run_workload("sim")
+    start = time.perf_counter()
+    asyncio_got, asyncio_elapsed = run_workload("asyncio")
+    total = time.perf_counter() - start
+
+    assert asyncio_got == sim_got, "backends disagree on delivered events"
+    assert total < WALL_CLOCK_BUDGET_S
+
+    report("runtime smoke: same workload, both backends")
+    report(f"  events published          {EVENT_COUNT}")
+    report(f"  events delivered          {len(sim_got)} (both backends)")
+    report(
+        f"  sim backend               {sim_elapsed * 1e3:8.1f} ms "
+        f"({len(sim_got) / max(sim_elapsed, 1e-9):10.0f} deliveries/s)"
+    )
+    report(
+        f"  asyncio backend (TCP)     {asyncio_elapsed * 1e3:8.1f} ms "
+        f"({len(asyncio_got) / max(asyncio_elapsed, 1e-9):10.0f} deliveries/s)"
+    )
+    report(f"  wall-clock budget         {WALL_CLOCK_BUDGET_S:.0f} s (hard gate)")

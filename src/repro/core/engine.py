@@ -93,18 +93,33 @@ class MultiStageEventSystem:
         service_rate: Optional[float] = None,
         service_batch: int = 16,
         log: Optional[LogConfig] = None,
+        runtime: str = "sim",
     ):
         if engine not in ("index", "table", "compiled"):
             raise ValueError(
                 f"engine must be 'index', 'table' or 'compiled', got {engine!r}"
             )
-        self.sim = Simulator()
+        if runtime not in ("sim", "asyncio"):
+            raise ValueError(f"runtime must be 'sim' or 'asyncio', got {runtime!r}")
+        #: Which execution backend hosts this system ("sim" is the
+        #: deterministic default; "asyncio" runs the same overlay over
+        #: real localhost TCP sockets at wall-clock speed).
+        self.runtime_name = runtime
         #: Causal span tracer shared by every process of this system
         #: (publishers, brokers, subscribers, and the network fabric).
         self.tracer = EventTracer(enabled=tracing)
-        self.network = Network(
-            self.sim, default_latency=link_latency, tracer=self.tracer
-        )
+        if runtime == "sim":
+            self.sim = Simulator()
+            self.network = Network(
+                self.sim, default_latency=link_latency, tracer=self.tracer
+            )
+        else:
+            from repro.runtime.asyncio_backend import AsyncioRuntime, TcpTransport
+
+            self.sim = AsyncioRuntime()
+            self.network = TcpTransport(
+                self.sim, default_latency=link_latency, tracer=self.tracer
+            )
         self.reliable = reliable
         #: Flow-control knobs, plumbed to every broker/publisher/subscriber
         #: this system creates (None = flow control off).
@@ -140,6 +155,11 @@ class MultiStageEventSystem:
             service_batch=service_batch,
             log=log,
         )
+        if runtime == "asyncio" and log is not None and log.directory:
+            # Real-runtime semantics: a broker's in-memory log dies with
+            # the crash; restart recovers it from the JSONL segments.
+            for node in self.hierarchy.nodes():
+                node.recover_log_from_disk = True
         #: Per-stage time-series sampler (armed by :meth:`start_sampling`).
         self.sampler: Optional[StageSampler] = None
         self.ttl = ttl
@@ -462,8 +482,70 @@ class MultiStageEventSystem:
         return self.sim.run(max_events=max_events)
 
     def run_for(self, duration: float) -> int:
-        """Advance simulated time by ``duration``."""
+        """Advance time by ``duration`` (simulated or wall, per backend)."""
         return self.sim.run(until=self.sim.now + duration)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 10.0,
+        poll: float = 0.02,
+    ) -> bool:
+        """Drive the backend until ``predicate()`` holds (False on timeout).
+
+        On the asyncio backend this spins the event loop in ``poll``-sized
+        wall-clock slices; on the simulator it steps events, checking the
+        predicate between steps, until ``timeout`` simulated seconds pass
+        or the queue drains.
+        """
+        runner = getattr(self.sim, "run_until", None)
+        if runner is not None:
+            return runner(predicate, timeout, poll)
+        deadline = self.sim.now + timeout
+        while not predicate() and self.sim.now < deadline:
+            if not self.sim.step():
+                break
+        return predicate()
+
+    def kill(self, process) -> None:
+        """Fail-stop a process on either backend.
+
+        On the simulator this is ``process.crash()``; on the asyncio
+        backend the endpoint's sockets are torn down too, so peers see a
+        dead port rather than a silent drop gate.
+        """
+        killer = getattr(self.network, "kill", None)
+        if killer is not None:
+            killer(process)
+        else:
+            process.crash()
+
+    def restore(self, process) -> None:
+        """Bring a killed process back (rebinding its port on asyncio)."""
+        restorer = getattr(self.network, "restore", None)
+        if restorer is not None:
+            restorer(process)
+        else:
+            process.restart()
+
+    def close(self) -> None:
+        """Release backend resources (sockets, event loop).
+
+        A no-op on the simulator; required teardown on the asyncio
+        backend.  The system is unusable afterwards.
+        """
+        closer = getattr(self.network, "close", None)
+        if closer is not None:
+            closer()
+        closer = getattr(self.sim, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "MultiStageEventSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def start_maintenance(self) -> None:
         """Start TTL renewal/purge tasks on every node and subscriber."""

@@ -42,6 +42,11 @@ class Disjunction:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Disjunction is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restore;
+        # rebuild through __init__.
+        return (self.__class__, (self.branches,))
+
     def matches(self, event: Any) -> bool:
         """True when any branch matches (Definition 1, lifted over OR)."""
         return any(branch.matches(event) for branch in self.branches)

@@ -59,6 +59,11 @@ class Filter:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Filter is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restore;
+        # rebuild through __init__ (also re-derives the cached hash).
+        return (self.__class__, (self.constraints, self.matches_nothing))
+
     @classmethod
     def top(cls) -> "Filter":
         """``fT``: matches every event, covers every filter."""

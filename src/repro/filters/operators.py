@@ -64,6 +64,12 @@ class Operator:
     def __repr__(self) -> str:
         return self.symbol
 
+    def __reduce__(self):
+        # Operators are singletons compared with ``is``; unpickle to the
+        # canonical instance, never a fresh copy (identity must survive
+        # the real-runtime backend's wire serialization).
+        return (operator_by_symbol, (self.symbol,))
+
 
 class _All(Operator):
     """Wildcard: matches any value, including absent attributes (§4.4)."""

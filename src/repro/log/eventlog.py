@@ -207,6 +207,9 @@ class EventLog:
         self._max_source_offset: Optional[int] = None
         #: Idempotent re-appends skipped (wire duplicates re-presented).
         self.duplicates_skipped = 0
+        #: Partial trailing JSONL records discarded by :meth:`load` (a
+        #: crash mid-append leaves at most one).
+        self.truncated_records_discarded = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -382,9 +385,26 @@ class EventLog:
 
     @classmethod
     def load(
-        cls, name: str, directory: str, segment_size: int = 256
+        cls,
+        name: str,
+        directory: str,
+        segment_size: int = 256,
+        reopen: bool = False,
     ) -> "EventLog":
-        """Rebuild a log from a directory of segment files."""
+        """Rebuild a log from a directory of segment files.
+
+        A crash mid-append can leave the *final* line of the *final*
+        segment file truncated; such a partial record is discarded (and
+        counted in :attr:`truncated_records_discarded`) rather than
+        raised — losing the one un-fsynced record is exactly fail-stop
+        semantics.  Corruption anywhere else is not a clean crash tail
+        and still raises :class:`ValueError`.
+
+        With ``reopen=True`` the loaded log resumes file persistence in
+        ``directory``: the tail segment file is rewritten from the parsed
+        records (healing any discarded partial line) and kept open for
+        append, so a restarted broker continues the same on-disk log.
+        """
         log = cls(name, segment_size=segment_size, directory=None)
         prefix = f"{name}-"
         files = sorted(
@@ -392,16 +412,42 @@ class EventLog:
             for f in os.listdir(directory)
             if f.startswith(prefix) and f.endswith(".jsonl")
         )
-        for filename in files:
+        for file_index, filename in enumerate(files):
             with open(os.path.join(directory, filename), encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
+                lines = [line.strip() for line in fh]
+            while lines and not lines[-1]:
+                lines.pop()
+            for line_index, line in enumerate(lines):
+                if not line:
+                    continue
+                try:
                     record = LogRecord.from_json(line)
-                    log.append(
-                        record.envelope, record.time, record.source_offset
+                except (ValueError, KeyError, TypeError) as exc:
+                    is_final_line = (
+                        file_index == len(files) - 1
+                        and line_index == len(lines) - 1
                     )
+                    if is_final_line:
+                        log.truncated_records_discarded += 1
+                        break
+                    raise ValueError(
+                        f"corrupt record in {filename} line {line_index + 1}: "
+                        f"{exc}"
+                    ) from exc
+                log.append(record.envelope, record.time, record.source_offset)
+        if reopen:
+            log.directory = directory
+            os.makedirs(directory, exist_ok=True)
+            if log._segments:
+                tail = log._segments[-1]
+                path = os.path.join(
+                    directory, f"{name}-{tail.base_offset:08d}.jsonl"
+                )
+                file = open(path, "w", encoding="utf-8")
+                for record in tail.records:
+                    file.write(record.to_json() + "\n")
+                file.flush()
+                tail._file = file
         return log
 
     def __repr__(self) -> str:

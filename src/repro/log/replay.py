@@ -227,11 +227,11 @@ class Replayer:
     def kick(self) -> None:
         """Credits arrived (or state changed): pump again promptly."""
         if self._tick_handle is None and self.active:
-            self._tick_handle = self.node.sim.defer(self._tick)
+            self._tick_handle = self.node.call_soon(self._tick)
 
     def _ensure_tick(self) -> None:
         if self._tick_handle is None and self.active:
-            self._tick_handle = self.node.sim.schedule(
+            self._tick_handle = self.node.call_later(
                 self._interval(), self._tick
             )
 

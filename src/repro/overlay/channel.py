@@ -26,7 +26,7 @@ from collections import OrderedDict, deque
 from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.overlay.messages import Ack, Sequenced
-from repro.sim.kernel import Simulator
+from repro.runtime.base import Executor
 
 #: Initial retransmission timeout.  Links default to 1 ms latency, so
 #: 50 ms comfortably exceeds one RTT while staying well under the renewal
@@ -85,7 +85,7 @@ class ReliableSender:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Executor,
         send_raw: Callable[[Any], None],
         on_retransmit: Optional[Callable[[int], None]] = None,
         observer: Optional[Callable[[int, tuple], None]] = None,

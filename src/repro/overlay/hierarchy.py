@@ -13,8 +13,7 @@ from repro.flow import FlowConfig
 from repro.log.config import LogConfig
 from repro.obs.tracing import EventTracer
 from repro.overlay.node import BrokerNode, MatchEngine
-from repro.sim.kernel import Simulator
-from repro.sim.network import Network
+from repro.runtime.base import Executor, Transport
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 
@@ -63,8 +62,8 @@ class Hierarchy:
 
 
 def build_hierarchy(
-    sim: Simulator,
-    network: Network,
+    sim: Executor,
+    network: Transport,
     stage_sizes: Sequence[int],
     ttl: float = 60.0,
     engine_factory: Callable[[], MatchEngine] = CountingIndex,

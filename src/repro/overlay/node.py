@@ -65,8 +65,8 @@ from repro.overlay.messages import (
     Unsubscribe,
     Withdraw,
 )
-from repro.sim.kernel import Process, Simulator
-from repro.sim.network import Network
+from repro.runtime.base import Executor, Transport
+from repro.sim.kernel import Process
 from repro.sim.trace import TraceRecorder
 
 #: Renew halfway through the TTL ("before the expiry of each TTL").
@@ -105,8 +105,8 @@ class BrokerNode(Process):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Executor,
+        network: Transport,
         name: str,
         stage: int,
         ttl: float = 60.0,
@@ -160,7 +160,6 @@ class BrokerNode(Process):
         # identity on this network (Network enforces uniqueness).  Keying
         # by id() would let a recycled object id silently inherit a dead
         # peer's channel state and discard its legitimate resets.
-        self.incarnation = 0
         self._up_sender: Optional[ReliableSender] = None
         self._receivers: Dict[str, ReliableReceiver] = {}
         self._peer_incarnations: Dict[str, int] = {}
@@ -240,6 +239,13 @@ class BrokerNode(Process):
             if log_config is not None
             else None
         )
+        #: Real-runtime crash semantics toggle: when True, :meth:`crash`
+        #: closes and *drops* the in-memory log (it lived in the dead OS
+        #: process) and :meth:`restart` reloads it from the on-disk JSONL
+        #: segments.  Set by the engine for asyncio-backend systems with
+        #: ``LogConfig.directory``; the sim default keeps the in-memory
+        #: log across crashes (its durability model).
+        self.recover_log_from_disk = False
         #: Root-side replayer, created lazily on the first replay request.
         self._replayer: Optional[Any] = None
         #: Next expected per-link data sequence number, per sender name
@@ -860,7 +866,12 @@ class BrokerNode(Process):
         self._data_seq_out.clear()
         # The event log is the one durable thing a broker owns: it
         # survives the crash (that is what recovery replays against).
-        # Replay sessions, by contrast, are soft state and vanish.
+        # Under real-runtime semantics only the *files* survive — the
+        # in-memory object dies with the process and restart() reloads
+        # it from disk.  Replay sessions are soft state and vanish.
+        if self.recover_log_from_disk and self.log is not None:
+            self.log.close()
+            self.log = None
         if self._replayer is not None:
             self._replayer.reset()
         self._drain_paused = False
@@ -887,8 +898,22 @@ class BrokerNode(Process):
         subscribers are unknown after the wipe — their periodic renewals
         restore their filters within one renewal interval.
         """
-        super().restart()
-        self.incarnation += 1
+        super().restart()  # clears the gate and bumps self.incarnation
+        if (
+            self.recover_log_from_disk
+            and self.log is None
+            and self.log_config is not None
+            and self.log_config.directory
+        ):
+            # Crash-recover the durable log from its JSONL segments (the
+            # only copy under real-runtime semantics); reopen keeps the
+            # tail segment appendable so this incarnation continues it.
+            self.log = EventLog.load(
+                self.name,
+                self.log_config.directory,
+                segment_size=self.log_config.segment_size,
+                reopen=True,
+            )
         reset = ChannelReset(self.incarnation)
         if self.parent is not None:
             self.network.send(self, self.parent, reset)
@@ -902,7 +927,7 @@ class BrokerNode(Process):
             # Let the children's reset-triggered renewals rebuild the
             # routing table first, then ask the root to re-drive what
             # was missed while down.
-            self.sim.schedule(
+            self.call_later(
                 self.log_config.recovery_delay, self._request_replay, self.incarnation
             )
         if self._was_maintained:
@@ -916,10 +941,10 @@ class BrokerNode(Process):
         """Begin the periodic renewal and purge tasks."""
         self.stop_maintenance()
         renew_interval = self.ttl * RENEW_FRACTION
-        self._maintenance_handles["renew"] = self.sim.schedule(
+        self._maintenance_handles["renew"] = self.call_later(
             renew_interval, self._renew_task, renew_interval
         )
-        self._maintenance_handles["purge"] = self.sim.schedule(
+        self._maintenance_handles["purge"] = self.call_later(
             self.ttl, self._purge_task, self.ttl
         )
 
@@ -954,7 +979,7 @@ class BrokerNode(Process):
             items = self._parent_renewal_items()
             if items:
                 self._send_up(Renewal(tuple(items)))
-        self._maintenance_handles["renew"] = self.sim.schedule(
+        self._maintenance_handles["renew"] = self.call_later(
             interval, self._renew_task, interval
         )
 
@@ -983,7 +1008,7 @@ class BrokerNode(Process):
                 del self._offline[destination_name]
                 self._buffers.pop(destination_name, None)
         self._table_changed()
-        self._maintenance_handles["purge"] = self.sim.schedule(
+        self._maintenance_handles["purge"] = self.call_later(
             interval, self._purge_task, interval
         )
 
@@ -1094,7 +1119,7 @@ class BrokerNode(Process):
             now = self.sim.now
             self._publish_meta.extend((sender.name, now) for _ in publishes)
         if self._drain_handle is None:
-            self._drain_handle = self.sim.defer(self._drain_publishes)
+            self._drain_handle = self.call_soon(self._drain_publishes)
 
     def _drain_publishes(self) -> None:
         self._drain_handle = None
@@ -1465,9 +1490,9 @@ class BrokerNode(Process):
         if not self._inbound:
             return
         if self.service_rate is None:
-            self._drain_handle = self.sim.defer(self._drain_managed)
+            self._drain_handle = self.call_soon(self._drain_managed)
         else:
-            self._drain_handle = self.sim.schedule_at(
+            self._drain_handle = self.call_at(
                 max(self.sim.now, self._busy_until), self._drain_managed
             )
 

@@ -33,8 +33,8 @@ from repro.overlay.messages import (
     PublishBatch,
     Sequenced,
 )
-from repro.sim.kernel import Process, Simulator
-from repro.sim.network import Network
+from repro.runtime.base import Executor, Transport
+from repro.sim.kernel import Process
 
 
 class PublisherRuntime(Process):
@@ -42,8 +42,8 @@ class PublisherRuntime(Process):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Executor,
+        network: Transport,
         name: str,
         root: Process,
         types: Optional[TypeRegistry] = None,

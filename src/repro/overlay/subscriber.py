@@ -37,8 +37,8 @@ from repro.overlay.messages import (
     SubscriptionRequest,
     Unsubscribe,
 )
-from repro.sim.kernel import Process, Simulator
-from repro.sim.network import Network
+from repro.runtime.base import Executor, Transport
+from repro.sim.kernel import Process
 from repro.sim.trace import TraceRecorder
 
 #: The handler signature: (typed event object, meta-data, subscription).
@@ -110,8 +110,8 @@ class SubscriberRuntime(Process):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Executor,
+        network: Transport,
         name: str,
         root: Process,
         ttl: float = 60.0,
@@ -307,6 +307,26 @@ class SubscriberRuntime(Process):
         self.network.send(self, node, request)
 
     # ------------------------------------------------------------------
+    # Crash lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: the base class cancels the owned renew timer; drop
+        the dangling reference so :meth:`restart` can re-arm cleanly."""
+        super().crash()
+        self._renew_handle = None
+
+    def restart(self) -> None:
+        """Come back up; resume the renewal chain if maintenance was on."""
+        super().restart()
+        if self._maintenance_interval is not None and not self.offline:
+            self._renew_handle = self.call_later(
+                self._maintenance_interval,
+                self._renew_task,
+                self._maintenance_interval,
+            )
+
+    # ------------------------------------------------------------------
     # Disconnection (durable subscriptions, §2.1)
     # ------------------------------------------------------------------
 
@@ -355,7 +375,7 @@ class SubscriberRuntime(Process):
         for home in self._homes():
             self.network.send(self, home, Reconnect())
         if self._maintenance_interval is not None and self._renew_handle is None:
-            self._renew_handle = self.sim.schedule(
+            self._renew_handle = self.call_later(
                 self._maintenance_interval,
                 self._renew_task,
                 self._maintenance_interval,
@@ -609,7 +629,7 @@ class SubscriberRuntime(Process):
         interval = self.ttl * 0.5
         self._maintenance_interval = interval
         if not self.offline:
-            self._renew_handle = self.sim.schedule(
+            self._renew_handle = self.call_later(
                 interval, self._renew_task, interval
             )
 
@@ -633,7 +653,7 @@ class SubscriberRuntime(Process):
         for key, items in by_home.items():
             deduped = tuple(dict.fromkeys(items))
             self._send_control(homes[key], Renewal(deduped))
-        self._renew_handle = self.sim.schedule(interval, self._renew_task, interval)
+        self._renew_handle = self.call_later(interval, self._renew_task, interval)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,748 @@
+"""Real-runtime backend: an asyncio executor and a TCP transport.
+
+This module is the second implementation of the :mod:`repro.runtime.base`
+protocols.  :class:`AsyncioRuntime` maps the simulator's timer surface
+onto an asyncio event loop (``schedule`` → ``call_at``, ``now`` → loop
+time since construction), and :class:`TcpTransport` replaces the
+simulated link model with real localhost TCP sockets: every registered
+process gets its own listening server and an FSM-tracked endpoint, and
+``send`` writes length-prefixed JSON frames instead of scheduling a
+delivery event.
+
+Framing protocol (one frame per message)::
+
+    4 bytes   payload length, big-endian
+    N bytes   JSON: {"v": 1, "src": <sender name>,
+                     "kind": <message class name>,
+                     "body": <base64(pickle of the message)>}
+
+Messages are the same dataclasses the simulator delivers by reference
+(:mod:`repro.overlay.messages`), and event payloads inside them are the
+same pre-pickled :class:`~repro.events.serialization.Envelope` bodies —
+the wire format reuses ``events/serialization.py`` wholesale.  The one
+wrinkle is that several control messages carry direct
+:class:`~repro.sim.kernel.Process` references (``JoinAt.node``,
+``SubscriptionRequest.subscriber``, ...).  Those are serialized as
+*name references* via a pickler ``persistent_id`` hook and resolved
+against the transport's registry on receive, so identity survives the
+wire without pickling a whole broker.
+
+Endpoint FSM (see DESIGN §13)::
+
+    INIT -> BINDING -> LISTENING -> SERVING
+                          |  ^
+                          v  |
+              CRASHED -> RECOVERING
+    (any) -> STOPPED
+
+``kill`` closes the endpoint's server and connections mid-flight (frames
+to it are dropped and counted, like the simulator's crash gate);
+``restore`` rebinds the same port, replays the broker's on-disk JSONL
+log if configured, and lets the normal ChannelReset/renewal recovery
+machinery run over the reopened sockets.
+"""
+
+import asyncio
+import base64
+import io
+import json
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.tracing import EventTracer
+from repro.sim.kernel import Process, SimulationError
+from repro.sim.network import Link, NetworkStats, _default_sizer
+
+FRAME_VERSION = 1
+_HEADER_SIZE = 4
+
+# Endpoint FSM states.
+INIT = "init"
+BINDING = "binding"
+LISTENING = "listening"
+SERVING = "serving"
+CRASHED = "crashed"
+RECOVERING = "recovering"
+STOPPED = "stopped"
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+
+
+class _ProcessRefPickler(pickle.Pickler):
+    """Serialize :class:`Process` references as stable name refs."""
+
+    def persistent_id(self, obj: Any) -> Optional[str]:
+        if isinstance(obj, Process):
+            return obj.name
+        return None
+
+
+class _ProcessRefUnpickler(pickle.Unpickler):
+    def __init__(self, file: io.BytesIO, resolve: Callable[[str], Process]):
+        super().__init__(file)
+        self._resolve = resolve
+
+    def persistent_load(self, pid: str) -> Process:
+        return self._resolve(pid)
+
+
+def encode_frame(src_name: str, message: Any) -> bytes:
+    """One message as the JSON frame payload (without the length prefix)."""
+    buffer = io.BytesIO()
+    _ProcessRefPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(message)
+    return json.dumps(
+        {
+            "v": FRAME_VERSION,
+            "src": src_name,
+            "kind": type(message).__name__,
+            "body": base64.b64encode(buffer.getvalue()).decode("ascii"),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_frame(
+    payload: bytes, resolve: Callable[[str], Process]
+) -> Tuple[str, Any]:
+    """Parse a frame payload back into ``(sender name, message)``."""
+    obj = json.loads(payload.decode("utf-8"))
+    if obj.get("v") != FRAME_VERSION:
+        raise ValueError(f"unsupported frame version {obj.get('v')!r}")
+    buffer = io.BytesIO(base64.b64decode(obj["body"]))
+    message = _ProcessRefUnpickler(buffer, resolve).load()
+    return obj["src"], message
+
+
+# ----------------------------------------------------------------------
+# Timers
+# ----------------------------------------------------------------------
+
+
+class AsyncioTimer:
+    """One-shot timer satisfying :class:`repro.runtime.base.Timer`."""
+
+    __slots__ = ("runtime", "time", "callback", "args", "cancelled", "_handle")
+
+    def __init__(
+        self,
+        runtime: "AsyncioRuntime",
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+    ):
+        self.runtime = runtime
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._handle = runtime._loop.call_at(runtime._t0 + time, self._fire)
+        runtime._timers.add(self)
+
+    def _fire(self) -> None:
+        self.runtime._timers.discard(self)
+        if self.cancelled:
+            return
+        self.runtime._processed += 1
+        self.callback(*self.args)
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._handle.cancel()
+            self.runtime._timers.discard(self)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"AsyncioTimer(t={self.time!r}, {state})"
+
+
+class AsyncioRecurringTimer:
+    """Recurring timer mirroring :class:`repro.sim.kernel.RecurringHandle`."""
+
+    __slots__ = ("runtime", "interval", "callback", "args", "cancelled", "time", "_handle")
+
+    def __init__(
+        self,
+        runtime: "AsyncioRuntime",
+        interval: float,
+        callback: Callable[..., None],
+        args: tuple,
+    ):
+        self.runtime = runtime
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.time = runtime.now + interval
+        self._handle = runtime._loop.call_at(runtime._t0 + self.time, self._fire)
+        runtime._timers.add(self)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        # Reschedule first, like the sim's RecurringHandle: the callback
+        # sees the next tick armed and may cancel to stop the chain.
+        self.time = self.runtime.now + self.interval
+        self._handle = self.runtime._loop.call_at(
+            self.runtime._t0 + self.time, self._fire
+        )
+        self.runtime._processed += 1
+        self.callback(*self.args)
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._handle.cancel()
+            self.runtime._timers.discard(self)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "armed"
+        return f"AsyncioRecurringTimer(every={self.interval!r}, {state})"
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+class AsyncioRuntime:
+    """Wall-clock executor satisfying :class:`repro.runtime.base.Executor`.
+
+    The loop is owned, private, and driven synchronously: ``run`` /
+    ``run_until`` block the calling thread while the loop services
+    timers and sockets, exactly as ``Simulator.run`` blocks while
+    popping its heap.  ``now`` is seconds since construction, so
+    published_at stamps and log append times stay small positive floats
+    on both backends.
+    """
+
+    #: ``run(until=None)`` gives up after this many wall seconds even if
+    #: the system never goes quiet (retransmitting to a dead peer, say).
+    idle_timeout = 30.0
+    #: The system counts as quiet when nothing is in flight and no timer
+    #: is due within this horizon (covers retransmit timers re-arming).
+    idle_horizon = 0.05
+    _idle_poll = 0.01
+    _idle_settle = 3
+
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._t0 = self._loop.time()
+        self._processed = 0
+        self._timers: set = set()
+        #: Frames sent but not yet dispatched or dropped (maintained by
+        #: the transport); the wire-occupancy half of the idle check.
+        self._inflight = 0
+        self._closed = False
+
+    @property
+    def now(self) -> float:
+        return self._loop.time() - self._t0
+
+    @property
+    def processed_events(self) -> int:
+        """Timer fires plus dispatched frames (cancelled timers excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._timers)
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    # -- timer surface (Executor protocol) -----------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> AsyncioTimer:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return AsyncioTimer(self, self.now + delay, callback, args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> AsyncioTimer:
+        return AsyncioTimer(self, time, callback, args)
+
+    def defer(self, callback: Callable[..., None], *args: Any) -> AsyncioTimer:
+        return AsyncioTimer(self, self.now, callback, args)
+
+    def every(
+        self, interval: float, callback: Callable[..., None], *args: Any
+    ) -> AsyncioRecurringTimer:
+        if interval <= 0:
+            raise SimulationError(
+                f"recurring interval must be positive, got {interval}"
+            )
+        return AsyncioRecurringTimer(self, interval, callback, args)
+
+    # -- driving the loop ----------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Drive the loop: until wall time ``until``, or until idle.
+
+        ``max_events`` is accepted for signature parity with the
+        simulator but cannot bound a wall-clock loop mid-flight; it is
+        ignored.  Returns the number of events processed by this call.
+        """
+        if self._closed:
+            raise SimulationError("runtime is closed")
+        before = self._processed
+        if until is not None:
+            remaining = until - self.now
+            if remaining > 0:
+                self._loop.run_until_complete(asyncio.sleep(remaining))
+        else:
+            self._loop.run_until_complete(self._drive_idle())
+        return self._processed - before
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        poll: float = 0.02,
+    ) -> bool:
+        """Drive the loop until ``predicate()`` holds; False on timeout.
+
+        The predicate runs between loop slices (never concurrently with
+        callbacks), so it may inspect process state freely.
+        """
+        if predicate():
+            return True
+        deadline = self.now + timeout
+        while self.now < deadline:
+            self._loop.run_until_complete(asyncio.sleep(poll))
+            if predicate():
+                return True
+        return predicate()
+
+    async def _drive_idle(self) -> None:
+        deadline = self.now + self.idle_timeout
+        settle = 0
+        while self.now < deadline:
+            await asyncio.sleep(self._idle_poll)
+            if self._inflight == 0 and not self._timer_due_within(self.idle_horizon):
+                settle += 1
+                if settle >= self._idle_settle:
+                    return
+            else:
+                settle = 0
+
+    def _timer_due_within(self, horizon: float) -> bool:
+        cutoff = self.now + horizon
+        return any(
+            not timer.cancelled and timer.time <= cutoff
+            for timer in self._timers
+        )
+
+    def close(self) -> None:
+        """Cancel outstanding work and close the loop for good."""
+        if self._closed:
+            return
+        self._closed = True
+        for timer in list(self._timers):
+            timer.cancel()
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self._loop.close()
+
+    def __repr__(self) -> str:
+        return f"AsyncioRuntime(now={self.now:.3f}, processed={self._processed})"
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+
+
+class _Endpoint:
+    """One process's socket presence: server, connections, FSM state."""
+
+    __slots__ = (
+        "process",
+        "server",
+        "port",
+        "state",
+        "history",
+        "outbound",
+        "inbound",
+        "teardown",
+        "_lock",
+    )
+
+    def __init__(self, process: Process):
+        self.process = process
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self.state = INIT
+        self.history: List[str] = [INIT]
+        #: dst name -> StreamWriter for frames this process sends.
+        self.outbound: Dict[str, asyncio.StreamWriter] = {}
+        #: StreamWriters of accepted inbound connections (for teardown).
+        self.inbound: List[asyncio.StreamWriter] = []
+        #: In-flight teardown task after a kill; restore awaits it so the
+        #: old server socket is fully closed before rebinding the port.
+        self.teardown: Optional["asyncio.Task"] = None
+        self._lock: Optional[asyncio.Lock] = None
+
+    def transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.history.append(state)
+
+
+class TcpTransport:
+    """Message fabric over real localhost TCP sockets.
+
+    Satisfies :class:`repro.runtime.base.Transport` with the same
+    ``send(src, dst, message)`` surface as the simulated
+    :class:`~repro.sim.network.Network`, so overlay code cannot tell
+    them apart.  Per-pair frame order is preserved (one serialized
+    writer chain per directed pair); cross-pair order is whatever the
+    loop and the kernel make of it — which is the point.
+    """
+
+    def __init__(
+        self,
+        runtime: AsyncioRuntime,
+        default_latency: Optional[float] = None,
+        sizer: Callable[[Any], int] = _default_sizer,
+        tracer: Optional[EventTracer] = None,
+        host: str = "127.0.0.1",
+    ):
+        self.runtime = runtime
+        self.host = host
+        #: Unused for timing (the kernel schedules real packets); kept
+        #: for constructor parity with Network.
+        self.default_latency = default_latency
+        self.sizer = sizer
+        self.stats = NetworkStats()
+        self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
+        self._endpoints: Dict[str, _Endpoint] = {}
+        self._by_name: Dict[str, Process] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._pair_locks: Dict[Tuple[str, str], asyncio.Lock] = {}
+        #: Dispatch/codec failures (tests assert this stays empty).
+        self.errors: List[str] = []
+        self._closed = False
+
+    # -- registry ------------------------------------------------------
+
+    def register(self, process: Process) -> _Endpoint:
+        """Make a process addressable (idempotent; names must be unique)."""
+        known = self._by_name.get(process.name)
+        if known is not None and known is not process:
+            raise SimulationError(
+                f"duplicate process name {process.name!r} on this transport"
+            )
+        self._by_name[process.name] = process
+        endpoint = self._endpoints.get(process.name)
+        if endpoint is None:
+            endpoint = _Endpoint(process)
+            self._endpoints[process.name] = endpoint
+        return endpoint
+
+    def connect(self, a: Process, b: Process, latency: Optional[float] = None) -> None:
+        """Declare a link: registers both ends (latency is the kernel's)."""
+        self.register(a)
+        self.register(b)
+        self._link(a, b)
+        self._link(b, a)
+
+    def lookup(self, name: str) -> Process:
+        process = self._by_name.get(name)
+        if process is None:
+            raise ValueError(f"unknown process reference {name!r}")
+        return process
+
+    def endpoint(self, process: Process) -> _Endpoint:
+        return self._endpoints[process.name]
+
+    def _link(self, src: Process, dst: Process) -> Link:
+        key = (src.name, dst.name)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(src, dst, 0.0)
+            self._links[key] = link
+        return link
+
+    def link(self, src: Process, dst: Process) -> Optional[Link]:
+        return self._links.get((src.name, dst.name))
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, src: Process, dst: Process, message: Any) -> None:
+        """Frame and ship one message; never blocks, never delivers
+        synchronously (the frame arrives in a later loop round)."""
+        if self._closed:
+            return
+        self.register(src)
+        self.register(dst)
+        link = self._link(src, dst)
+        payload = encode_frame(src.name, message)
+        size = len(payload) + _HEADER_SIZE
+        if src.crashed:
+            self.stats.record_drop(link, size)
+            return
+        self.stats.record_scheduled()
+        self.runtime._inflight += 1
+        self.runtime._loop.create_task(
+            self._deliver(src.name, dst.name, payload, size)
+        )
+
+    async def _deliver(
+        self, src_name: str, dst_name: str, payload: bytes, size: int
+    ) -> None:
+        """Write one frame over the (src, dst) connection, in order.
+
+        The per-pair lock serializes the open-or-reuse + write sequence,
+        so frames of one directed pair hit the socket in send order.  A
+        dead peer (killed endpoint, refused connect, reset mid-write)
+        costs the frame: it is dropped and counted, matching the
+        simulator's crash-gate semantics.
+        """
+        pair = (src_name, dst_name)
+        lock = self._pair_locks.get(pair)
+        if lock is None:
+            lock = self._pair_locks[pair] = asyncio.Lock()
+        frame = size.to_bytes(_HEADER_SIZE, "big") + payload
+        try:
+            async with lock:
+                # A cached connection can be a silently dead socket (the
+                # peer was killed and restarted since the last frame), so
+                # one failed write earns one reconnect.  Only a failure on
+                # a *fresh* connection is a genuine dead-peer drop.
+                for attempt in (0, 1):
+                    writer = await self._writer_for(src_name, dst_name)
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                        return
+                    except (ConnectionError, OSError):
+                        self._invalidate_writer(src_name, dst_name)
+                        if attempt:
+                            raise
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self._drop_in_flight(src_name, dst_name, size)
+            self._invalidate_writer(src_name, dst_name)
+        except asyncio.CancelledError:
+            self._drop_in_flight(src_name, dst_name, size)
+            raise
+
+    def _invalidate_writer(self, src_name: str, dst_name: str) -> None:
+        src_ep = self._endpoints.get(src_name)
+        if src_ep is not None:
+            stale = src_ep.outbound.pop(dst_name, None)
+            if stale is not None:
+                stale.close()
+
+    def _drop_in_flight(self, src_name: str, dst_name: str, size: int) -> None:
+        self.stats.record_arrival()
+        self.runtime._inflight -= 1
+        self.stats.record_drop(self._links.get((src_name, dst_name)), size)
+
+    async def _writer_for(
+        self, src_name: str, dst_name: str
+    ) -> asyncio.StreamWriter:
+        dst_ep = self._endpoints[dst_name]
+        await self._ensure_server(dst_ep)
+        if dst_ep.port is None:
+            raise ConnectionRefusedError(f"{dst_name} has no bound port")
+        src_ep = self._endpoints[src_name]
+        writer = src_ep.outbound.get(dst_name)
+        if writer is None or writer.is_closing():
+            _, writer = await asyncio.open_connection(self.host, dst_ep.port)
+            src_ep.outbound[dst_name] = writer
+        return writer
+
+    # -- receiving -----------------------------------------------------
+
+    async def _ensure_server(self, endpoint: _Endpoint) -> None:
+        """Bind the endpoint's listening server on first contact.
+
+        Lazy binding happens only from INIT: every later rebinding is
+        owned by :meth:`restore`, and racing it here would steal the
+        port out from under the recovering endpoint (EADDRINUSE).
+        """
+        if endpoint.state not in (INIT, BINDING):
+            return
+        if endpoint._lock is None:
+            endpoint._lock = asyncio.Lock()
+        async with endpoint._lock:
+            if endpoint.server is not None or endpoint.state != INIT:
+                return
+            endpoint.transition(BINDING)
+            endpoint.server = await asyncio.start_server(
+                lambda reader, writer: self._serve_client(endpoint, reader, writer),
+                self.host,
+                endpoint.port or 0,
+            )
+            endpoint.port = endpoint.server.sockets[0].getsockname()[1]
+            endpoint.transition(LISTENING)
+
+    async def _serve_client(
+        self,
+        endpoint: _Endpoint,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Per-inbound-connection read loop: frame in, dispatch."""
+        endpoint.inbound.append(writer)
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER_SIZE)
+                size = int.from_bytes(header, "big")
+                payload = await reader.readexactly(size - _HEADER_SIZE)
+                self._dispatch(endpoint, payload, size)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Only runtime teardown cancels reader tasks; ending cleanly
+            # here keeps the loop's exception reporter quiet.
+            pass
+        finally:
+            if writer in endpoint.inbound:
+                endpoint.inbound.remove(writer)
+            writer.close()
+
+    def _dispatch(self, endpoint: _Endpoint, payload: bytes, size: int) -> None:
+        """One frame arrived: decode, account, hand to ``receive``."""
+        process = endpoint.process
+        self.stats.record_arrival()
+        self.runtime._inflight -= 1
+        try:
+            src_name, message = decode_frame(payload, self.lookup)
+        except Exception as exc:  # codec failure: surface, drop the frame
+            self.errors.append(f"decode for {process.name}: {exc!r}")
+            self.stats.record_drop(None, size)
+            return
+        link = self._links.get((src_name, process.name))
+        if process.crashed or endpoint.state == CRASHED:
+            # The crash gate on the receiving side: a frame that raced a
+            # still-open socket into a crashed process is lost.
+            self.stats.record_drop(link, size)
+            return
+        if link is None:
+            sender = self._by_name.get(src_name)
+            if sender is not None:
+                link = self._link(sender, process)
+        if link is not None:
+            self.stats.record(link, size)
+        if endpoint.state == LISTENING:
+            endpoint.transition(SERVING)
+        self.runtime._processed += 1
+        try:
+            process.receive(message, self._by_name.get(src_name))
+        except Exception as exc:  # keep the read loop alive; tests check
+            self.errors.append(f"{process.name} receive: {exc!r}")
+
+    # -- crash lifecycle (the endpoint FSM's externally driven edges) --
+
+    def kill(self, process: Process) -> None:
+        """Fail-stop the process *and* its socket presence.
+
+        ``process.crash()`` runs synchronously (soft state is wiped, the
+        on-disk log closed); the server teardown lands on the loop and
+        completes in the next driven round.  Peers' cached connections
+        die with it — their next frame is dropped and counted.
+        """
+        process.crash()
+        endpoint = self._endpoints[process.name]
+        endpoint.transition(CRASHED)
+        endpoint.teardown = self.runtime._loop.create_task(
+            self._teardown_endpoint(endpoint)
+        )
+
+    async def _teardown_endpoint(self, endpoint: _Endpoint) -> None:
+        server, endpoint.server = endpoint.server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for writer in endpoint.inbound[:]:
+            writer.close()
+        endpoint.inbound.clear()
+        for writer in endpoint.outbound.values():
+            writer.close()
+        endpoint.outbound.clear()
+        # Peers' cached connections to this endpoint are now half-dead
+        # sockets whose first write would "succeed" into the void (the
+        # RST lands after the kernel accepts the frame).  Dropping them
+        # here makes the next send open a fresh connection, which either
+        # reaches the restarted server or fails loudly as a real drop.
+        for peer in self._endpoints.values():
+            stale = peer.outbound.pop(endpoint.process.name, None)
+            if stale is not None:
+                stale.close()
+
+    def restore(self, process: Process) -> None:
+        """Bring a killed process back: rebind the same port, then run
+        the normal restart recovery (ChannelReset, renewals, and — for
+        brokers configured for it — the on-disk log reload)."""
+        endpoint = self._endpoints[process.name]
+        endpoint.transition(RECOVERING)
+
+        async def _restore() -> None:
+            if endpoint.teardown is not None:
+                # The kill's socket teardown may still be in flight; the
+                # port cannot be rebound until the old server is closed.
+                await endpoint.teardown
+                endpoint.teardown = None
+            delay = 0.01
+            while True:
+                try:
+                    endpoint.server = await asyncio.start_server(
+                        lambda reader, writer: self._serve_client(
+                            endpoint, reader, writer
+                        ),
+                        self.host,
+                        endpoint.port or 0,
+                    )
+                    break
+                except OSError:
+                    # Lingering close on the old socket; back off briefly.
+                    if delay > 2.0:
+                        raise
+                    await asyncio.sleep(delay)
+                    delay *= 2
+            endpoint.port = endpoint.server.sockets[0].getsockname()[1]
+            endpoint.transition(LISTENING)
+            process.restart()
+
+        self.runtime._loop.create_task(_restore())
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every endpoint and refuse further sends (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.runtime._loop.is_closed():
+            return
+
+        async def _close_all() -> None:
+            for endpoint in self._endpoints.values():
+                await self._teardown_endpoint(endpoint)
+                endpoint.transition(STOPPED)
+
+        self.runtime._loop.run_until_complete(_close_all())
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpTransport(endpoints={len(self._endpoints)}, "
+            f"messages={self.stats.total_messages})"
+        )

@@ -1,0 +1,100 @@
+"""Structural protocols every execution backend satisfies.
+
+These are the *entire* contract between the overlay/flow/log layers and
+their execution substrate.  Broker, publisher, and subscriber code only
+ever touches:
+
+- ``self.sim.now`` — a monotone clock (:class:`Clock`);
+- ``self.sim.schedule / schedule_at / defer / every`` — timer arming
+  (:class:`Executor`), each returning a cancellable :class:`Timer`;
+- ``self.network.send(src, dst, message)`` — fire-and-forget message
+  passing (:class:`Transport`), delivered later via
+  ``dst.receive(message, src)``.
+
+The protocols are deliberately *structural* (:class:`typing.Protocol`):
+:class:`repro.sim.kernel.Simulator` and :class:`repro.sim.network.
+Network` conform without importing this module, and so do
+:class:`repro.runtime.asyncio_backend.AsyncioRuntime` and
+:class:`~repro.runtime.asyncio_backend.TcpTransport`.  That is the
+whole trick by which the same overlay code runs deterministically under
+the simulator and at wall-clock speed over real sockets.
+
+Nothing here may import from :mod:`repro.sim` or :mod:`repro.overlay`;
+this module sits below both.
+"""
+
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Timer(Protocol):
+    """A cancellable scheduled callback (one-shot or recurring)."""
+
+    cancelled: bool
+
+    def cancel(self) -> None:
+        """Tombstone the timer; a cancelled timer never fires again."""
+        ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A monotone clock.  Simulated seconds on the sim backend, seconds
+    since runtime construction on the asyncio backend."""
+
+    @property
+    def now(self) -> float:
+        ...
+
+
+@runtime_checkable
+class Executor(Clock, Protocol):
+    """A clock plus timer scheduling plus a way to drive the loop.
+
+    ``run`` blocks until the backend is quiescent (or ``until`` is
+    reached): the simulator pops its heap dry; the asyncio backend spins
+    its event loop until sockets and timers go idle.
+    """
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        ...
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        ...
+
+    def defer(self, callback: Callable[..., None], *args: Any) -> Timer:
+        ...
+
+    def every(
+        self, interval: float, callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        ...
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Asynchronous message passing between named processes.
+
+    ``send`` never blocks and never delivers synchronously: the message
+    reaches ``dst.receive(message, src)`` in a later executor round (the
+    sim schedules a delivery event after the link latency; the asyncio
+    backend writes a frame to a TCP socket).  ``connect`` declares a
+    link; backends may use it for latency/registration or ignore it.
+    """
+
+    def send(self, src: Any, dst: Any, message: Any) -> None:
+        ...
+
+    def connect(self, src: Any, dst: Any, latency: Optional[float] = None) -> None:
+        ...

@@ -27,21 +27,35 @@ class EventHandle:
 
     A handle is returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.schedule_at`.  Cancelling is O(1): the queue entry is
-    tombstoned and skipped when it surfaces.
+    tombstoned and skipped when it surfaces.  The owning simulator counts
+    live tombstones and compacts the heap when they pile up, so churny
+    workloads (renewal timers, retransmit timers, flow-control grants)
+    cannot grow the queue without bound.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Mark the event so it will be skipped when dequeued."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,12 +73,18 @@ class Simulator:
     in arbitrary "simulated time units" (the experiments use seconds).
     """
 
+    #: Compaction fires once at least this many tombstones accumulate and
+    #: they make up at least half the queue (amortized O(1) per cancel).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._queue: List[EventHandle] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
         self._running = False
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -80,6 +100,34 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of queue entries not yet executed (includes cancelled)."""
         return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of tombstoned entries still sitting in the queue."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Number of tombstone-triggered heap rebuilds performed so far."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """Record a cancellation; compact once tombstones dominate the heap.
+
+        Compacting rebuilds the heap from the live entries only.  The heap
+        order on (time, seq) is a strict total order (seq is unique), so a
+        rebuild pops in exactly the same sequence as the original heap —
+        compaction is invisible to deterministic replay.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 >= len(self._queue)
+        ):
+            self._queue = [h for h in self._queue if not h.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
+            self._compactions += 1
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now.
@@ -108,7 +156,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
+        handle = EventHandle(time, next(self._seq), callback, args, sim=self)
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -137,6 +185,8 @@ class Simulator:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
                 continue
             self._now = handle.time
             self._processed += 1
@@ -162,6 +212,8 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
                     continue
                 if until is not None and head.time > until:
                     self._now = until
@@ -219,9 +271,19 @@ class RecurringHandle:
 class Process:
     """Base class for simulated entities (brokers, publishers, subscribers).
 
-    A process owns a reference to the :class:`Simulator` and exposes
-    :meth:`receive`, the network's delivery entry point.  Subclasses
-    override :meth:`receive` to implement their protocol.
+    A process owns a reference to the :class:`Simulator` (any object
+    satisfying the :class:`repro.runtime.base.Executor` protocol) and
+    exposes :meth:`receive`, the network's delivery entry point.
+    Subclasses override :meth:`receive` to implement their protocol.
+
+    Timers whose work belongs to the *current incarnation* of the process
+    should be armed through :meth:`call_later` / :meth:`call_at` /
+    :meth:`call_soon` / :meth:`call_every` rather than raw executor
+    scheduling: owned timers are cancelled by :meth:`crash` and
+    additionally guarded by the incarnation counter, so a stale pre-crash
+    timer can never fire into the restarted incarnation's fresh state
+    (the same bug class as the epoch-guarded retransmit timers in
+    overlay/channel.py).
     """
 
     def __init__(self, sim: Simulator, name: str):
@@ -230,19 +292,74 @@ class Process:
         #: Fail-stop gate: while True the network drops every message to
         #: or from this process (fault injection; see sim.network).
         self.crashed = False
+        #: Bumped by :meth:`restart`; owned-timer callbacks armed under an
+        #: older incarnation refuse to run.
+        self.incarnation = 0
+        self._owned_timers: set = set()
+
+    def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule owned work at an absolute time (see class docstring)."""
+        incarnation = self.incarnation
+        handle_box: list = []
+
+        def _fire() -> None:
+            self._owned_timers.discard(handle_box[0])
+            if self.crashed or self.incarnation != incarnation:
+                return
+            callback(*args)
+
+        handle = self.sim.schedule_at(time, _fire)
+        handle_box.append(handle)
+        self._owned_timers.add(handle)
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule owned work ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.call_at(self.sim.now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Defer owned work to the current instant (after queued events)."""
+        return self.call_at(self.sim.now, callback, *args)
+
+    def call_every(
+        self, interval: float, callback: Callable[..., None], *args: Any
+    ) -> "RecurringHandle":
+        """Arm an owned recurring timer; cancelled on :meth:`crash`."""
+        incarnation = self.incarnation
+
+        def _tick() -> None:
+            if self.crashed or self.incarnation != incarnation:
+                return
+            callback(*args)
+
+        handle = self.sim.every(interval, _tick)
+        self._owned_timers.add(handle)
+        return handle
 
     def crash(self) -> None:
         """Take the process down (fail-stop).
 
-        The base implementation only flips the network gate; stateful
-        subclasses (brokers) override to also lose their soft state, which
-        is what the paper's §4.3 refresh-or-restore renewals rebuild.
+        The base implementation flips the network gate and cancels every
+        owned timer; stateful subclasses (brokers) override to also lose
+        their soft state, which is what the paper's §4.3
+        refresh-or-restore renewals rebuild.
         """
         self.crashed = True
+        for handle in self._owned_timers:
+            handle.cancel()
+        self._owned_timers.clear()
 
     def restart(self) -> None:
-        """Bring the process back up after :meth:`crash`."""
+        """Bring the process back up after :meth:`crash`.
+
+        Bumps the incarnation counter so any owned timer that escaped
+        cancellation (or any raw timer guarded by incarnation) fires into
+        a closed door rather than the fresh state.
+        """
         self.crashed = False
+        self.incarnation += 1
 
     def receive(self, message: Any, sender: "Process") -> None:
         """Handle a message delivered by the network."""

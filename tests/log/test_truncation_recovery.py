@@ -1,0 +1,127 @@
+"""Regression tests for crash-truncated JSONL tails (PR 8 satellite).
+
+A process killed mid-append leaves a partial final line in the tail
+segment file.  ``EventLog.load`` used to raise on it, making every
+post-crash recovery fail exactly when it was needed; it now discards a
+corrupt *final* line (counting it in ``truncated_records_discarded``)
+while still rejecting corruption anywhere else in the stream.
+"""
+
+import os
+
+import pytest
+
+from repro.events.base import PropertyEvent
+from repro.events.serialization import Envelope
+from repro.log import EventLog
+
+
+def envelope(seq, publisher="p"):
+    return Envelope(
+        metadata=PropertyEvent({"class": "Quote", "seq": seq}),
+        payload=f"payload-{seq}".encode(),
+        published_at=float(seq),
+        event_id=(publisher, seq),
+    )
+
+
+def write_log(directory, count, segment_size=4):
+    log = EventLog("node", segment_size=segment_size, directory=directory)
+    for seq in range(count):
+        log.append(envelope(seq), time=float(seq))
+    log.close()
+
+
+def tail_file(directory):
+    return os.path.join(directory, sorted(os.listdir(directory))[-1])
+
+
+class TestTruncatedTail:
+    def test_clean_load_reports_zero_discarded(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 6)
+        loaded = EventLog.load("node", directory, segment_size=4)
+        assert len(loaded) == 6
+        assert loaded.truncated_records_discarded == 0
+
+    def test_half_written_final_line_is_discarded(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 6)
+        path = tail_file(directory)
+        with open(path, "r", encoding="utf-8") as file:
+            lines = file.readlines()
+        # Chop the last record mid-JSON, the shape a crash leaves behind.
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        with open(path, "w", encoding="utf-8") as file:
+            file.writelines(lines)
+
+        loaded = EventLog.load("node", directory, segment_size=4)
+        assert len(loaded) == 5
+        assert loaded.truncated_records_discarded == 1
+        assert [r.offset for r in loaded] == list(range(5))
+
+    def test_garbage_final_line_is_discarded(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 3, segment_size=8)
+        with open(tail_file(directory), "a", encoding="utf-8") as file:
+            file.write('{"offset": 99, "nonsense')
+        loaded = EventLog.load("node", directory, segment_size=8)
+        assert len(loaded) == 3
+        assert loaded.truncated_records_discarded == 1
+
+    def test_corruption_before_the_tail_still_raises(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 6)  # two segments: 4 + 2 records
+        files = sorted(os.listdir(directory))
+        assert len(files) == 2
+        first = os.path.join(directory, files[0])
+        with open(first, "r", encoding="utf-8") as file:
+            lines = file.readlines()
+        lines[1] = "not json at all\n"
+        with open(first, "w", encoding="utf-8") as file:
+            file.writelines(lines)
+        with pytest.raises(ValueError, match="corrupt record"):
+            EventLog.load("node", directory, segment_size=4)
+
+    def test_truncated_nonfinal_line_of_final_file_raises(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 3, segment_size=8)
+        path = tail_file(directory)
+        with open(path, "r", encoding="utf-8") as file:
+            lines = file.readlines()
+        lines[0] = lines[0][:10] + "\n"
+        with open(path, "w", encoding="utf-8") as file:
+            file.writelines(lines)
+        with pytest.raises(ValueError, match="corrupt record"):
+            EventLog.load("node", directory, segment_size=8)
+
+
+class TestReopenForAppend:
+    def test_reopened_log_accepts_appends(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 5)
+        loaded = EventLog.load("node", directory, segment_size=4, reopen=True)
+        loaded.append(envelope(5), time=5.0)
+        loaded.close()
+        reread = EventLog.load("node", directory, segment_size=4)
+        assert len(reread) == 6
+        assert [r.offset for r in reread] == list(range(6))
+
+    def test_reopen_after_truncation_rewrites_clean_tail(self, tmp_path):
+        directory = str(tmp_path)
+        write_log(directory, 6)
+        path = tail_file(directory)
+        with open(path, "r", encoding="utf-8") as file:
+            lines = file.readlines()
+        lines[-1] = lines[-1][:20]
+        with open(path, "w", encoding="utf-8") as file:
+            file.writelines(lines)
+
+        loaded = EventLog.load("node", directory, segment_size=4, reopen=True)
+        assert loaded.truncated_records_discarded == 1
+        loaded.append(envelope(50), time=50.0)
+        loaded.close()
+        # The rewritten tail parses cleanly end to end.
+        reread = EventLog.load("node", directory, segment_size=4)
+        assert reread.truncated_records_discarded == 0
+        assert len(reread) == 6

@@ -1,0 +1,144 @@
+"""Regression tests for the crash/restart timer lifecycle (PR 8 satellite).
+
+Before this sweep, ``Process.crash()`` left previously scheduled
+callbacks live in the simulator heap: a crashed process could fire
+stale timers, and a crash -> restart cycle could double-schedule
+maintenance work.  Timers created through the ``Process.call_*``
+helpers are now owned by the process — cancelled on crash and guarded
+by incarnation so a pre-crash closure can never run against
+post-restart state.
+"""
+
+import pytest
+
+from repro.sim.kernel import Process, SimulationError, Simulator
+
+
+class Sink(Process):
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, message, sender):
+        self.received.append(message)
+
+
+class TestOwnedTimerCancellation:
+    def test_crash_cancels_pending_call_later(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        fired = []
+        proc.call_later(1.0, fired.append, "stale")
+        proc.crash()
+        sim.run()
+        assert fired == []
+
+    def test_crash_cancels_pending_call_at_and_call_soon(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        fired = []
+        proc.call_at(2.0, fired.append, "at")
+        proc.call_soon(fired.append, "soon")
+        proc.crash()
+        sim.run()
+        assert fired == []
+
+    def test_crash_stops_call_every(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        ticks = []
+        proc.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert len(ticks) == 3
+        proc.crash()
+        sim.run(until=10.0)
+        assert len(ticks) == 3
+
+    def test_timers_of_other_processes_survive_a_crash(self):
+        sim = Simulator()
+        victim = Sink(sim, "victim")
+        bystander = Sink(sim, "bystander")
+        fired = []
+        victim.call_later(1.0, fired.append, "victim")
+        bystander.call_later(1.0, fired.append, "bystander")
+        victim.crash()
+        sim.run()
+        assert fired == ["bystander"]
+
+    def test_fired_timers_leave_the_owned_set(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        for _ in range(50):
+            proc.call_later(1.0, lambda: None)
+        sim.run()
+        assert not proc._owned_timers
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        with pytest.raises(SimulationError):
+            proc.call_later(-0.1, lambda: None)
+
+
+class TestIncarnationGuard:
+    def test_restart_bumps_incarnation(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        assert proc.incarnation == 0
+        proc.crash()
+        proc.restart()
+        assert proc.incarnation == 1
+
+    def test_pre_crash_closure_never_runs_after_restart(self):
+        # Even a handle that escapes cancellation (scheduled, crash,
+        # restart all at the same instant) is inert: the closure checks
+        # the incarnation it was created under.
+        sim = Simulator()
+        proc = Sink(sim)
+        fired = []
+        handle = proc.call_later(1.0, fired.append, "stale")
+        proc.crash()
+        # Simulate a lost cancellation: resurrect the raw handle.
+        handle.cancelled = False
+        sim._queue.append(handle)
+        import heapq
+
+        heapq.heapify(sim._queue)
+        proc.restart()
+        sim.run()
+        assert fired == []
+
+    def test_timer_scheduled_after_restart_fires(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        fired = []
+        proc.crash()
+        proc.restart()
+        proc.call_later(1.0, fired.append, "fresh")
+        sim.run()
+        assert fired == ["fresh"]
+
+    def test_crashed_process_timer_is_inert_even_if_uncancelled(self):
+        sim = Simulator()
+        proc = Sink(sim)
+        fired = []
+        handle = proc.call_later(1.0, fired.append, "x")
+        # Crash without the cancellation taking effect (defensive path).
+        proc.crashed = True
+        handle.cancelled = False
+        sim.run()
+        assert fired == []
+
+
+class TestDeterminismUnaffected:
+    def test_call_helpers_preserve_schedule_order(self):
+        # call_later must not perturb the seq-based tie-break relied on
+        # by the byte-identical determinism gates.
+        sim = Simulator()
+        proc = Sink(sim)
+        out = []
+        proc.call_later(1.0, out.append, "a")
+        sim.schedule(1.0, out.append, "b")
+        proc.call_later(1.0, out.append, "c")
+        sim.run()
+        assert out == ["a", "b", "c"]
