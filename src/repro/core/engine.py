@@ -99,18 +99,34 @@ class MultiStageEventSystem:
             raise ValueError(
                 f"engine must be 'index', 'table' or 'compiled', got {engine!r}"
             )
-        if runtime not in ("sim", "asyncio"):
-            raise ValueError(f"runtime must be 'sim' or 'asyncio', got {runtime!r}")
+        if runtime not in ("sim", "asyncio", "multiprocess"):
+            raise ValueError(
+                f"runtime must be 'sim', 'asyncio' or 'multiprocess', "
+                f"got {runtime!r}"
+            )
         #: Which execution backend hosts this system ("sim" is the
         #: deterministic default; "asyncio" runs the same overlay over
-        #: real localhost TCP sockets at wall-clock speed).
+        #: real localhost TCP sockets at wall-clock speed; "multiprocess"
+        #: additionally puts every broker in its own OS process).
         self.runtime_name = runtime
         #: Causal span tracer shared by every process of this system
         #: (publishers, brokers, subscribers, and the network fabric).
+        #: On "multiprocess" it only sees driver-side spans (publish,
+        #: deliver) — broker-side spans live in the worker processes.
         self.tracer = EventTracer(enabled=tracing)
         if runtime == "sim":
             self.sim = Simulator()
             self.network = Network(
+                self.sim, default_latency=link_latency, tracer=self.tracer
+            )
+        elif runtime == "multiprocess":
+            from repro.runtime.multiprocess_backend import (
+                MultiprocessRuntime,
+                MultiprocessTransport,
+            )
+
+            self.sim = MultiprocessRuntime()
+            self.network = MultiprocessTransport(
                 self.sim, default_latency=link_latency, tracer=self.tracer
             )
         else:
@@ -134,30 +150,58 @@ class MultiStageEventSystem:
             "table": FilterTable,
             "compiled": CompiledMatchEngine,
         }[engine]
-        self.hierarchy: Hierarchy = build_hierarchy(
-            self.sim,
-            self.network,
-            stage_sizes,
-            ttl=ttl,
-            engine_factory=engine_factory,
-            rngs=self.rngs,
-            trace=self.trace,
-            link_latency=link_latency,
-            wildcard_routing=wildcard_routing,
-            compact=compact,
-            cache=cache,
-            batch=batch,
-            aggregate=aggregate,
-            reliable=reliable,
-            tracer=self.tracer,
-            flow=flow,
-            service_rate=service_rate,
-            service_batch=service_batch,
-            log=log,
-        )
+        if runtime == "multiprocess":
+            from repro.runtime.multiprocess_backend import SystemSpec
+
+            # Workers rebuild their slice of the tree from this spec;
+            # the driver-side hierarchy is all proxies.
+            self.hierarchy: Hierarchy = self.sim.launch(
+                self.network,
+                SystemSpec(
+                    stage_sizes=tuple(stage_sizes),
+                    ttl=ttl,
+                    engine=engine,
+                    seed=seed,
+                    link_latency=link_latency,
+                    wildcard_routing=wildcard_routing,
+                    compact=compact,
+                    cache=cache,
+                    batch=batch,
+                    aggregate=aggregate,
+                    reliable=reliable,
+                    service_rate=service_rate,
+                    service_batch=service_batch,
+                    flow=flow,
+                    log=log,
+                ),
+            )
+        else:
+            self.hierarchy = build_hierarchy(
+                self.sim,
+                self.network,
+                stage_sizes,
+                ttl=ttl,
+                engine_factory=engine_factory,
+                rngs=self.rngs,
+                trace=self.trace,
+                link_latency=link_latency,
+                wildcard_routing=wildcard_routing,
+                compact=compact,
+                cache=cache,
+                batch=batch,
+                aggregate=aggregate,
+                reliable=reliable,
+                tracer=self.tracer,
+                flow=flow,
+                service_rate=service_rate,
+                service_batch=service_batch,
+                log=log,
+            )
         if runtime == "asyncio" and log is not None and log.directory:
             # Real-runtime semantics: a broker's in-memory log dies with
             # the crash; restart recovers it from the JSONL segments.
+            # (Workers on "multiprocess" set this themselves from the
+            # spec — there the property holds by construction.)
             for node in self.hierarchy.nodes():
                 node.recover_log_from_disk = True
         #: Per-stage time-series sampler (armed by :meth:`start_sampling`).
@@ -184,6 +228,15 @@ class MultiStageEventSystem:
         self._names += 1
         return f"{prefix}-{self._names}"
 
+    def _activate(self, process) -> None:
+        """Backends with remote participants (multiprocess) must bind a
+        local process's data server and announce its port to every
+        worker *before* the first frame referencing it crosses the wire;
+        everywhere else this is a no-op."""
+        activate = getattr(self.network, "activate", None)
+        if activate is not None:
+            activate(process)
+
     def create_publisher(
         self,
         name: Optional[str] = None,
@@ -201,6 +254,7 @@ class MultiStageEventSystem:
             rate_limit=rate_limit,
             burst=burst,
         )
+        self._activate(publisher)
         self.publishers.append(publisher)
         return publisher
 
@@ -216,6 +270,7 @@ class MultiStageEventSystem:
             tracer=self.tracer,
             flow=self.flow,
         )
+        self._activate(subscriber)
         self.subscribers.append(subscriber)
         return subscriber
 
@@ -304,6 +359,7 @@ class MultiStageEventSystem:
                 self.sim, self.network, "system-advertiser", self.root,
                 types=self.types,
             )
+            self._activate(self._system_publisher)
         return self._system_publisher
 
     # ------------------------------------------------------------------

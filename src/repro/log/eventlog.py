@@ -267,7 +267,11 @@ class EventLog:
             path = os.path.join(
                 self.directory, f"{self.name}-{base_offset:08d}.jsonl"
             )
-            file = open(path, "w", encoding="utf-8")
+            # Line-buffered: a fail-stop (SIGKILL) loses at most the
+            # partially written last line, which load() heals as a clean
+            # crash tail.  Block buffering would silently drop every
+            # record still sitting in the stdio buffer.
+            file = open(path, "w", encoding="utf-8", buffering=1)
         return _Segment(base_offset, file)
 
     # ------------------------------------------------------------------
@@ -443,7 +447,7 @@ class EventLog:
                 path = os.path.join(
                     directory, f"{name}-{tail.base_offset:08d}.jsonl"
                 )
-                file = open(path, "w", encoding="utf-8")
+                file = open(path, "w", encoding="utf-8", buffering=1)
                 for record in tail.records:
                     file.write(record.to_json() + "\n")
                 file.flush()

@@ -103,6 +103,14 @@ class _UpLink:
 class BrokerNode(Process):
     """One intermediate node of the multi-stage hierarchy."""
 
+    #: Duck-typed broker marker.  Routing decisions that distinguish
+    #: broker destinations from subscriber destinations check this flag
+    #: rather than ``isinstance(..., BrokerNode)`` so that a *remote*
+    #: broker's lightweight proxy (multiprocess backend, where the real
+    #: node lives in another OS process) routes exactly like the node it
+    #: stands in for.
+    is_broker = True
+
     def __init__(
         self,
         sim: Executor,
@@ -443,7 +451,7 @@ class BrokerNode(Process):
             if not stored.covers(fsub):
                 continue
             child = next(
-                (d for d in ids if isinstance(d, BrokerNode)), None
+                (d for d in ids if getattr(d, "is_broker", False)), None
             )
             if child is None:
                 continue
@@ -919,6 +927,18 @@ class BrokerNode(Process):
             self.network.send(self, self.parent, reset)
         for child in self.broker_children:
             self.network.send(self, child, reset)
+        if self.parent is not None and self.parent.parent is not None:
+            # The recovery replay below rides a reliable channel straight
+            # to the root (a non-tree neighbour when the tree is deeper
+            # than two stages).  A true fail-stop loses that channel's
+            # epoch counter with the process, so the root must be told to
+            # forget its receiver state too — otherwise every frame of
+            # the fresh incarnation's epoch-0 channel reads as stale and
+            # the replay request retransmits into the void forever.
+            root = self
+            while root.parent is not None:
+                root = root.parent
+            self.network.send(self, root, reset)
         if (
             self.log is not None
             and self.log_config.auto_recover
@@ -1254,13 +1274,13 @@ class BrokerNode(Process):
                 run.append(message)
         for destination in run_order:
             run = runs[id(destination)]
-            if self.flow is not None and isinstance(destination, BrokerNode):
+            if self.flow is not None and getattr(destination, "is_broker", False):
                 self._forward_controlled(destination, run)
             else:
                 self._send_run(destination, run)
 
     def _send_run(self, destination: Process, run: Sequence[Publish]) -> None:
-        if self.flow is not None and isinstance(destination, BrokerNode):
+        if self.flow is not None and getattr(destination, "is_broker", False):
             # Data frames carry a per-link sequence number so the child
             # can detect (and re-credit) events a lossy link swallowed.
             seq = self._data_seq_out.get(destination.name, 0)

@@ -10,8 +10,13 @@ Network`) satisfies them as-is; :mod:`repro.runtime.asyncio_backend`
 provides a second implementation running the same overlay/flow/log code
 on an asyncio event loop over real localhost TCP sockets.
 
-``AsyncioRuntime`` and ``TcpTransport`` are imported lazily so that
-importing the protocols never drags in the socket backend.
+:mod:`repro.runtime.multiprocess_backend` goes one step further and
+puts every broker in its own OS process (spawned workers, the same
+frame codec on the wire, a control RPC for orchestration), making
+``kill`` a genuine SIGKILL.
+
+Backend classes are imported lazily so that importing the protocols
+never drags in the socket or multiprocessing machinery.
 """
 
 from repro.runtime.base import Clock, Executor, Timer, Transport
@@ -20,6 +25,8 @@ __all__ = [
     "AsyncioRuntime",
     "Clock",
     "Executor",
+    "MultiprocessRuntime",
+    "MultiprocessTransport",
     "TcpTransport",
     "Timer",
     "Transport",
@@ -31,4 +38,8 @@ def __getattr__(name: str):
         from repro.runtime import asyncio_backend
 
         return getattr(asyncio_backend, name)
+    if name in ("MultiprocessRuntime", "MultiprocessTransport"):
+        from repro.runtime import multiprocess_backend
+
+        return getattr(multiprocess_backend, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

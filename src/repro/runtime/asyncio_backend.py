@@ -47,7 +47,8 @@ import base64
 import io
 import json
 import pickle
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.obs.tracing import EventTracer
 from repro.sim.kernel import Process, SimulationError
@@ -436,6 +437,15 @@ class TcpTransport:
         self._by_name: Dict[str, Process] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._pair_locks: Dict[Tuple[str, str], asyncio.Lock] = {}
+        #: In-flight frame sizes per directed pair — the canonical wire
+        #: occupancy registry.  Every frame that increments
+        #: ``runtime._inflight`` pushes an entry here, and exactly one of
+        #: the three exits pops it: dispatch at the receiver, a failed
+        #: write, or the kill-teardown reconciliation (a frame written
+        #: into a killed endpoint's socket buffer is never read, so
+        #: without the teardown sweep the counter leaks and ``run()``
+        #: burns its full idle timeout).
+        self._wire: Dict[Tuple[str, str], Deque[int]] = {}
         #: Dispatch/codec failures (tests assert this stays empty).
         self.errors: List[str] = []
         self._closed = False
@@ -500,6 +510,10 @@ class TcpTransport:
             return
         self.stats.record_scheduled()
         self.runtime._inflight += 1
+        wire = self._wire.get((src.name, dst.name))
+        if wire is None:
+            wire = self._wire[(src.name, dst.name)] = deque()
+        wire.append(size)
         self.runtime._loop.create_task(
             self._deliver(src.name, dst.name, payload, size)
         )
@@ -531,6 +545,7 @@ class TcpTransport:
                     try:
                         writer.write(frame)
                         await writer.drain()
+                        self._frame_written(src_name, dst_name, size)
                         return
                     except (ConnectionError, OSError):
                         self._invalidate_writer(src_name, dst_name)
@@ -543,6 +558,15 @@ class TcpTransport:
             self._drop_in_flight(src_name, dst_name, size)
             raise
 
+    def _frame_written(self, src_name: str, dst_name: str, size: int) -> None:
+        """Hook: one frame fully handed to the kernel for ``dst``.
+
+        No-op here — in-process delivery settles at dispatch.  Subclasses
+        whose receivers live in *other processes* (the multiprocess
+        backend's remote endpoints) settle the frame at write success
+        instead, since the local loop will never see the dispatch.
+        """
+
     def _invalidate_writer(self, src_name: str, dst_name: str) -> None:
         src_ep = self._endpoints.get(src_name)
         if src_ep is not None:
@@ -550,10 +574,22 @@ class TcpTransport:
             if stale is not None:
                 stale.close()
 
-    def _drop_in_flight(self, src_name: str, dst_name: str, size: int) -> None:
+    def _settle(self, src_name: str, dst_name: str) -> bool:
+        """Claim one in-flight frame on the pair: pop its wire entry and
+        decrement the occupancy counters.  Returns False when the frame
+        was already settled (the kill-teardown reconciliation got there
+        first), in which case the caller must not account it again."""
+        wire = self._wire.get((src_name, dst_name))
+        if not wire:
+            return False
+        wire.popleft()
         self.stats.record_arrival()
         self.runtime._inflight -= 1
-        self.stats.record_drop(self._links.get((src_name, dst_name)), size)
+        return True
+
+    def _drop_in_flight(self, src_name: str, dst_name: str, size: int) -> None:
+        if self._settle(src_name, dst_name):
+            self.stats.record_drop(self._links.get((src_name, dst_name)), size)
 
     async def _writer_for(
         self, src_name: str, dst_name: str
@@ -622,19 +658,29 @@ class TcpTransport:
     def _dispatch(self, endpoint: _Endpoint, payload: bytes, size: int) -> None:
         """One frame arrived: decode, account, hand to ``receive``."""
         process = endpoint.process
-        self.stats.record_arrival()
-        self.runtime._inflight -= 1
         try:
             src_name, message = decode_frame(payload, self.lookup)
         except Exception as exc:  # codec failure: surface, drop the frame
+            # The sender is unknowable without a decoded frame; settle an
+            # arbitrary in-flight entry bound for this endpoint so the
+            # occupancy registry stays consistent with the counter.
+            for (src, dst), wire in self._wire.items():
+                if dst == process.name and wire:
+                    self._settle(src, dst)
+                    break
+            else:
+                self.stats.record_arrival()
+                self.runtime._inflight -= 1
             self.errors.append(f"decode for {process.name}: {exc!r}")
             self.stats.record_drop(None, size)
             return
+        settled = self._settle(src_name, process.name)
         link = self._links.get((src_name, process.name))
         if process.crashed or endpoint.state == CRASHED:
             # The crash gate on the receiving side: a frame that raced a
             # still-open socket into a crashed process is lost.
-            self.stats.record_drop(link, size)
+            if settled:
+                self.stats.record_drop(link, size)
             return
         if link is None:
             sender = self._by_name.get(src_name)
@@ -659,9 +705,16 @@ class TcpTransport:
         on-disk log closed); the server teardown lands on the loop and
         completes in the next driven round.  Peers' cached connections
         die with it — their next frame is dropped and counted.
+
+        Idempotent: killing an already-crashed endpoint is a no-op.  A
+        second ``crash()`` would wipe nothing new, but overwriting
+        ``endpoint.teardown`` would orphan the first teardown task and
+        let a later ``restore`` race the still-closing server socket.
         """
-        process.crash()
         endpoint = self._endpoints[process.name]
+        if endpoint.state == CRASHED:
+            return
+        process.crash()
         endpoint.transition(CRASHED)
         endpoint.teardown = self.runtime._loop.create_task(
             self._teardown_endpoint(endpoint)
@@ -687,12 +740,34 @@ class TcpTransport:
             stale = peer.outbound.pop(endpoint.process.name, None)
             if stale is not None:
                 stale.close()
+        # Frames already written into this endpoint's socket buffers will
+        # never be read: settle them as drops now, or the runtime's
+        # in-flight counter leaks and ``run()`` cannot detect idleness.
+        self._reconcile_in_flight(endpoint.process.name)
+
+    def _reconcile_in_flight(self, dst_name: str) -> None:
+        """Book every unsettled frame bound for ``dst_name`` as a drop."""
+        for (src, dst), wire in self._wire.items():
+            if dst != dst_name:
+                continue
+            link = self._links.get((src, dst))
+            while wire:
+                size = wire.popleft()
+                self.stats.record_arrival()
+                self.runtime._inflight -= 1
+                self.stats.record_drop(link, size)
 
     def restore(self, process: Process) -> None:
         """Bring a killed process back: rebind the same port, then run
         the normal restart recovery (ChannelReset, renewals, and — for
         brokers configured for it — the on-disk log reload)."""
         endpoint = self._endpoints[process.name]
+        if endpoint.state != CRASHED:
+            raise SimulationError(
+                f"cannot restore {process.name!r}: endpoint state is "
+                f"{endpoint.state!r}, not {CRASHED!r} — restoring a live "
+                f"process would start a second server on its port"
+            )
         endpoint.transition(RECOVERING)
 
         async def _restore() -> None:
