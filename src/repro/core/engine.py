@@ -48,6 +48,9 @@ from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
+from repro.streams.flowgraph import FlowGraph
+from repro.streams.registrar import FlowRegistrar
+from repro.streams.spec import FlowSpec
 
 FilterLike = Union[Filter, Disjunction, str, None]
 
@@ -211,6 +214,7 @@ class MultiStageEventSystem:
         self.advertisements = AdvertisementRegistry()
         self.publishers: List[PublisherRuntime] = []
         self.subscribers: List[SubscriberRuntime] = []
+        self.flow_registrars: List[FlowRegistrar] = []
         self._pending_type_subs: List[_PendingTypeSubscription] = []
         self._system_publisher: Optional[PublisherRuntime] = None
         self._maintenance_started = False
@@ -273,6 +277,55 @@ class MultiStageEventSystem:
         self._activate(subscriber)
         self.subscribers.append(subscriber)
         return subscriber
+
+    # ------------------------------------------------------------------
+    # In-broker information flows (streams/, DESIGN §15)
+    # ------------------------------------------------------------------
+
+    def install_flows(
+        self,
+        flows: Union[FlowGraph, Sequence[FlowSpec]],
+        name: Optional[str] = None,
+    ) -> FlowRegistrar:
+        """Install a flow graph on its hosting brokers.
+
+        Creates a stage-0 :class:`FlowRegistrar` owning the graph: it
+        sends ``FlowInstall`` over the reliable control channel and —
+        once maintenance runs — renews every flow's lease each half-TTL,
+        which is also what re-installs flows a crashed broker lost
+        (refresh-or-restore).  Each spec's ``broker`` names its host
+        (``None`` = the root).  Output event classes not yet advertised
+        are auto-advertised with the spec's derived schema so that
+        subscriptions on derived events standardize and weaken like any
+        other class.
+        """
+        graph = flows if isinstance(flows, FlowGraph) else FlowGraph(flows)
+        registrar = FlowRegistrar(
+            self.sim,
+            self.network,
+            name or self._fresh_name("flows"),
+            ttl=self.ttl,
+            reliable=self.reliable,
+            control_window=self.flow.control_window if self.flow else None,
+            tracer=self.tracer,
+        )
+        self._activate(registrar)
+        self.flow_registrars.append(registrar)
+        for spec in graph.flows():
+            if self.advertisements.get(spec.output_class) is None:
+                self.advertise(spec.output_class, spec.output_schema())
+            registrar.install(self._broker_named(spec.broker), spec)
+        if self._maintenance_started:
+            registrar.start_maintenance()
+        return registrar
+
+    def _broker_named(self, name: Optional[str]):
+        if name is None:
+            return self.root
+        for node in self.hierarchy.nodes():
+            if node.name == name:
+                return node
+        raise KeyError(f"no broker named {name!r} in the hierarchy")
 
     # ------------------------------------------------------------------
     # Types and advertisements
@@ -609,12 +662,16 @@ class MultiStageEventSystem:
         self.hierarchy.start_maintenance()
         for subscriber in self.subscribers:
             subscriber.start_maintenance()
+        for registrar in self.flow_registrars:
+            registrar.start_maintenance()
 
     def stop_maintenance(self) -> None:
         self._maintenance_started = False
         self.hierarchy.stop_maintenance()
         for subscriber in self.subscribers:
             subscriber.stop_maintenance()
+        for registrar in self.flow_registrars:
+            registrar.stop_maintenance()
 
     # ------------------------------------------------------------------
     # Observability

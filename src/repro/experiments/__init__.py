@@ -13,7 +13,10 @@
 - :mod:`~repro.experiments.multiclass` — Stock+Auction mixed workload
   (quantifying §3.4's topic-based degeneration);
 - :mod:`~repro.experiments.chaos` — fault injection: delivery and
-  convergence under lossy links and a broker crash/restart (§4.3).
+  convergence under lossy links and a broker crash/restart (§4.3);
+- :mod:`~repro.experiments.flows` — in-broker information flows: the
+  telemetry rollup vs a flow-free twin, and the subtree-crash scenario
+  (DESIGN §15).
 """
 
 from repro.experiments.common import ScenarioConfig, ScenarioResult, run_bibliographic

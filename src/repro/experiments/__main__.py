@@ -5,7 +5,7 @@ Usage::
     python -m repro.experiments [--quick] [rlc] [figure7] [comparison]
                                 [ablations] [scalability] [multiclass]
                                 [chaos] [tracing] [overload] [replay]
-                                [--event=PUB/SEQ]
+                                [flows] [--event=PUB/SEQ]
 
 With no experiment names, everything runs.  ``--quick`` swaps the
 paper-scale configurations for CI-sized ones (seconds instead of tens of
@@ -15,7 +15,10 @@ reconstructs that event's publisher-to-subscriber path.  ``overload``
 sweeps offered load past saturation with and without the flow-control
 subsystem (credits, bounded queues, shedding).  ``replay`` runs the
 durable-log sweep: catch-up subscribers, crash-recovery replay, and the
-exactly-once audit.
+exactly-once audit.  ``flows`` runs the information-flow sweep: the
+telemetry rollup flow vs its flow-free twin (delivered-event and
+downlink-byte reduction, raw-path byte-identity) plus the subtree-crash
+scenario (dropped windows, re-install, excused audit).
 """
 
 import sys
@@ -25,6 +28,7 @@ from repro.experiments import (
     chaos,
     comparison,
     figure7,
+    flows,
     overload,
     replay,
     rlc_table,
@@ -51,7 +55,7 @@ def main(argv) -> int:
             event_id = (publisher, int(sequence))
     all_experiments = {
         "rlc", "figure7", "comparison", "ablations", "scalability", "multiclass",
-        "chaos", "tracing", "overload", "replay",
+        "chaos", "tracing", "overload", "replay", "flows",
     }
     wanted = set(args) or all_experiments
     unknown = wanted - all_experiments
@@ -123,6 +127,12 @@ def main(argv) -> int:
         print("Replay sweep: durable log, catch-up, crash recovery, audit")
         print("=" * 72)
         replay.run()
+        print()
+    if "flows" in wanted:
+        print("=" * 72)
+        print("Information flows: rollup vs flow-free twin, subtree crash")
+        print("=" * 72)
+        flows.run()
     return 0
 
 

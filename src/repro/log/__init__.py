@@ -12,6 +12,7 @@ from repro.log.audit import (
     AuditFinding,
     AuditReport,
     AuditSubscription,
+    dropped_window_excusals,
     verify_exactly_once,
 )
 from repro.log.config import LogConfig
@@ -33,6 +34,7 @@ __all__ = [
     "LogConfig",
     "LogRecord",
     "Replayer",
+    "dropped_window_excusals",
     "format_point",
     "parse_point",
     "verify_exactly_once",

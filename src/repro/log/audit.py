@@ -208,3 +208,29 @@ def verify_exactly_once(
                 )
             )
     return report
+
+
+def dropped_window_excusals(
+    tracer: EventTracer, slack: float = 0.0
+) -> Tuple[Tuple[float, float], ...]:
+    """Fault windows for operator state lost to crashes (DESIGN §15).
+
+    In-broker information flows are soft state: a crash discards every
+    open window, and the derived events those windows would have emitted
+    are *legitimately* absent from downstream deliveries.  Each such
+    loss is announced by a ``window-dropped`` span carrying the window's
+    start and the drop time; this helper turns those spans into
+    ``(window_start, drop_time + slack)`` intervals to pass as extra
+    ``fault_windows`` to :func:`verify_exactly_once` — the recorded
+    audit-excusal rule: **a derived-event gap is excused iff its input
+    window was explicitly dropped by a crash**.  Raw (non-derived)
+    events are unaffected: their publish times predate the window spans
+    only when they actually fed the dropped window.
+    """
+    intervals: List[Tuple[float, float]] = []
+    for span in tracer.kinds("window-dropped"):
+        start = span.detail("window_start")
+        if start is None:
+            start = span.time
+        intervals.append((float(start), span.time + slack))
+    return tuple(intervals)

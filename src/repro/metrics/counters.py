@@ -125,6 +125,22 @@ class NodeCounters:
     #: Residual (non-indexable) predicates evaluated on candidates that
     #: survived the compiled bitmap tiers.
     residual_evaluations: int = 0
+    #: Information flows currently installed (gauge; brokers only).
+    flows_installed: int = 0
+    #: Input events consumed by installed flows (after their filters).
+    flow_events_in: int = 0
+    #: Derived events republished by installed flows.
+    flow_events_out: int = 0
+    #: Open windows discarded by a crash (soft-state loss, DESIGN §15).
+    flow_windows_dropped: int = 0
+    #: Input events absorbed by collapse operators (inputs minus outputs).
+    flow_collapsed_events: int = 0
+    #: Derived events originated here, in the publisher role (exactly
+    #: once, at the deriving broker — never again downstream).
+    events_published: int = 0
+    #: Wire bytes of every envelope that reached this runtime (the
+    #: downlink-bandwidth measure; subscriber runtimes only).
+    bytes_received: int = 0
 
     def on_event(self, matched: bool, forwarded_to: int, evaluations: int) -> None:
         """Record one filtered event."""
@@ -192,4 +208,11 @@ class NodeCounters:
             "events_matched_batch": self.events_matched_batch,
             "compile_rebuilds": self.compile_rebuilds,
             "residual_evaluations": self.residual_evaluations,
+            "flows_installed": self.flows_installed,
+            "flow_events_in": self.flow_events_in,
+            "flow_events_out": self.flow_events_out,
+            "flow_windows_dropped": self.flow_windows_dropped,
+            "flow_collapsed_events": self.flow_collapsed_events,
+            "events_published": self.events_published,
+            "bytes_received": self.bytes_received,
         }

@@ -572,3 +572,70 @@ def render_series(
         )
         out.append(f"    [{strip}]")
     return "\n".join(out)
+
+
+def _stream_value(counter: Any, name: str) -> int:
+    """Read one flow counter from a NodeCounters *or* a snapshot dict.
+
+    Tolerant by construction: brokers that predate the streams subsystem
+    (older multiprocess worker snapshots) or never installed a flow
+    simply report 0 — no KeyError on absent flow counters.
+    """
+    if isinstance(counter, dict):
+        return counter.get(name, 0)
+    return getattr(counter, name, 0)
+
+
+def aggregate_stream_counters(counters: Iterable[Any]) -> dict:
+    """Fold per-node information-flow counters into system-wide totals."""
+    totals = {
+        "flows_installed": 0,
+        "flow_events_in": 0,
+        "flow_events_out": 0,
+        "flow_windows_dropped": 0,
+        "flow_collapsed_events": 0,
+        "events_published": 0,
+    }
+    for counter in counters:
+        for name in totals:
+            totals[name] += _stream_value(counter, name)
+    return totals
+
+
+def render_stream_summary(
+    named_counters: Iterable[Tuple[str, Any]],
+    title: str = "Information flows",
+) -> str:
+    """Per-broker flow counters plus a totals row.
+
+    Rows for brokers with zero flow activity are elided (most brokers
+    host no flows); the totals row always renders, so a system with no
+    flows at all still produces a well-formed (all-zero) table.
+    """
+    headers = [
+        title,
+        "flows",
+        "events in",
+        "derived out",
+        "windows dropped",
+        "collapsed",
+        "published",
+    ]
+    names = (
+        "flows_installed",
+        "flow_events_in",
+        "flow_events_out",
+        "flow_windows_dropped",
+        "flow_collapsed_events",
+        "events_published",
+    )
+    rows: List[List[Any]] = []
+    all_counters: List[Any] = []
+    for name, counter in named_counters:
+        all_counters.append(counter)
+        values = [_stream_value(counter, field) for field in names]
+        if any(values):
+            rows.append([name] + values)
+    totals = aggregate_stream_counters(all_counters)
+    rows.append(["TOTAL"] + [totals[field] for field in names])
+    return render_table(headers, rows)

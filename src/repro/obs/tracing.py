@@ -39,6 +39,17 @@ session markers ``catch-up-start`` / ``catch-up-done`` /
 (:func:`repro.log.audit.verify_exactly_once`) counts live and replayed
 copies uniformly.
 
+In-broker information flows (see :mod:`repro.streams`, DESIGN §15) add:
+``publish`` **at the deriving broker** (derived events re-enter the
+publish path with the broker in the publisher role, so path
+reconstruction anchors there), ``derive`` (same trace id as that
+publish; names the flow, the operator kind, and the contributing input
+trace ids — the causal link from a derived event back to the raw events
+it summarizes), ``window-dropped`` (a crash discarding one open window's
+soft state: flow, group, window start, pending count — the span the
+audit's excusal windows are computed from), and the lifecycle markers
+``flow-install`` / ``flow-remove`` / ``flow-renew`` (``trace_id=None``).
+
 Determinism: spans are appended in simulator execution order, which is
 deterministic for a fixed seed; every recorded value is derived from
 names, simulated times, and counters — never from ``id()``, wall clocks,

@@ -15,6 +15,7 @@ from repro.filters.filter import Filter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Process
+    from repro.streams.spec import FlowSpec
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,28 @@ class ChannelReset:
     """
 
     incarnation: int
+
+
+@dataclass(frozen=True)
+class FlowInstall:
+    """Install-or-renew one information flow at the receiving broker.
+
+    Sent (reliably) by a :class:`~repro.streams.registrar.FlowRegistrar`.
+    Idempotent in the refresh-or-restore style of §4.3: a broker already
+    holding an identical spec just refreshes the flow's lease; a broker
+    that lost it (crash, lease expiry) rebuilds the operator machine from
+    scratch — with empty window state, which is exactly the soft-state
+    contract (DESIGN §15).
+    """
+
+    spec: "FlowSpec"
+
+
+@dataclass(frozen=True)
+class FlowRemove:
+    """Tear one flow down by name, discarding its pending state."""
+
+    flow: str
 
 
 @dataclass(frozen=True)

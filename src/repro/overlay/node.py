@@ -25,12 +25,16 @@ Behaviour implemented here, with the paper's names:
 - event filtering and forwarding (Figure 6).
 """
 
+import math
+import pickle
 import random
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.advertisement import AdvertisementRegistry
 from repro.core.subscription import DEFAULT_EXPIRY_FACTOR, LeaseTable
+from repro.events.base import CLASS_ATTRIBUTE, PropertyEvent
+from repro.events.serialization import Envelope
 from repro.core.weakening import merge_covering, weaken_filter
 from repro.filters.covering_index import CoveringIndex
 from repro.filters.engine import CachedMatchEngine, MatchEngine
@@ -52,6 +56,8 @@ from repro.overlay.messages import (
     CreditGrant,
     DataFrame,
     Disconnect,
+    FlowInstall,
+    FlowRemove,
     JoinAt,
     Publish,
     PublishBatch,
@@ -68,6 +74,8 @@ from repro.overlay.messages import (
 from repro.runtime.base import Executor, Transport
 from repro.sim.kernel import Process
 from repro.sim.trace import TraceRecorder
+from repro.streams.operators import Emission, FlowRuntime
+from repro.streams.spec import CollapseSpec
 
 #: Renew halfway through the TTL ("before the expiry of each TTL").
 RENEW_FRACTION = 0.5
@@ -272,6 +280,21 @@ class BrokerNode(Process):
             if flow is not None
             else None
         )
+        # ---- In-broker information flows (streams/, DESIGN §15) --------
+        #: Installed flows by name.  Soft state: crash() discards it and
+        #: the registrar's renewals re-install (refresh-or-restore).
+        self._flows: Dict[str, FlowRuntime] = {}
+        #: Boundary-timer handles per flow (owned timers die with crash()).
+        self._flow_timers: Dict[str, Any] = {}
+        #: Next derived-event sequence number per flow name.  Survives
+        #: crash() for the same reason the uplink sender's epoch counter
+        #: does: the reserved publisher namespace (broker:flow, seq) must
+        #: stay collision-free across incarnations, or idempotent
+        #: downstream logs would silently swallow post-restart rollups.
+        self._flow_seqs: Dict[str, int] = {}
+        #: Re-entrancy depth of derived republication (chained flows);
+        #: bounded so a mutually-recursive pair cannot livelock.
+        self._flow_depth = 0
 
     def _new_engine(self) -> MatchEngine:
         """A fresh match engine, cache-wrapped when caching is on.
@@ -397,6 +420,10 @@ class BrokerNode(Process):
             self._on_replay_request(message)
         elif isinstance(message, ReplayBatch):
             self._on_replay_batch(message, sender)
+        elif isinstance(message, FlowInstall):
+            self._on_flow_install(message, sender)
+        elif isinstance(message, FlowRemove):
+            self._remove_flow(message.flow, reason="removed")
         else:
             raise TypeError(f"{self.name}: unexpected message {message!r}")
 
@@ -886,6 +913,33 @@ class BrokerNode(Process):
         self._busy_until = 0.0
         if self.overload_detector is not None:
             self.overload_detector.reset()
+        # Information-flow operator state is soft state: open windows die
+        # with the process.  Announce each one so the exactly-once audit
+        # can excuse derived events the dropped windows will never emit
+        # (DESIGN §15); the registrar's renewals re-install the flows.
+        dropped = 0
+        for runtime in self._flows.values():
+            for group, window_start, pending in runtime.pending_windows():
+                dropped += 1
+                if self.tracer.enabled:
+                    self.tracer.span(
+                        self.sim.now,
+                        "window-dropped",
+                        self.name,
+                        self.stage,
+                        details=(
+                            ("flow", runtime.spec.name),
+                            ("group", group),
+                            ("window_start", window_start),
+                            ("pending", pending),
+                            ("reason", "crash"),
+                        ),
+                    )
+        self.counters.flow_windows_dropped += dropped
+        self._flows.clear()
+        self._flow_timers.clear()  # owned handles already cancelled above
+        self._flow_depth = 0
+        self.counters.flows_installed = 0
         if self._up_sender is not None:
             # The sender object persists so epochs stay monotonic across
             # restarts (a fresh object would reuse epoch 0 and be dropped
@@ -1027,10 +1081,218 @@ class BrokerNode(Process):
             if destination_name not in live_names:
                 del self._offline[destination_name]
                 self._buffers.pop(destination_name, None)
+        # Flow leases decay on the same clock as filter leases: a flow
+        # whose registrar fell silent (crashed, removed, partitioned past
+        # the expiry window) is dropped with its pending state.
+        horizon = self.sim.now - self.ttl * self.expiry_factor
+        for name in [
+            n for n, r in self._flows.items() if r.renewed_at < horizon
+        ]:
+            self._remove_flow(name, reason="lease-expired")
         self._table_changed()
         self._maintenance_handles["purge"] = self.call_later(
             interval, self._purge_task, interval
         )
+
+    # ------------------------------------------------------------------
+    # In-broker information flows (streams/, DESIGN §15)
+    # ------------------------------------------------------------------
+
+    def _on_flow_install(self, message: FlowInstall, sender: Process) -> None:
+        spec = message.spec
+        now = self.sim.now
+        runtime = self._flows.get(spec.name)
+        if runtime is not None and runtime.spec == spec:
+            # Refresh-or-restore: an identical spec is a pure lease renewal.
+            runtime.renewed_at = now
+            return
+        if runtime is not None:
+            # Changed definition: replace the machine, dropping its state.
+            self._cancel_flow_timer(spec.name)
+        runtime = self._flows[spec.name] = FlowRuntime(spec, now)
+        if spec.name not in self._flow_seqs:
+            # First install on this incarnation chain: start the derived
+            # sequence above anything ever logged under the flow's
+            # namespace, so a process death that lost the in-memory
+            # counter (asyncio backend) cannot reuse ids the idempotent
+            # downstream logs would silently swallow.
+            self._flow_seqs[spec.name] = self._flow_seq_floor(spec.name)
+        self.counters.flows_installed = len(self._flows)
+        if self.tracer.enabled:
+            self.tracer.span(
+                now,
+                "flow-install",
+                self.name,
+                self.stage,
+                details=(
+                    ("flow", spec.name),
+                    ("operator", spec.operator_kind),
+                    ("out", spec.output_class),
+                    ("from", sender.name),
+                ),
+            )
+
+    def _flow_seq_floor(self, flow_name: str) -> int:
+        if self.log is None:
+            return 0
+        return self.log.watermarks().get(f"{self.name}:{flow_name}", -1) + 1
+
+    def _remove_flow(self, flow_name: str, reason: str) -> None:
+        runtime = self._flows.pop(flow_name, None)
+        if runtime is None:
+            return
+        self._cancel_flow_timer(flow_name)
+        self.counters.flows_installed = len(self._flows)
+        if self.tracer.enabled:
+            self.tracer.span(
+                self.sim.now,
+                "flow-remove",
+                self.name,
+                self.stage,
+                details=(("flow", flow_name), ("reason", reason)),
+            )
+
+    def _cancel_flow_timer(self, flow_name: str) -> None:
+        handle = self._flow_timers.pop(flow_name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _arm_flow_timer(self, runtime: FlowRuntime) -> None:
+        """Arm the flow's next boundary timer (idempotent).
+
+        Timers are **lazy**: armed when the operator takes on pending
+        state and not re-armed once it runs dry, so an idle flow leaves
+        the simulator's event queue empty and ``drain()`` terminates.
+        Window boundaries align at multiples of the period anchored at
+        t=0: firing times are a function of the clock alone, so
+        same-seed runs fire identically regardless of install time.
+        """
+        period = runtime.timer_period()
+        if period is None or runtime.spec.name in self._flow_timers:
+            return
+        next_fire = (math.floor(self.sim.now / period) + 1) * period
+        self._flow_timers[runtime.spec.name] = self.call_at(
+            next_fire, self._on_flow_timer, runtime.spec.name
+        )
+
+    def _on_flow_timer(self, flow_name: str) -> None:
+        runtime = self._flows.get(flow_name)
+        self._flow_timers.pop(flow_name, None)
+        if runtime is None:
+            return
+        # Re-arm before emitting (an emission that crashes this broker
+        # mid-instant must not also lose the timer chain) — but only
+        # while state is still pending, to stay quiescent when idle.
+        emissions = runtime.on_timer(self.sim.now)
+        if runtime.pending_windows():
+            self._arm_flow_timer(runtime)
+        if emissions:
+            self._emit_derived(runtime, emissions)
+
+    def _feed_flows(self, batch: Sequence[Publish]) -> None:
+        """Feed a just-forwarded batch to the installed flows.
+
+        Chained flows compose because the derived batch re-enters
+        :meth:`_process_batch` and is tapped again; the depth guard
+        bounds mutually-recursive graphs, and a flow never consumes its
+        own output (events from its reserved namespace are skipped).
+        """
+        if self._flow_depth >= 8:
+            return
+        now = self.sim.now
+        for runtime in list(self._flows.values()):
+            own_namespace = f"{self.name}:{runtime.spec.name}"
+            emissions: List[Emission] = []
+            fed = 0
+            for message in batch:
+                envelope = message.envelope
+                event_id = envelope.event_id
+                if event_id is not None and event_id[0] == own_namespace:
+                    continue
+                if not runtime.matches(envelope.metadata):
+                    continue
+                fed += 1
+                emissions.extend(
+                    runtime.on_event(envelope.metadata, now, event_id)
+                )
+            if fed:
+                self.counters.flow_events_in += fed
+                self._arm_flow_timer(runtime)
+            if emissions:
+                self._emit_derived(runtime, emissions)
+
+    def _emit_derived(
+        self, runtime: FlowRuntime, emissions: Sequence[Emission]
+    ) -> None:
+        """Republish operator output into the normal publish path.
+
+        Derived events get ids under the reserved publisher namespace
+        ``(broker:flow, seq)`` and re-enter :meth:`_process_batch` at
+        this broker, so they are matched, covered, credit-paced, logged,
+        and traced exactly like events from a real publisher — with this
+        broker in the publisher role: a ``publish`` span anchors path
+        reconstruction here, and ``events_published`` counts once, at
+        the deriving broker only.
+        """
+        spec = runtime.spec
+        namespace = f"{self.name}:{spec.name}"
+        now = self.sim.now
+        tracing = self.tracer.enabled
+        collapse = isinstance(spec.operator, CollapseSpec)
+        publishes: List[Publish] = []
+        for emission in emissions:
+            seq = self._flow_seqs.get(spec.name, 0)
+            self._flow_seqs[spec.name] = seq + 1
+            props = dict(emission.properties)
+            props[CLASS_ATTRIBUTE] = spec.output_class
+            envelope = Envelope(
+                PropertyEvent(props),
+                pickle.dumps(props),
+                published_at=now,
+                event_id=(namespace, seq),
+            )
+            publishes.append(Publish(envelope))
+            self.counters.events_published += 1
+            self.counters.flow_events_out += 1
+            if collapse and emission.n_inputs > 1:
+                self.counters.flow_collapsed_events += emission.n_inputs - 1
+            if tracing:
+                ids = ",".join(f"{p}/{s}" for p, s in emission.inputs)
+                if emission.n_inputs > len(emission.inputs):
+                    ids += f",+{emission.n_inputs - len(emission.inputs)}"
+                self.tracer.span(
+                    now,
+                    "publish",
+                    self.name,
+                    self.stage,
+                    trace_id=envelope.event_id,
+                    details=(("class", spec.output_class), ("flow", spec.name)),
+                )
+                self.tracer.span(
+                    now,
+                    "derive",
+                    self.name,
+                    self.stage,
+                    trace_id=envelope.event_id,
+                    details=(
+                        ("flow", spec.name),
+                        ("op", spec.operator_kind),
+                        ("inputs", emission.n_inputs),
+                        ("input_ids", ids),
+                    ),
+                )
+        metas = None
+        if tracing:
+            metas = tuple((namespace, now) for _ in publishes)
+        self._flow_depth += 1
+        try:
+            self._process_batch(tuple(publishes), metas)
+        finally:
+            self._flow_depth -= 1
+
+    def flows(self) -> Tuple[str, ...]:
+        """Names of the currently installed flows (introspection)."""
+        return tuple(self._flows)
 
     # ------------------------------------------------------------------
     # Durable subscriptions (§2.1)
@@ -1278,6 +1540,11 @@ class BrokerNode(Process):
                 self._forward_controlled(destination, run)
             else:
                 self._send_run(destination, run)
+        # Information flows tap the batch *after* the raw path has fully
+        # forwarded it: subscribers not behind a flow see byte-identical
+        # schedules whether or not any flow is installed here.
+        if self._flows:
+            self._feed_flows(batch)
 
     def _send_run(self, destination: Process, run: Sequence[Publish]) -> None:
         if self.flow is not None and getattr(destination, "is_broker", False):

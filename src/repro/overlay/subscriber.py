@@ -490,6 +490,7 @@ class SubscriberRuntime(Process):
             and state.active
             and state.subscription.filter.matches(envelope.metadata)
         )
+        self.counters.bytes_received += len(envelope)
         self.counters.on_event(matched=matched, forwarded_to=0, evaluations=1)
         tracing = self.tracer.enabled
         delivered_before = self.counters.events_delivered if tracing else 0
@@ -552,6 +553,7 @@ class SubscriberRuntime(Process):
         # copy stream; a copy from node N serves exactly the subscriptions
         # homed at N.  This keeps per-subscription delivery exactly-once
         # even when one subscriber attaches at several points of the tree.
+        self.counters.bytes_received += len(envelope)
         states = [s for s in self._active_states() if s.home is sender]
         matched_states = []
         for state in states:

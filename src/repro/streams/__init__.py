@@ -1,0 +1,44 @@
+"""In-broker information flows (DESIGN §15).
+
+Gryphon-style stateful operators hosted on brokers of the weakening
+tree: windowed aggregation, burst collapsing, and derived-event
+republication under the reserved ``(broker:flow, seq)`` publisher
+namespace.  Specs are declarative and picklable; operator state is
+§4.3 soft state kept alive by :class:`FlowRegistrar` renewals.
+"""
+
+from repro.streams.flowgraph import FlowGraph
+from repro.streams.operators import (
+    CollapseState,
+    DeriveState,
+    Emission,
+    FlowRuntime,
+    WindowState,
+    build_state,
+)
+from repro.streams.registrar import FlowRegistrar
+from repro.streams.spec import (
+    COMBINERS,
+    Aggregate,
+    CollapseSpec,
+    DeriveSpec,
+    FlowSpec,
+    WindowSpec,
+)
+
+__all__ = [
+    "COMBINERS",
+    "Aggregate",
+    "CollapseSpec",
+    "CollapseState",
+    "DeriveSpec",
+    "DeriveState",
+    "Emission",
+    "FlowGraph",
+    "FlowRegistrar",
+    "FlowRuntime",
+    "FlowSpec",
+    "WindowSpec",
+    "WindowState",
+    "build_state",
+]

@@ -1,0 +1,126 @@
+"""FlowGraph: an ordered, validated collection of flow specs.
+
+The graph is what an application hands to
+``MultiStageEventSystem.install_flows``: an insertion-ordered set of
+:class:`~repro.streams.spec.FlowSpec` objects, with convenience
+constructors for the three operator families.  Flows may *chain* —
+a flow whose input filter matches another flow's output class consumes
+the derived events at the same broker — but a flow never consumes its
+own output (the broker skips events from the flow's own reserved
+publisher namespace), and chains are depth-limited at the broker so a
+mutually-recursive pair cannot livelock an instant.
+"""
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.filters.filter import Filter
+from repro.streams.spec import (
+    Aggregate,
+    CollapseSpec,
+    DeriveSpec,
+    FlowSpec,
+    WindowSpec,
+)
+
+
+class FlowGraph:
+    """An insertion-ordered collection of uniquely named flows."""
+
+    def __init__(self, flows: Iterable[FlowSpec] = ()) -> None:
+        self._flows: Dict[str, FlowSpec] = {}
+        for spec in flows:
+            self.add(spec)
+
+    def add(self, spec: FlowSpec) -> "FlowGraph":
+        if spec.name in self._flows:
+            raise ValueError(f"duplicate flow name {spec.name!r}")
+        self._flows[spec.name] = spec
+        return self
+
+    def window(
+        self,
+        name: str,
+        input_filter: Filter,
+        output_class: str,
+        *,
+        kind: str = "tumbling",
+        mode: str = "time",
+        size: float,
+        slide: Optional[float] = None,
+        group_by: Tuple[str, ...] = (),
+        aggregates: Iterable[Tuple[str, str, str]] = (),
+        broker: Optional[str] = None,
+    ) -> "FlowGraph":
+        """Add a window flow; aggregates as (attribute, combiner, output)."""
+        spec = FlowSpec(
+            name=name,
+            input_filter=input_filter,
+            output_class=output_class,
+            operator=WindowSpec(
+                kind=kind,
+                mode=mode,
+                size=size,
+                slide=slide,
+                group_by=tuple(group_by),
+                aggregates=tuple(Aggregate(*a) for a in aggregates),
+            ),
+            broker=broker,
+        )
+        return self.add(spec)
+
+    def collapse(
+        self,
+        name: str,
+        input_filter: Filter,
+        output_class: str,
+        *,
+        keys: Tuple[str, ...],
+        interval: Optional[float] = None,
+        max_batch: Optional[int] = None,
+        broker: Optional[str] = None,
+    ) -> "FlowGraph":
+        spec = FlowSpec(
+            name=name,
+            input_filter=input_filter,
+            output_class=output_class,
+            operator=CollapseSpec(
+                keys=tuple(keys), interval=interval, max_batch=max_batch
+            ),
+            broker=broker,
+        )
+        return self.add(spec)
+
+    def derive(
+        self,
+        name: str,
+        input_filter: Filter,
+        output_class: str,
+        *,
+        select: Tuple[str, ...] = (),
+        rename: Tuple[Tuple[str, str], ...] = (),
+        broker: Optional[str] = None,
+    ) -> "FlowGraph":
+        spec = FlowSpec(
+            name=name,
+            input_filter=input_filter,
+            output_class=output_class,
+            operator=DeriveSpec(select=tuple(select), rename=tuple(rename)),
+            broker=broker,
+        )
+        return self.add(spec)
+
+    def flows(self) -> Tuple[FlowSpec, ...]:
+        return tuple(self._flows.values())
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self):
+        return iter(self._flows.values())
+
+    def by_broker(self) -> Dict[Optional[str], List[FlowSpec]]:
+        """Group flows by hosting broker name (None = root)."""
+        grouped: Dict[Optional[str], List[FlowSpec]] = {}
+        for spec in self._flows.values():
+            grouped.setdefault(spec.broker, []).append(spec)
+        return grouped

@@ -1,0 +1,406 @@
+"""Pure operator state machines behind in-broker information flows.
+
+Each state machine consumes event *metadata* (never payloads — brokers
+stay event-safe) through two entry points the hosting broker drives:
+
+- ``on_event(metadata, now, event_id)`` — one matched input event;
+- ``on_timer(now)`` — the flow's aligned boundary timer fired.
+
+Both return a list of :class:`Emission` objects: the property dicts of
+derived events plus the (capped) list of contributing input event ids
+that the broker turns into ``derive`` spans.  The machines are pure and
+broker-independent — all iteration is over insertion-ordered dicts so
+same-seed runs emit byte-identically — which is what lets the Hypothesis
+property suite drive them directly against brute-force recomputations.
+
+Operator state is **soft state** in the §4.3 sense: a broker crash
+discards it (after announcing each open window with a ``window-dropped``
+span) and the registrar's renewals re-install a fresh machine.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.streams.spec import (
+    Aggregate,
+    CollapseSpec,
+    DeriveSpec,
+    FlowSpec,
+    WindowSpec,
+)
+
+#: How many contributing input ids an emission records verbatim; the
+#: full count always rides in ``n_inputs`` so derive spans stay bounded.
+MAX_LINKED_INPUTS = 8
+
+
+@dataclass
+class Emission:
+    """One derived event: its properties and provenance."""
+
+    properties: Dict[str, Any]
+    inputs: Tuple[Tuple[str, int], ...] = ()
+    n_inputs: int = 0
+
+
+class _InputSet:
+    """Capped, ordered collection of contributing input event ids."""
+
+    __slots__ = ("ids", "n")
+
+    def __init__(self) -> None:
+        self.ids: List[Tuple[str, int]] = []
+        self.n = 0
+
+    def add(self, event_id: Optional[Tuple[str, int]]) -> None:
+        self.n += 1
+        if event_id is not None and len(self.ids) < MAX_LINKED_INPUTS:
+            self.ids.append(event_id)
+
+
+def _init_accumulator(aggregate: Aggregate) -> Any:
+    if aggregate.combiner == "count":
+        return 0
+    if aggregate.combiner == "sum":
+        return 0
+    if aggregate.combiner == "avg":
+        return [0, 0]  # running [sum, count]
+    return None  # min / max / last start undefined
+
+
+def _update_accumulator(aggregate: Aggregate, state: Any, metadata: Any) -> Any:
+    if aggregate.combiner == "count":
+        return state + 1
+    value = metadata.get(aggregate.attribute)
+    if value is None:
+        return state
+    if aggregate.combiner == "sum":
+        return state + value
+    if aggregate.combiner == "avg":
+        state[0] += value
+        state[1] += 1
+        return state
+    if aggregate.combiner == "min":
+        return value if state is None or value < state else state
+    if aggregate.combiner == "max":
+        return value if state is None or value > state else state
+    return value  # last
+
+
+def _finish_accumulator(aggregate: Aggregate, state: Any) -> Any:
+    if aggregate.combiner == "avg":
+        return state[0] / state[1] if state[1] else None
+    return state
+
+
+@dataclass
+class _WindowAccum:
+    """One open window for one group key."""
+
+    start: float
+    states: List[Any]
+    inputs: _InputSet = field(default_factory=_InputSet)
+    n: int = 0
+    first_time: float = 0.0
+    last_time: float = 0.0
+
+
+class WindowState:
+    """Tumbling/sliding window machine for one :class:`WindowSpec`.
+
+    Time-mode windows align boundaries at multiples of the period
+    (``size`` for tumbling, ``slide`` for sliding) anchored at t=0, so
+    firing times are a pure function of the clock, never of arrival
+    order.  The broker arms the boundary timer, but ``on_event`` also
+    flushes a stale tumbling window defensively, so the machine is
+    correct even driven without timers (as the property tests do).
+    """
+
+    def __init__(self, spec: WindowSpec) -> None:
+        self.spec = spec
+        # Tumbling (both modes): group key -> open accumulator.
+        self._accums: Dict[Tuple[Any, ...], _WindowAccum] = {}
+        # Sliding (both modes): group key -> ordered (time, metadata, id)
+        # retained events; count-sliding also counts arrivals per group.
+        self._retained: Dict[Tuple[Any, ...], List[Tuple[float, Any, Any]]] = {}
+        self._since_slide: Dict[Tuple[Any, ...], int] = {}
+
+    # -- helpers -----------------------------------------------------
+
+    def _key(self, metadata: Any) -> Tuple[Any, ...]:
+        return tuple(metadata.get(attr) for attr in self.spec.group_by)
+
+    def timer_period(self) -> Optional[float]:
+        if self.spec.mode != "time":
+            return None
+        if self.spec.kind == "tumbling":
+            return self.spec.size
+        return self.spec.slide
+
+    def _fresh_accum(self, start: float, now: float) -> _WindowAccum:
+        states = [_init_accumulator(a) for a in self.spec.aggregates]
+        return _WindowAccum(start=start, states=states, first_time=now, last_time=now)
+
+    def _emit_accum(
+        self, key: Tuple[Any, ...], accum: _WindowAccum, end: float
+    ) -> Emission:
+        props: Dict[str, Any] = {}
+        for attr, value in zip(self.spec.group_by, key):
+            props[attr] = value
+        for aggregate, state in zip(self.spec.aggregates, accum.states):
+            props[aggregate.output] = _finish_accumulator(aggregate, state)
+        props["window_start"] = accum.start
+        props["window_end"] = end
+        props["n"] = accum.n
+        return Emission(props, tuple(accum.inputs.ids), accum.inputs.n)
+
+    def _emit_retained(
+        self,
+        key: Tuple[Any, ...],
+        events: List[Tuple[float, Any, Any]],
+        start: float,
+        end: float,
+    ) -> Emission:
+        props: Dict[str, Any] = {}
+        for attr, value in zip(self.spec.group_by, key):
+            props[attr] = value
+        inputs = _InputSet()
+        states = [_init_accumulator(a) for a in self.spec.aggregates]
+        for _, metadata, event_id in events:
+            inputs.add(event_id)
+            for i, aggregate in enumerate(self.spec.aggregates):
+                states[i] = _update_accumulator(aggregate, states[i], metadata)
+        for aggregate, state in zip(self.spec.aggregates, states):
+            props[aggregate.output] = _finish_accumulator(aggregate, state)
+        props["window_start"] = start
+        props["window_end"] = end
+        props["n"] = len(events)
+        return Emission(props, tuple(inputs.ids), inputs.n)
+
+    # -- event/timer entry points ------------------------------------
+
+    def on_event(
+        self, metadata: Any, now: float, event_id: Optional[Tuple[str, int]] = None
+    ) -> List[Emission]:
+        key = self._key(metadata)
+        spec = self.spec
+        emissions: List[Emission] = []
+        if spec.kind == "tumbling" and spec.mode == "time":
+            boundary = math.floor(now / spec.size) * spec.size
+            accum = self._accums.get(key)
+            if accum is not None and accum.start < boundary:
+                # Timer has not fired yet for this instant (or was never
+                # armed): close the stale window before admitting the
+                # event so nothing is double-counted across boundaries.
+                emissions.append(self._emit_accum(key, accum, accum.start + spec.size))
+                accum = None
+            if accum is None:
+                accum = self._accums[key] = self._fresh_accum(boundary, now)
+        elif spec.kind == "tumbling":  # count
+            accum = self._accums.get(key)
+            if accum is None:
+                accum = self._accums[key] = self._fresh_accum(now, now)
+        elif spec.mode == "time":  # sliding/time: retain, timer emits
+            self._retained.setdefault(key, []).append((now, metadata, event_id))
+            return emissions
+        else:  # sliding/count: retain last `size`, emit every `slide`
+            events = self._retained.setdefault(key, [])
+            events.append((now, metadata, event_id))
+            if len(events) > int(spec.size):
+                del events[0]
+            seen = self._since_slide.get(key, 0) + 1
+            if seen >= int(spec.slide):
+                self._since_slide[key] = 0
+                emissions.append(
+                    self._emit_retained(key, events, events[0][0], events[-1][0])
+                )
+            else:
+                self._since_slide[key] = seen
+            return emissions
+
+        accum.n += 1
+        accum.last_time = now
+        accum.inputs.add(event_id)
+        for i, aggregate in enumerate(spec.aggregates):
+            accum.states[i] = _update_accumulator(aggregate, accum.states[i], metadata)
+        if spec.mode == "count" and accum.n >= int(spec.size):
+            emissions.append(self._emit_accum(key, accum, now))
+            del self._accums[key]
+        return emissions
+
+    def on_timer(self, now: float) -> List[Emission]:
+        spec = self.spec
+        emissions: List[Emission] = []
+        if spec.mode != "time":
+            return emissions
+        if spec.kind == "tumbling":
+            boundary = math.floor(now / spec.size) * spec.size
+            for key in [k for k, a in self._accums.items() if a.start < boundary]:
+                accum = self._accums.pop(key)
+                emissions.append(self._emit_accum(key, accum, accum.start + spec.size))
+            return emissions
+        # Sliding/time: the window at fire time t covers (t - size, t].
+        horizon = now - spec.size
+        for key in list(self._retained):
+            events = self._retained[key]
+            while events and events[0][0] <= horizon:
+                del events[0]
+            if not events:
+                del self._retained[key]
+                continue
+            emissions.append(self._emit_retained(key, events, horizon, now))
+        return emissions
+
+    def flush(self, now: float) -> List[Emission]:
+        """Force-emit everything pending (test/teardown helper)."""
+        emissions: List[Emission] = []
+        for key in list(self._accums):
+            accum = self._accums.pop(key)
+            end = accum.start + self.spec.size if self.spec.mode == "time" else now
+            emissions.append(self._emit_accum(key, accum, end))
+        for key in list(self._retained):
+            events = self._retained.pop(key)
+            if events:
+                emissions.append(
+                    self._emit_retained(key, events, events[0][0], events[-1][0])
+                )
+        self._since_slide.clear()
+        return emissions
+
+    def pending(self) -> List[Tuple[str, float, int]]:
+        """Open windows as (group, window_start, events) — crash spans."""
+        out: List[Tuple[str, float, int]] = []
+        for key, accum in self._accums.items():
+            out.append(("/".join(map(str, key)) or "*", accum.start, accum.n))
+        for key, events in self._retained.items():
+            if events:
+                out.append(("/".join(map(str, key)) or "*", events[0][0], len(events)))
+        return out
+
+
+@dataclass
+class _CollapseAccum:
+    """Pending last-value state for one collapse key."""
+
+    metadata: Any
+    inputs: _InputSet = field(default_factory=_InputSet)
+    n: int = 0
+    first_time: float = 0.0
+
+
+class CollapseState:
+    """Burst coalescing machine for one :class:`CollapseSpec`."""
+
+    def __init__(self, spec: CollapseSpec) -> None:
+        self.spec = spec
+        self._pending: Dict[Tuple[Any, ...], _CollapseAccum] = {}
+
+    def timer_period(self) -> Optional[float]:
+        return self.spec.interval
+
+    def _key(self, metadata: Any) -> Tuple[Any, ...]:
+        return tuple(metadata.get(attr) for attr in self.spec.keys)
+
+    def _emit(self, accum: _CollapseAccum) -> Emission:
+        props = {k: v for k, v in accum.metadata.items() if k != "class"}
+        props["collapsed_n"] = accum.n
+        return Emission(props, tuple(accum.inputs.ids), accum.inputs.n)
+
+    def on_event(
+        self, metadata: Any, now: float, event_id: Optional[Tuple[str, int]] = None
+    ) -> List[Emission]:
+        key = self._key(metadata)
+        accum = self._pending.get(key)
+        if accum is None:
+            accum = self._pending[key] = _CollapseAccum(metadata, first_time=now)
+        else:
+            accum.metadata = metadata  # last value wins
+        accum.n += 1
+        accum.inputs.add(event_id)
+        if self.spec.max_batch is not None and accum.n >= self.spec.max_batch:
+            del self._pending[key]
+            return [self._emit(accum)]
+        return []
+
+    def on_timer(self, now: float) -> List[Emission]:
+        emissions = [self._emit(accum) for accum in self._pending.values()]
+        self._pending.clear()
+        return emissions
+
+    def flush(self, now: float) -> List[Emission]:
+        return self.on_timer(now)
+
+    def pending(self) -> List[Tuple[str, float, int]]:
+        return [
+            ("/".join(map(str, key)) or "*", accum.first_time, accum.n)
+            for key, accum in self._pending.items()
+        ]
+
+
+class DeriveState:
+    """Stateless select/rename republication for one :class:`DeriveSpec`."""
+
+    def __init__(self, spec: DeriveSpec) -> None:
+        self.spec = spec
+        self._rename = dict(spec.rename)
+
+    def timer_period(self) -> Optional[float]:
+        return None
+
+    def on_event(
+        self, metadata: Any, now: float, event_id: Optional[Tuple[str, int]] = None
+    ) -> List[Emission]:
+        if self.spec.select:
+            items = [(a, metadata.get(a)) for a in self.spec.select]
+        else:
+            items = [(k, v) for k, v in metadata.items() if k != "class"]
+        props = {self._rename.get(k, k): v for k, v in items}
+        inputs = (event_id,) if event_id is not None else ()
+        return [Emission(props, inputs, 1)]
+
+    def on_timer(self, now: float) -> List[Emission]:
+        return []
+
+    def flush(self, now: float) -> List[Emission]:
+        return []
+
+    def pending(self) -> List[Tuple[str, float, int]]:
+        return []
+
+
+def build_state(spec: FlowSpec) -> Any:
+    if isinstance(spec.operator, WindowSpec):
+        return WindowState(spec.operator)
+    if isinstance(spec.operator, CollapseSpec):
+        return CollapseState(spec.operator)
+    if isinstance(spec.operator, DeriveSpec):
+        return DeriveState(spec.operator)
+    raise TypeError(f"unknown operator spec: {spec.operator!r}")
+
+
+class FlowRuntime:
+    """One installed flow at one broker: spec + machine + lease clock."""
+
+    __slots__ = ("spec", "state", "installed_at", "renewed_at")
+
+    def __init__(self, spec: FlowSpec, now: float) -> None:
+        self.spec = spec
+        self.state = build_state(spec)
+        self.installed_at = now
+        self.renewed_at = now
+
+    def matches(self, metadata: Any) -> bool:
+        return self.spec.input_filter.matches(metadata)
+
+    def on_event(self, metadata, now, event_id=None) -> List[Emission]:
+        return self.state.on_event(metadata, now, event_id)
+
+    def on_timer(self, now: float) -> List[Emission]:
+        return self.state.on_timer(now)
+
+    def timer_period(self) -> Optional[float]:
+        return self.state.timer_period()
+
+    def pending_windows(self) -> List[Tuple[str, float, int]]:
+        return self.state.pending()

@@ -1,0 +1,168 @@
+"""Client-side flow registration channel.
+
+Flows are broker *soft state* in the §4.3 sense: a crash wipes them and
+nothing at the broker remembers they existed.  What survives is this
+process — a stage-0 client, exactly like a subscriber runtime — which
+holds the authoritative flow graph and periodically re-sends
+``FlowInstall`` for every flow over the PR 3 reliable control channel
+(one go-back-N sender per hosting broker).  The broker treats an
+install of an already-identical spec as a pure lease renewal
+(refresh-or-restore, Figure 6): a healthy broker just refreshes the
+lease clock, a restarted one re-creates the machine from scratch.  The
+channel itself needs no epoch gymnastics — a freshly restarted broker's
+:class:`~repro.overlay.channel.ReliableReceiver` adopts the first frame
+it sees — so renewals alone heal any crash.
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracing import SUBSCRIBER_STAGE, EventTracer
+from repro.overlay.channel import ReliableSender
+from repro.overlay.messages import Ack, ChannelReset, FlowInstall, FlowRemove
+from repro.runtime.base import Executor, Transport
+from repro.sim.kernel import Process
+from repro.streams.spec import FlowSpec
+
+#: Renew each flow lease when this fraction of the TTL has elapsed
+#: (matches the subscriber-side renewal cadence).
+RENEW_FRACTION = 0.5
+
+
+class FlowRegistrar(Process):
+    """A stage-0 client that installs flows and keeps their leases alive."""
+
+    def __init__(
+        self,
+        sim: Executor,
+        network: Transport,
+        name: str,
+        ttl: float = 60.0,
+        reliable: bool = True,
+        control_window: Optional[int] = None,
+        tracer: Optional[EventTracer] = None,
+    ):
+        super().__init__(sim, name)
+        self.network = network
+        self.ttl = ttl
+        self.reliable_enabled = reliable
+        self.control_window = control_window
+        self.tracer = tracer if tracer is not None else EventTracer(enabled=False)
+        self.control_retransmits = 0
+        # Authoritative flow graph: broker name -> (broker, {flow: spec}).
+        self._installed: Dict[str, Tuple[Process, Dict[str, FlowSpec]]] = {}
+        self._control_out: Dict[str, ReliableSender] = {}
+        self._renew_handle = None
+        self._maintenance_interval: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Install / remove
+    # ------------------------------------------------------------------
+
+    def install(self, broker: Process, spec: FlowSpec) -> None:
+        """Install (or replace) one flow at a broker and start renewing it."""
+        _, specs = self._installed.setdefault(broker.name, (broker, {}))
+        specs[spec.name] = spec
+        self._send_control(broker, FlowInstall(spec))
+
+    def remove(self, broker: Process, flow_name: str) -> None:
+        """Tear one flow down and stop renewing it."""
+        entry = self._installed.get(broker.name)
+        if entry is not None:
+            entry[1].pop(flow_name, None)
+            if not entry[1]:
+                del self._installed[broker.name]
+        self._send_control(broker, FlowRemove(flow_name))
+
+    def flows(self) -> List[FlowSpec]:
+        return [
+            spec
+            for _, specs in self._installed.values()
+            for spec in specs.values()
+        ]
+
+    # ------------------------------------------------------------------
+    # Reliable control channel (one sender per hosting broker)
+    # ------------------------------------------------------------------
+
+    def _send_control(self, broker: Process, payload: Any) -> None:
+        if not self.reliable_enabled:
+            self.network.send(self, broker, payload)
+            return
+        channel = self._control_out.get(broker.name)
+        if channel is None:
+            channel = self._control_out[broker.name] = ReliableSender(
+                self.sim,
+                lambda frame, broker=broker: self.network.send(self, broker, frame),
+                self._count_retransmits,
+                window=self.control_window,
+            )
+        channel.send(payload)
+
+    def _count_retransmits(self, frames: int) -> None:
+        self.control_retransmits += frames
+
+    def receive(self, message: Any, sender: Process) -> None:
+        if isinstance(message, Ack):
+            channel = self._control_out.get(sender.name)
+            if channel is not None:
+                channel.on_ack(message)
+        elif isinstance(message, ChannelReset):
+            # A broker announcing a fresh incarnation: abandon in-flight
+            # frames and push the full flow set immediately rather than
+            # waiting out the renewal interval.
+            channel = self._control_out.get(sender.name)
+            if channel is not None:
+                channel.reset()
+            entry = self._installed.get(sender.name)
+            if entry is not None:
+                broker, specs = entry
+                for spec in specs.values():
+                    self._send_control(broker, FlowInstall(spec))
+        else:
+            raise TypeError(f"{self.name}: unexpected message {message!r}")
+
+    # ------------------------------------------------------------------
+    # Lease renewal (refresh-or-restore)
+    # ------------------------------------------------------------------
+
+    def start_maintenance(self) -> None:
+        self.stop_maintenance()
+        interval = self.ttl * RENEW_FRACTION
+        self._maintenance_interval = interval
+        self._renew_handle = self.call_later(interval, self._renew_task, interval)
+
+    def stop_maintenance(self) -> None:
+        if self._renew_handle is not None:
+            self._renew_handle.cancel()
+            self._renew_handle = None
+        self._maintenance_interval = None
+
+    def _renew_task(self, interval: float) -> None:
+        for broker, specs in self._installed.values():
+            for spec in specs.values():
+                self._send_control(broker, FlowInstall(spec))
+        if self.tracer.enabled and self._installed:
+            self.tracer.span(
+                self.sim.now,
+                "flow-renew",
+                self.name,
+                SUBSCRIBER_STAGE,
+                details=(("flows", sum(len(s) for _, s in self._installed.values())),),
+            )
+        self._renew_handle = self.call_later(interval, self._renew_task, interval)
+
+    # ------------------------------------------------------------------
+    # Crash lifecycle (the registrar itself is a process too)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        super().crash()
+        self._renew_handle = None
+
+    def restart(self) -> None:
+        super().restart()
+        if self._maintenance_interval is not None:
+            self._renew_handle = self.call_later(
+                self._maintenance_interval, self._renew_task,
+                self._maintenance_interval,
+            )

@@ -1,0 +1,202 @@
+"""Declarative specifications of in-broker information flows.
+
+A *flow* is a named, stateful operator installed on one broker of the
+hierarchy (Gryphon's "information flow graph" idea grafted onto the
+paper's filter-and-forward tree).  Specs are **declarative and
+picklable** — frozen dataclasses over attribute names, combiner names,
+and a plain :class:`~repro.filters.filter.Filter` — never application
+closures: brokers keep the event-safety property (they run no user code
+and never unmarshal payloads) and the specs travel unchanged over every
+runtime backend's wire.
+
+Three operator families:
+
+- :class:`WindowSpec` — tumbling or sliding windows, sized by simulated
+  time or by event count, grouped by key attributes, with aggregate
+  combiners (``count``/``sum``/``min``/``max``/``avg``/``last``);
+- :class:`CollapseSpec` — coalesce bursts of events agreeing on key
+  attributes into one event carrying the last value set plus a
+  ``collapsed_n`` count;
+- :class:`DeriveSpec` — per-event republication with attribute
+  select/rename (a stateless transform).
+
+A :class:`FlowSpec` binds one operator to an input filter, an output
+event class, and a hosting broker.  Derived events are republished under
+the **reserved publisher namespace** ``("<broker>:<flow>", seq)`` so
+their ids can never collide with upstream ``(publisher, seq)`` ids —
+publisher names containing ``:`` are rejected nowhere else, so the colon
+is reserved by convention and documented in DESIGN §15.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.filters.filter import Filter
+
+#: Aggregate combiners a window may apply to an attribute.
+COMBINERS = ("count", "sum", "min", "max", "avg", "last")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate column of a window emission.
+
+    ``attribute`` is the input attribute combined (ignored for
+    ``count``); ``output`` is the emitted attribute name.
+    """
+
+    attribute: str
+    combiner: str
+    output: str
+
+    def __post_init__(self) -> None:
+        if self.combiner not in COMBINERS:
+            raise ValueError(
+                f"combiner must be one of {COMBINERS}, got {self.combiner!r}"
+            )
+        if not self.output:
+            raise ValueError("aggregate output name must be non-empty")
+        if self.combiner != "count" and not self.attribute:
+            raise ValueError(f"{self.combiner} aggregate needs a source attribute")
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A tumbling or sliding window with aggregate combiners.
+
+    ``mode`` picks the window coordinate: ``"time"`` windows span
+    ``size`` simulated seconds (boundaries aligned at multiples of
+    ``size`` — or of ``slide`` for sliding windows — so same-seed runs
+    fire identically); ``"count"`` windows span ``size`` events per
+    group.  Tumbling windows partition the stream; sliding windows of
+    span ``size`` advance by ``slide`` (time seconds or event count).
+    """
+
+    kind: str  # "tumbling" | "sliding"
+    mode: str  # "time" | "count"
+    size: float
+    slide: Optional[float] = None
+    group_by: Tuple[str, ...] = ()
+    aggregates: Tuple[Aggregate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tumbling", "sliding"):
+            raise ValueError(f"kind must be tumbling/sliding, got {self.kind!r}")
+        if self.mode not in ("time", "count"):
+            raise ValueError(f"mode must be time/count, got {self.mode!r}")
+        if self.size <= 0:
+            raise ValueError(f"window size must be positive, got {self.size}")
+        if self.kind == "tumbling":
+            if self.slide is not None:
+                raise ValueError("tumbling windows take no slide")
+        else:
+            if self.slide is None or self.slide <= 0 or self.slide > self.size:
+                raise ValueError(
+                    f"sliding windows need 0 < slide <= size, got {self.slide}"
+                )
+        if self.mode == "count" and int(self.size) != self.size:
+            raise ValueError("count windows need an integral size")
+        if not self.aggregates:
+            raise ValueError("a window needs at least one aggregate")
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(a.output for a in self.aggregates)
+
+
+@dataclass(frozen=True)
+class CollapseSpec:
+    """Coalesce bursts agreeing on ``keys`` into one last-value event.
+
+    Pending per-key state flushes every ``interval`` simulated seconds
+    and/or as soon as a key absorbs ``max_batch`` events.  The emitted
+    event carries the *last* event's attributes plus ``collapsed_n``,
+    the number of input events it stands for.
+    """
+
+    keys: Tuple[str, ...]
+    interval: Optional[float] = None
+    max_batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ValueError("collapse needs at least one key attribute")
+        if self.interval is None and self.max_batch is None:
+            raise ValueError("collapse needs an interval and/or a max_batch")
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+@dataclass(frozen=True)
+class DeriveSpec:
+    """Stateless per-event republication with attribute select/rename.
+
+    ``select`` keeps only the named input attributes (empty = all but
+    the reserved ``class``); ``rename`` maps selected input names to
+    output names, applied after selection.
+    """
+
+    select: Tuple[str, ...] = ()
+    rename: Tuple[Tuple[str, str], ...] = ()
+
+
+OperatorSpec = Union[WindowSpec, CollapseSpec, DeriveSpec]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One named flow: input filter -> operator -> derived event class.
+
+    ``broker`` names the hosting broker (``None`` = the root, where
+    derived events reach the whole tree; a subtree broker scopes the
+    flow's output to its own subtree).  Derived events are republished
+    under the reserved publisher namespace ``"<broker>:<name>"``, so
+    ``name`` must be unique per broker.
+    """
+
+    name: str
+    input_filter: Filter
+    output_class: str
+    operator: OperatorSpec
+    broker: Optional[str] = None
+    #: Opaque payload bytes the emitter charges per derived event are
+    #: the pickled property dict; nothing configurable rides here.
+    meta: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("flow name must be non-empty")
+        if ":" in self.name or "/" in self.name:
+            raise ValueError(f"flow name may not contain ':' or '/': {self.name!r}")
+        if not self.output_class:
+            raise ValueError("output_class must be non-empty")
+
+    @property
+    def operator_kind(self) -> str:
+        if isinstance(self.operator, WindowSpec):
+            return "window"
+        if isinstance(self.operator, CollapseSpec):
+            return "collapse"
+        return "derive"
+
+    def output_schema(self) -> Tuple[str, ...]:
+        """A generality-ordered schema for the derived event class.
+
+        Used by the engine to auto-advertise the output class when the
+        application has not advertised it explicitly (most-general
+        attributes first, matching the conventions of §4.1).
+        """
+        if isinstance(self.operator, WindowSpec):
+            return (
+                ("class",)
+                + self.operator.group_by
+                + self.operator.outputs
+                + ("window_start", "window_end", "n")
+            )
+        if isinstance(self.operator, CollapseSpec):
+            return ("class",) + self.operator.keys + ("collapsed_n",)
+        renamed = dict(self.operator.rename)
+        selected = tuple(renamed.get(a, a) for a in self.operator.select)
+        return ("class",) + selected

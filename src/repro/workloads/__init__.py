@@ -6,7 +6,9 @@
 - :mod:`~repro.workloads.stocks` — stock-quote events (Examples 1-5);
 - :mod:`~repro.workloads.auctions` — auction events (Example 5's f4);
 - :mod:`~repro.workloads.subscriptions` — generic subscription
-  generators with controllable similarity and wildcard rates.
+  generators with controllable similarity and wildcard rates;
+- :mod:`~repro.workloads.telemetry` — high-fan-in sensor readings with
+  per-region rollup flows (the information-flow workload, DESIGN §15).
 """
 
 from repro.workloads.auctions import Auction, AuctionWorkload
@@ -14,6 +16,7 @@ from repro.workloads.bibliographic import BibliographicWorkload, BibRecord
 from repro.workloads.distributions import CategoricalSampler, ZipfSampler
 from repro.workloads.stocks import Stock, StockWorkload
 from repro.workloads.subscriptions import SubscriptionGenerator
+from repro.workloads.telemetry import Telemetry, TelemetryWorkload
 
 __all__ = [
     "Auction",
@@ -24,5 +27,7 @@ __all__ = [
     "Stock",
     "StockWorkload",
     "SubscriptionGenerator",
+    "Telemetry",
+    "TelemetryWorkload",
     "ZipfSampler",
 ]

@@ -1,0 +1,189 @@
+"""Flow spec validation and FlowGraph construction."""
+
+import pickle
+
+import pytest
+
+from repro.filters.constraints import AttributeConstraint
+from repro.filters.filter import Filter
+from repro.filters.operators import EQ
+from repro.streams import (
+    Aggregate,
+    CollapseSpec,
+    DeriveSpec,
+    FlowGraph,
+    FlowSpec,
+    WindowSpec,
+)
+
+TELEMETRY = Filter([AttributeConstraint("class", EQ, "Telemetry")])
+
+
+def window_spec(**overrides):
+    base = dict(
+        kind="tumbling",
+        mode="time",
+        size=1.0,
+        group_by=("region",),
+        aggregates=(Aggregate("reading", "avg", "avg_reading"),),
+    )
+    base.update(overrides)
+    return WindowSpec(**base)
+
+
+def flow_spec(name="rollup", operator=None, **overrides):
+    base = dict(
+        name=name,
+        input_filter=TELEMETRY,
+        output_class="TelemetryRollup",
+        operator=operator or window_spec(),
+    )
+    base.update(overrides)
+    return FlowSpec(**base)
+
+
+class TestAggregate:
+    def test_unknown_combiner_rejected(self):
+        with pytest.raises(ValueError, match="combiner"):
+            Aggregate("reading", "median", "out")
+
+    def test_non_count_needs_attribute(self):
+        with pytest.raises(ValueError, match="source attribute"):
+            Aggregate("", "sum", "out")
+
+    def test_count_needs_no_attribute(self):
+        assert Aggregate("", "count", "n_readings").combiner == "count"
+
+
+class TestWindowSpec:
+    def test_tumbling_rejects_slide(self):
+        with pytest.raises(ValueError, match="no slide"):
+            window_spec(slide=0.5)
+
+    def test_sliding_needs_slide_within_size(self):
+        with pytest.raises(ValueError, match="slide"):
+            window_spec(kind="sliding")
+        with pytest.raises(ValueError, match="slide"):
+            window_spec(kind="sliding", slide=2.0)
+        assert window_spec(kind="sliding", slide=0.5).slide == 0.5
+
+    def test_count_mode_needs_integral_size(self):
+        with pytest.raises(ValueError, match="integral"):
+            window_spec(mode="count", size=2.5)
+        assert window_spec(mode="count", size=4).size == 4
+
+    def test_needs_an_aggregate(self):
+        with pytest.raises(ValueError, match="aggregate"):
+            window_spec(aggregates=())
+
+    def test_bad_kind_and_mode(self):
+        with pytest.raises(ValueError, match="kind"):
+            window_spec(kind="hopping")
+        with pytest.raises(ValueError, match="mode"):
+            window_spec(mode="bytes")
+
+
+class TestCollapseSpec:
+    def test_needs_interval_or_max_batch(self):
+        with pytest.raises(ValueError, match="interval"):
+            CollapseSpec(keys=("region",))
+
+    def test_needs_keys(self):
+        with pytest.raises(ValueError, match="key"):
+            CollapseSpec(keys=(), interval=1.0)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError, match="interval"):
+            CollapseSpec(keys=("region",), interval=0.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            CollapseSpec(keys=("region",), max_batch=0)
+
+
+class TestFlowSpec:
+    def test_name_reserves_colon_and_slash(self):
+        for bad in ("a:b", "a/b", ""):
+            with pytest.raises(ValueError):
+                flow_spec(name=bad)
+
+    def test_operator_kind(self):
+        assert flow_spec().operator_kind == "window"
+        collapse = flow_spec(operator=CollapseSpec(keys=("region",), interval=1.0))
+        assert collapse.operator_kind == "collapse"
+        assert flow_spec(operator=DeriveSpec()).operator_kind == "derive"
+
+    def test_output_schema_window(self):
+        assert flow_spec().output_schema() == (
+            "class",
+            "region",
+            "avg_reading",
+            "window_start",
+            "window_end",
+            "n",
+        )
+
+    def test_output_schema_collapse_and_derive(self):
+        collapse = flow_spec(
+            operator=CollapseSpec(keys=("region", "sensor"), interval=1.0)
+        )
+        assert collapse.output_schema() == ("class", "region", "sensor", "collapsed_n")
+        derive = flow_spec(
+            operator=DeriveSpec(
+                select=("region", "reading"), rename=(("reading", "value"),)
+            )
+        )
+        assert derive.output_schema() == ("class", "region", "value")
+
+    def test_specs_are_picklable(self):
+        # Specs travel over the control channel on every runtime backend.
+        spec = flow_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestFlowGraph:
+    def test_builders_and_iteration(self):
+        graph = FlowGraph()
+        graph.window(
+            "rollup",
+            TELEMETRY,
+            "TelemetryRollup",
+            size=1.0,
+            group_by=("region",),
+            aggregates=(("reading", "avg", "avg_reading"),),
+        )
+        graph.collapse(
+            "dedup", TELEMETRY, "TelemetryLatest", keys=("sensor",), interval=0.5
+        )
+        graph.derive(
+            "mirror", TELEMETRY, "TelemetryMirror", select=("region", "reading")
+        )
+        assert len(graph) == 3
+        assert [f.name for f in graph] == ["rollup", "dedup", "mirror"]
+        assert [f.operator_kind for f in graph.flows()] == [
+            "window",
+            "collapse",
+            "derive",
+        ]
+
+    def test_duplicate_name_rejected(self):
+        graph = FlowGraph([flow_spec()])
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.window(
+                "rollup",
+                TELEMETRY,
+                "Other",
+                size=1.0,
+                aggregates=(("reading", "sum", "total"),),
+            )
+
+    def test_by_broker_grouping(self):
+        graph = FlowGraph(
+            [
+                flow_spec(name="at-root"),
+                flow_spec(name="at-n2", broker="N2.0"),
+                flow_spec(name="also-n2", broker="N2.0"),
+            ]
+        )
+        grouped = graph.by_broker()
+        assert set(grouped) == {None, "N2.0"}
+        assert [f.name for f in grouped["N2.0"]] == ["at-n2", "also-n2"]

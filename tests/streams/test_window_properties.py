@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) for the window/collapse algebra.
+
+Pin the invariants the flows subsystem leans on (DESIGN §15):
+
+- tumbling windows **partition** the input: however events and timer
+  fires interleave, no input event is lost or double-counted across
+  window boundaries, and each emitted window's count equals the
+  brute-force count of events falling in it;
+- sliding-window aggregates equal a brute-force recomputation over the
+  retained span, in both time and count mode;
+- collapse preserves per-key last-value semantics: one emission per
+  key per flush, carrying the final event's attributes and the exact
+  number of inputs it stands for.
+
+The machines are driven directly (no broker, no timers armed) — they
+are pure state machines over ``(metadata, now)`` by construction.
+"""
+
+import math
+from collections import defaultdict
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.streams.operators import CollapseState, WindowState
+from repro.streams.spec import Aggregate, CollapseSpec, WindowSpec
+
+KEYS = ("a", "b", "c")
+
+#: (key, value) input events; values small ints so sums are exact.
+events_strategy = st.lists(
+    st.tuples(st.sampled_from(KEYS), st.integers(min_value=-50, max_value=50)),
+    min_size=0,
+    max_size=60,
+)
+
+#: Non-decreasing event times in [0, 10).
+times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32),
+    min_size=0,
+    max_size=60,
+).map(sorted)
+
+
+def tumbling_time_spec(size):
+    return WindowSpec(
+        kind="tumbling",
+        mode="time",
+        size=size,
+        group_by=("key",),
+        aggregates=(
+            Aggregate("", "count", "n_events"),
+            Aggregate("value", "sum", "total"),
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=events_strategy,
+    times=times_strategy,
+    size=st.sampled_from((0.5, 1.0, 2.5)),
+    timer_mask=st.lists(st.booleans(), min_size=0, max_size=60),
+)
+def test_tumbling_time_partition(events, times, size, timer_mask):
+    """No event lost or double-counted across tumbling boundaries."""
+    n = min(len(events), len(times))
+    events, times = events[:n], times[:n]
+    state = WindowState(tumbling_time_spec(size))
+
+    emitted = []
+    for i, ((key, value), now) in enumerate(zip(events, times)):
+        # Interleave timer fires arbitrarily (the broker's lazy timer
+        # may or may not have fired before the next arrival).
+        if i < len(timer_mask) and timer_mask[i]:
+            emitted.extend(state.on_timer(now))
+        emitted.extend(
+            state.on_event({"key": key, "value": value}, now, ("p", i))
+        )
+    emitted.extend(state.flush(times[-1] if times else 0.0))
+
+    # Brute force: events grouped by (key, window index).
+    expected = defaultdict(lambda: [0, 0])
+    for (key, value), now in zip(events, times):
+        bucket = expected[(key, math.floor(now / size))]
+        bucket[0] += 1
+        bucket[1] += value
+    got = {}
+    for emission in emitted:
+        props = emission.properties
+        index = math.floor(props["window_start"] / size + 0.5)
+        window_key = (props["key"], index)
+        # Partition: each (key, window) emitted at most once.
+        assert window_key not in got, f"window {window_key} emitted twice"
+        got[window_key] = [props["n_events"], props["total"]]
+        assert props["n"] == props["n_events"] == emission.n_inputs
+        assert props["window_end"] == props["window_start"] + size
+
+    assert got == dict(expected)
+    # Conservation: every input counted exactly once overall.
+    assert sum(v[0] for v in got.values()) == len(events)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-50, max_value=50), min_size=0, max_size=50
+    ),
+    times=times_strategy,
+    size=st.sampled_from((1.0, 2.0)),
+    slide=st.sampled_from((0.5, 1.0)),
+)
+def test_sliding_time_equals_brute_force(values, times, size, slide):
+    """Each sliding emission equals recomputing over (t - size, t]."""
+    n = min(len(values), len(times))
+    values, times = values[:n], times[:n]
+    spec = WindowSpec(
+        kind="sliding",
+        mode="time",
+        size=size,
+        slide=slide,
+        aggregates=(
+            Aggregate("value", "sum", "total"),
+            Aggregate("value", "avg", "mean"),
+            Aggregate("value", "min", "low"),
+            Aggregate("value", "max", "high"),
+        ),
+    )
+    state = WindowState(spec)
+
+    cursor = 0
+    fires = []
+    # Drive exactly as the broker's aligned timer would: fire at every
+    # multiple of `slide` that has passed, then feed the next event.
+    boundary = slide
+    for value, now in zip(values, times):
+        while boundary <= now:
+            fires.append((boundary, state.on_timer(boundary)))
+            boundary += slide
+        state.on_event({"value": value}, now, ("p", cursor))
+        cursor += 1
+    final = times[-1] + size if times else size
+    while boundary <= final:
+        fires.append((boundary, state.on_timer(boundary)))
+        boundary += slide
+
+    for fire_time, emissions in fires:
+        # The driver fires a boundary before feeding an event stamped
+        # exactly on it (as the broker's timer does at equal sim time),
+        # so the retained span at fire time t is (t - size, t).
+        window = [
+            v
+            for v, t in zip(values, times)
+            if fire_time - size < t < fire_time
+        ]
+        if not window:
+            assert emissions == []
+            continue
+        assert len(emissions) == 1
+        props = emissions[0].properties
+        assert props["n"] == len(window)
+        assert props["total"] == sum(window)
+        assert props["mean"] == sum(window) / len(window)
+        assert props["low"] == min(window)
+        assert props["high"] == max(window)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-50, max_value=50), min_size=0, max_size=50
+    ),
+    size=st.integers(min_value=1, max_value=6),
+    slide=st.integers(min_value=1, max_value=6),
+)
+def test_sliding_count_equals_brute_force(values, size, slide):
+    """Count-sliding emissions cover the last `size` events, every `slide`."""
+    if slide > size:
+        slide = size
+    spec = WindowSpec(
+        kind="sliding",
+        mode="count",
+        size=size,
+        slide=slide,
+        aggregates=(Aggregate("value", "sum", "total"),),
+    )
+    state = WindowState(spec)
+    emitted = []
+    for i, value in enumerate(values):
+        emitted.extend(state.on_event({"value": value}, float(i), ("p", i)))
+
+    expected = [
+        values[max(0, i - size): i]
+        for i in range(1, len(values) + 1)
+        if i % slide == 0
+    ]
+    assert len(emitted) == len(expected)
+    for emission, window in zip(emitted, expected):
+        assert emission.properties["n"] == len(window)
+        assert emission.properties["total"] == sum(window)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=events_strategy, max_batch=st.sampled_from((None, 3)))
+def test_collapse_last_value_per_key(events, max_batch):
+    """Collapse keeps the last value per key and the exact input count."""
+    spec = CollapseSpec(keys=("key",), interval=1.0, max_batch=max_batch)
+    state = CollapseState(spec)
+
+    emitted = []
+    fed = defaultdict(int)
+    last = {}
+    for i, (key, value) in enumerate(events):
+        metadata = {"class": "E", "key": key, "value": value, "seq": i}
+        fed[key] += 1
+        last[key] = metadata
+        for emission in state.on_event(metadata, float(i), ("p", i)):
+            emitted.append((key, emission))
+            fed[key] = 0  # batch-triggered flush resets the count
+            del last[key]
+    for emission in state.on_timer(float(len(events))):
+        key = emission.properties["key"]
+        emitted.append((key, emission))
+        assert emission.properties["collapsed_n"] == fed[key]
+        # Last-value semantics: the final event's attributes survive,
+        # minus the reserved class attribute.
+        survivor = {k: v for k, v in last[key].items() if k != "class"}
+        survivor["collapsed_n"] = fed[key]
+        assert emission.properties == survivor
+
+    # Conservation: collapsed_n sums to the number of inputs.
+    assert sum(e.properties["collapsed_n"] for _, e in emitted) == len(events)
+    if max_batch is not None:
+        for _, emission in emitted:
+            assert emission.properties["collapsed_n"] <= max_batch
+    assert state.pending() == []
